@@ -1,0 +1,42 @@
+//! Cell-area accounting.
+
+use odcfp_netlist::Netlist;
+
+/// The total cell area of the netlist (sum of instantiated cell areas, in
+/// the library's λ²-like units). Wiring area is not modelled — consistent
+/// with the paper's ABC-reported areas.
+pub fn total_area(netlist: &Netlist) -> f64 {
+    netlist
+        .gates()
+        .map(|(_, g)| netlist.library().cell(g.cell()).area())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odcfp_logic::PrimitiveFn;
+    use odcfp_netlist::{CellLibrary, Netlist};
+
+    #[test]
+    fn sums_cell_areas() {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("a", lib);
+        let a = n.add_primary_input("a");
+        let b = n.add_primary_input("b");
+        let nand2 = n.library().cell_for(PrimitiveFn::Nand, 2).unwrap();
+        let inv = n.library().cell_for(PrimitiveFn::Inv, 1).unwrap();
+        let g1 = n.add_gate("g1", nand2, &[a, b]);
+        let g2 = n.add_gate("g2", inv, &[n.gate_output(g1)]);
+        n.set_primary_output(n.gate_output(g2));
+        let expect = n.library().cell(nand2).area() + n.library().cell(inv).area();
+        assert!((total_area(&n) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let lib = CellLibrary::standard();
+        let n = Netlist::new("z", lib);
+        assert_eq!(total_area(&n), 0.0);
+    }
+}

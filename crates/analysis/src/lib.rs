@@ -1,0 +1,30 @@
+//! Design analysis: timing, area, power, cones and ODC conditions.
+//!
+//! The paper measures fingerprinting impact as relative *area*, *delay* and
+//! *power* overheads (Tables II/III) and locates fingerprint sites through
+//! *fanout-free cones* and *observability don't care* conditions
+//! (Definition 1). This crate provides all four analyses over
+//! [`odcfp_netlist::Netlist`]:
+//!
+//! * [`sta`] — static timing analysis: arrival/required times, slack, the
+//!   critical path, and the circuit delay;
+//! * [`area`] — cell-area accounting;
+//! * [`power`] — switching-activity dynamic power estimation from seeded
+//!   bit-parallel random simulation;
+//! * [`cones`] — maximum fanout-free cone (FFC) computation;
+//! * [`odc`] — local ODC conditions of library gates and trigger-candidate
+//!   enumeration;
+//! * [`DesignMetrics`] — the (area, delay, power) triple and overhead
+//!   percentages between a base design and a fingerprinted copy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod cones;
+mod metrics;
+pub mod odc;
+pub mod power;
+pub mod sta;
+
+pub use metrics::{DesignMetrics, OverheadReport};

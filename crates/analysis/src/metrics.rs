@@ -1,0 +1,154 @@
+//! Combined (area, delay, power) metrics and overhead reporting.
+
+use std::fmt;
+
+use odcfp_netlist::Netlist;
+
+use crate::{area, power, sta};
+
+/// The default number of 64-bit pattern words used for power estimation.
+pub const DEFAULT_POWER_WORDS: usize = 64;
+
+/// The default simulation seed for power estimation.
+pub const DEFAULT_POWER_SEED: u64 = 0xD0C5;
+
+/// The (area, delay, power) triple the paper's tables report per circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignMetrics {
+    /// Total cell area (λ²-like units).
+    pub area: f64,
+    /// Circuit delay (ns-like units).
+    pub delay: f64,
+    /// Dynamic power estimate (arbitrary consistent units).
+    pub power: f64,
+}
+
+impl DesignMetrics {
+    /// Measures a validated netlist with the default power-simulation
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is cyclic (validate first).
+    pub fn measure(netlist: &Netlist) -> Self {
+        Self::measure_with(netlist, DEFAULT_POWER_WORDS, DEFAULT_POWER_SEED)
+    }
+
+    /// Measures with explicit power-simulation parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is cyclic or `power_words == 0`.
+    pub fn measure_with(netlist: &Netlist, power_words: usize, power_seed: u64) -> Self {
+        let timing = sta::analyze(netlist).expect("cyclic netlist");
+        DesignMetrics {
+            area: area::total_area(netlist),
+            delay: timing.max_delay(),
+            power: power::estimate_power(netlist, power_words, power_seed).total(),
+        }
+    }
+
+    /// The relative overhead of `self` versus a `base` design.
+    pub fn overhead_vs(&self, base: &DesignMetrics) -> OverheadReport {
+        let pct = |new: f64, old: f64| {
+            if old == 0.0 {
+                0.0
+            } else {
+                (new - old) / old * 100.0
+            }
+        };
+        OverheadReport {
+            area_pct: pct(self.area, base.area),
+            delay_pct: pct(self.delay, base.delay),
+            power_pct: pct(self.power, base.power),
+        }
+    }
+}
+
+impl fmt::Display for DesignMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:.0}, delay {:.2}, power {:.1}",
+            self.area, self.delay, self.power
+        )
+    }
+}
+
+/// Percentage overheads of a fingerprinted design versus its base — the
+/// paper's Table II columns 8–10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Area increase in percent.
+    pub area_pct: f64,
+    /// Delay increase in percent.
+    pub delay_pct: f64,
+    /// Power increase in percent.
+    pub power_pct: f64,
+}
+
+impl fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:+.2}%, delay {:+.2}%, power {:+.2}%",
+            self.area_pct, self.delay_pct, self.power_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odcfp_logic::PrimitiveFn;
+    use odcfp_netlist::CellLibrary;
+
+    fn small() -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("m", lib);
+        let a = n.add_primary_input("a");
+        let b = n.add_primary_input("b");
+        let nand2 = n.library().cell_for(PrimitiveFn::Nand, 2).unwrap();
+        let g = n.add_gate("g", nand2, &[a, b]);
+        n.set_primary_output(n.gate_output(g));
+        n
+    }
+
+    #[test]
+    fn measure_is_deterministic() {
+        let n = small();
+        assert_eq!(DesignMetrics::measure(&n), DesignMetrics::measure(&n));
+    }
+
+    #[test]
+    fn overhead_math() {
+        let base = DesignMetrics {
+            area: 100.0,
+            delay: 10.0,
+            power: 50.0,
+        };
+        let modified = DesignMetrics {
+            area: 110.0,
+            delay: 15.0,
+            power: 45.0,
+        };
+        let o = modified.overhead_vs(&base);
+        assert!((o.area_pct - 10.0).abs() < 1e-9);
+        assert!((o.delay_pct - 50.0).abs() < 1e-9);
+        assert!((o.power_pct + 10.0).abs() < 1e-9);
+        let shown = o.to_string();
+        assert!(shown.contains("+10.00%"));
+        assert!(shown.contains("-10.00%"));
+    }
+
+    #[test]
+    fn zero_base_guarded() {
+        let zero = DesignMetrics {
+            area: 0.0,
+            delay: 0.0,
+            power: 0.0,
+        };
+        let o = zero.overhead_vs(&zero);
+        assert_eq!(o.area_pct, 0.0);
+    }
+}

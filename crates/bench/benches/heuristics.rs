@@ -1,0 +1,43 @@
+//! Runtime of the delay-constraint heuristics: the paper's exhaustive
+//! reactive method versus the slack-guided approximation and the proactive
+//! method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use odcfp_bench::netlist_for;
+use odcfp_core::heuristics::{
+    proactive_delay_embedding, reactive_delay_reduction, ReactiveOptions,
+};
+use odcfp_core::Fingerprinter;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let fp = Fingerprinter::new(netlist_for("c432")).unwrap();
+    let mut group = c.benchmark_group("heuristics_c432_10pct");
+    group.sample_size(10);
+    group.bench_function("reactive_slack_guided", |b| {
+        b.iter(|| {
+            reactive_delay_reduction(black_box(&fp), 10.0, ReactiveOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("reactive_exhaustive", |b| {
+        b.iter(|| {
+            reactive_delay_reduction(
+                black_box(&fp),
+                10.0,
+                ReactiveOptions {
+                    exhaustive: true,
+                    ..ReactiveOptions::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("proactive", |b| {
+        b.iter(|| proactive_delay_embedding(black_box(&fp), 10.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

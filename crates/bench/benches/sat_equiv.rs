@@ -1,0 +1,41 @@
+//! Runtime of the equivalence-checking layer: the fast simulation pre-check
+//! and the full SAT miter proof of a fully fingerprinted copy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use odcfp_bench::netlist_for;
+use odcfp_core::Fingerprinter;
+use odcfp_sat::{check_equivalence, probably_equivalent, EquivResult};
+
+fn bench_equiv(c: &mut Criterion) {
+    for name in ["c432", "c880"] {
+        let fp = Fingerprinter::new(netlist_for(name)).unwrap();
+        let copy = fp.embed_all().unwrap();
+        c.bench_function(&format!("sim_equiv_16w/{name}"), |b| {
+            b.iter(|| {
+                assert!(probably_equivalent(
+                    black_box(fp.base()),
+                    black_box(copy.netlist()),
+                    16,
+                    9
+                )
+                .unwrap())
+            })
+        });
+        let mut group = c.benchmark_group("sat_miter");
+        group.sample_size(10);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let verdict =
+                    check_equivalence(black_box(fp.base()), black_box(copy.netlist()), None)
+                        .unwrap();
+                assert_eq!(verdict, EquivResult::Equivalent);
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_equiv);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Design-quality ablations called out in DESIGN.md §6:
+//!
+//! 1. selection policy — the paper's deepest-target / earliest-trigger rule
+//!    versus random candidate selection;
+//! 2. reactive versus proactive delay-constrained heuristics.
+//!
+//! Usage: `ablation [--fast | circuit names...]`
+
+use odcfp_bench::{names_from_args, netlist_for, run_heuristic_ablation, run_policy_ablation};
+use odcfp_core::sdc::find_sdc_locations;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names = names_from_args(&args);
+
+    println!("== Ablation 1: selection policy (delay overhead, all locations embedded) ==");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "circuit", "deep dly%", "random dly%", "deep area%", "random area%"
+    );
+    for r in run_policy_ablation(&names, 0xAB1A) {
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            r.name, r.deep_delay_pct, r.random_delay_pct, r.deep_area_pct, r.random_area_pct
+        );
+    }
+
+    println!();
+    println!("== Survey: SDC (companion technique) swap locations per circuit ==");
+    println!("{:<8} {:>8} {:>10}", "circuit", "gates", "SDC locs");
+    for name in &names {
+        let n = netlist_for(name);
+        let locs = find_sdc_locations(&n, 50_000);
+        println!("{:<8} {:>8} {:>10}", name, n.num_gates(), locs.len());
+    }
+
+    println!();
+    println!("== Ablation 2: reactive vs proactive heuristic (10% delay budget) ==");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12}",
+        "circuit", "reactive kept", "proactive kept", "reactive%", "proactive%"
+    );
+    for r in run_heuristic_ablation(&names, 10.0) {
+        println!(
+            "{:<8} {:>14} {:>14} {:>12.2} {:>12.2}",
+            r.name, r.reactive_kept, r.proactive_kept, r.reactive_delay_pct, r.proactive_delay_pct
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Quick pipeline smoke run: locations, capacity and overheads per benchmark.
+
+use odcfp_analysis::DesignMetrics;
+use odcfp_core::Fingerprinter;
+use odcfp_netlist::CellLibrary;
+use odcfp_synth::benchmarks::{generate, TABLE2_NAMES};
+
+fn main() {
+    let lib = CellLibrary::standard();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        TABLE2_NAMES.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in names {
+        let t0 = std::time::Instant::now();
+        let base = generate(name, lib.clone()).expect("known benchmark");
+        let fp = Fingerprinter::new(base).expect("valid");
+        let cap = fp.capacity();
+        let copy = fp.embed_all().expect("equivalent");
+        let bm = DesignMetrics::measure(fp.base());
+        let cm = DesignMetrics::measure(copy.netlist());
+        let oh = cm.overhead_vs(&bm);
+        println!(
+            "{name:8} gates={:5} locs={:4} log2={:7.2} area={:+6.2}% delay={:+6.2}% power={:+6.2}%  ({:.2}s)",
+            fp.base().num_gates(),
+            cap.num_locations,
+            cap.log2_combinations,
+            oh.area_pct,
+            oh.delay_pct,
+            oh.power_pct,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Figure 7: fingerprint size (bits) per circuit,
+//! unconstrained versus under 10% / 5% / 1% delay constraints.
+//!
+//! Usage: `fig7 [--fast | circuit names...]`
+
+use odcfp_bench::{format_fig7, names_from_args, run_fig7, TABLE3_CONSTRAINTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names = names_from_args(&args);
+    let series = run_fig7(&names, &TABLE3_CONSTRAINTS);
+    print!("{}", format_fig7(&series));
+    println!();
+    println!("series (csv): circuit,unconstrained,at10pct,at5pct,at1pct");
+    for s in &series {
+        let cs: Vec<String> = s
+            .constrained_bits
+            .iter()
+            .map(|(_, b)| format!("{b:.1}"))
+            .collect();
+        println!("{},{:.1},{}", s.name, s.unconstrained_bits, cs.join(","));
+    }
+}

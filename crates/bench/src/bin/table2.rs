@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table II: per-circuit base metrics, fingerprint
+//! capacity, and area/delay/power overhead after embedding every location.
+//!
+//! Usage: `table2 [--fast | circuit names...]`
+
+use odcfp_bench::{format_table2, names_from_args, run_table2, PAPER_TABLE2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names = names_from_args(&args);
+    let rows = run_table2(&names);
+    println!("== Table II (this implementation) ==");
+    print!("{}", format_table2(&rows));
+    println!();
+    println!("== Paper reference (Dunbar & Qu, DAC'15, Table II) ==");
+    println!(
+        "{:<8} {:>6} {:>6} {:>9} {:>8} {:>8} {:>8}",
+        "circuit", "gates", "locs", "log2(FP)", "area%", "delay%", "power%"
+    );
+    for (name, gates, locs, log2, area, delay, power) in PAPER_TABLE2 {
+        if !names.contains(&name) {
+            continue;
+        }
+        let p = power.map_or("N/A".to_owned(), |p| format!("{p:.2}"));
+        println!("{name:<8} {gates:>6} {locs:>6} {log2:>9.2} {area:>8.2} {delay:>8.2} {p:>8}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Berkeley Logic Interchange Format (BLIF) support.
+//!
+//! The paper's flow starts from MCNC / ISCAS'85 benchmarks in BLIF, "which
+//! specifies the circuits' logical behavior, not its physical layout". This
+//! crate provides:
+//!
+//! * [`LogicNetwork`] — a technology-independent Boolean network: named
+//!   primary inputs/outputs and nodes defined by sum-of-products covers
+//!   ([`odcfp_logic::Sop`]), exactly the expressive power of combinational
+//!   BLIF;
+//! * [`parse_blif`] — a parser with line-accurate errors covering
+//!   `.model`, `.inputs`, `.outputs`, `.names` (with `-`/`0`/`1` covers and
+//!   both on-set and off-set outputs), comments, and line continuations;
+//! * [`write_blif`] — the inverse writer (parse ∘ write is identity up to
+//!   formatting).
+//!
+//! Sequential constructs (`.latch`) are rejected: the fingerprinting method
+//! operates on combinational logic.
+//!
+//! # Example
+//!
+//! ```
+//! use odcfp_blif::parse_blif;
+//!
+//! let src = "\
+//! .model majority
+//! .inputs a b c
+//! .outputs m
+//! .names a b c m
+//! 11- 1
+//! 1-1 1
+//! -11 1
+//! .end
+//! ";
+//! let net = parse_blif(src)?;
+//! assert_eq!(net.name(), "majority");
+//! assert_eq!(net.eval(&[true, true, false]), vec![true]);
+//! assert_eq!(net.eval(&[true, false, false]), vec![false]);
+//! # Ok::<(), odcfp_blif::ParseBlifError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod parse;
+mod write;
+
+pub use network::{LogicNetwork, LogicNode, NetworkError};
+pub use parse::{parse_blif, ParseBlifError};
+pub use write::write_blif;

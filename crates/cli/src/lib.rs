@@ -1,0 +1,530 @@
+//! Implementation of the `odcfp` command-line tool.
+//!
+//! The binary wires the whole flow together for files on disk:
+//!
+//! ```text
+//! odcfp stats      <design.(blif|v)>             design statistics + metrics
+//! odcfp map        <in.blif> -o <out.v>          technology mapping
+//! odcfp locations  <in.(blif|v)>                 fingerprint locations + capacity
+//! odcfp embed      <in.(blif|v)> -o <out.v>      embed a fingerprint
+//!                  (--seed N | --bits 0101..) [--verify none|sim|sat]
+//! odcfp extract    <base.(blif|v)> <suspect.v>   recover a fingerprint
+//! odcfp constrain  <in.(blif|v)> -o <out.v>      delay-constrained embedding
+//!                  --delay-pct P [--method reactive|proactive]
+//! odcfp dot        <in.(blif|v)> -o <out.dot>    Graphviz export
+//! odcfp bench      <name>                        generate a Table II benchmark
+//!                  -o <out.v>
+//! ```
+//!
+//! Every command accepts `--genlib <file>` to use a custom cell library
+//! instead of the built-in one. BLIF inputs are technology-mapped on the
+//! fly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use odcfp_analysis::DesignMetrics;
+use odcfp_core::heuristics::{
+    proactive_delay_embedding, reactive_delay_reduction, ReactiveOptions,
+};
+use odcfp_core::{Fingerprinter, VerifyLevel};
+use odcfp_netlist::{genlib, CellLibrary, Netlist};
+use odcfp_verilog::{parse_verilog, write_verilog};
+
+/// A CLI failure: message already formatted for the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),* $(,)?) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError(e.to_string())
+            }
+        })*
+    };
+}
+
+from_error!(
+    std::io::Error,
+    odcfp_blif::ParseBlifError,
+    odcfp_verilog::ParseVerilogError,
+    odcfp_synth::MapError,
+    odcfp_core::FingerprintError,
+    odcfp_netlist::NetlistError,
+    genlib::ParseGenlibError,
+);
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed global options.
+struct Options {
+    positional: Vec<String>,
+    output: Option<String>,
+    genlib: Option<String>,
+    seed: Option<u64>,
+    bits: Option<String>,
+    verify: VerifyLevel,
+    delay_pct: Option<f64>,
+    method: String,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut o = Options {
+        positional: Vec::new(),
+        output: None,
+        genlib: None,
+        seed: None,
+        bits: None,
+        verify: VerifyLevel::Simulation,
+        delay_pct: None,
+        method: "reactive".into(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| fail(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "-o" | "--output" => o.output = Some(take("-o")?),
+            "--genlib" => o.genlib = Some(take("--genlib")?),
+            "--seed" => {
+                o.seed = Some(
+                    take("--seed")?
+                        .parse()
+                        .map_err(|_| fail("--seed needs an integer"))?,
+                )
+            }
+            "--bits" => o.bits = Some(take("--bits")?),
+            "--verify" => {
+                o.verify = match take("--verify")?.as_str() {
+                    "none" => VerifyLevel::None,
+                    "sim" => VerifyLevel::Simulation,
+                    "sat" => VerifyLevel::Sat,
+                    other => return Err(fail(format!("unknown verify level {other:?}"))),
+                }
+            }
+            "--delay-pct" => {
+                o.delay_pct = Some(
+                    take("--delay-pct")?
+                        .parse()
+                        .map_err(|_| fail("--delay-pct needs a number"))?,
+                )
+            }
+            "--method" => o.method = take("--method")?,
+            flag if flag.starts_with('-') => {
+                return Err(fail(format!("unknown flag {flag:?}")))
+            }
+            _ => o.positional.push(a.clone()),
+        }
+    }
+    Ok(o)
+}
+
+fn load_library(o: &Options) -> Result<Arc<CellLibrary>, CliError> {
+    match &o.genlib {
+        None => Ok(CellLibrary::standard()),
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+            let report = genlib::parse_genlib(&text, path.clone())?;
+            for (gate, reason) in &report.skipped {
+                eprintln!("note: skipped genlib gate {gate}: {reason}");
+            }
+            Ok(report.library)
+        }
+    }
+}
+
+/// Loads a design: `.blif` files are parsed and technology-mapped, `.v`
+/// files are parsed directly.
+fn load_design(path: &str, library: Arc<CellLibrary>) -> Result<Netlist, CliError> {
+    let text =
+        fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "blif" => {
+            let network = odcfp_blif::parse_blif(&text)?;
+            Ok(odcfp_synth::map_network(&network, library)?)
+        }
+        "v" | "verilog" => Ok(parse_verilog(&text, library)?),
+        other => Err(fail(format!(
+            "unknown input extension {other:?} (expected .blif or .v)"
+        ))),
+    }
+}
+
+fn write_output(
+    o: &Options,
+    text: &str,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    match &o.output {
+        Some(path) => {
+            fs::write(path, text).map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            write!(out, "{text}")?;
+            Ok(())
+        }
+    }
+}
+
+fn required_input<'a>(o: &'a Options, what: &str) -> Result<&'a str, CliError> {
+    o.positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| fail(format!("missing {what}")))
+}
+
+/// Runs one subcommand with its arguments; `out` receives report text.
+///
+/// # Errors
+///
+/// Returns a formatted error for any user or I/O problem.
+pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let o = parse_options(args)?;
+    let library = load_library(&o)?;
+    match command {
+        "stats" => {
+            let design = load_design(required_input(&o, "input design")?, library)?;
+            let metrics = DesignMetrics::measure(&design);
+            writeln!(out, "{}", design.stats())?;
+            writeln!(out, "{metrics}")?;
+            let timing = odcfp_analysis::sta::analyze(&design)
+                .map_err(|e| fail(e.to_string()))?;
+            writeln!(out, "{}", timing.report(&design))?;
+            Ok(())
+        }
+        "map" => {
+            let design = load_design(required_input(&o, "input design")?, library)?;
+            write_output(&o, &write_verilog(&design), out)
+        }
+        "locations" => {
+            let design = load_design(required_input(&o, "input design")?, library)?;
+            let fp = Fingerprinter::new(design)?;
+            writeln!(out, "{}", fp.capacity())?;
+            for (loc, m) in fp.locations().iter().zip(fp.selected_modifications()) {
+                writeln!(
+                    out,
+                    "primary {} ({} options) -> default {m:?}",
+                    fp.base().gate(loc.primary_gate).name(),
+                    loc.candidates.len()
+                )?;
+            }
+            Ok(())
+        }
+        "embed" => {
+            let design = load_design(required_input(&o, "input design")?, library)?;
+            let fp = Fingerprinter::new(design)?;
+            let bits: Vec<bool> = match (&o.bits, o.seed) {
+                (Some(s), _) => s
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(fail(format!("bad bit {other:?}"))),
+                    })
+                    .collect::<Result<_, _>>()?,
+                (None, Some(seed)) => {
+                    let mut rng = odcfp_logic::rng::Xoshiro256::seed_from_u64(seed);
+                    (0..fp.locations().len()).map(|_| rng.next_bool()).collect()
+                }
+                (None, None) => return Err(fail("embed needs --bits or --seed")),
+            };
+            let copy = fp.embed_verified(&bits, o.verify)?;
+            writeln!(out, "embedded {} bits: {}", bits.len(), copy.bit_string())?;
+            write_output(&o, &write_verilog(copy.netlist()), out)
+        }
+        "extract" => {
+            if o.positional.len() != 2 {
+                return Err(fail("extract needs <base> and <suspect>"));
+            }
+            let base = load_design(&o.positional[0], library.clone())?;
+            let suspect = load_design(&o.positional[1], library)?;
+            let fp = Fingerprinter::new(base)?;
+            let bits = fp.extract_by_name(&suspect)?;
+            let s: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            writeln!(out, "{s}")?;
+            Ok(())
+        }
+        "constrain" => {
+            let design = load_design(required_input(&o, "input design")?, library)?;
+            let pct = o
+                .delay_pct
+                .ok_or_else(|| fail("constrain needs --delay-pct"))?;
+            let fp = Fingerprinter::new(design)?;
+            let result = match o.method.as_str() {
+                "reactive" => reactive_delay_reduction(&fp, pct, ReactiveOptions::default())?,
+                "proactive" => proactive_delay_embedding(&fp, pct)?,
+                other => return Err(fail(format!("unknown method {other:?}"))),
+            };
+            writeln!(
+                out,
+                "kept {}/{} locations; overhead: {}",
+                result.kept_locations(),
+                fp.locations().len(),
+                result.metrics.overhead_vs(&result.base_metrics)
+            )?;
+            write_output(&o, &write_verilog(result.copy.netlist()), out)
+        }
+        "report" => {
+            let path = required_input(&o, "input design")?;
+            let design = load_design(path, library)?;
+            let metrics = DesignMetrics::measure(&design);
+            let timing = odcfp_analysis::sta::analyze(&design)
+                .map_err(|e| fail(e.to_string()))?;
+            let fp = Fingerprinter::new(design.clone())?;
+            let cap = fp.capacity();
+            let marked = fp.embed_all()?;
+            let oh = DesignMetrics::measure(marked.netlist()).overhead_vs(&metrics);
+            let mut text = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(text, "# Design report: {}", design.name());
+            let _ = writeln!(text, "\nSource: `{path}`\n");
+            let _ = writeln!(text, "## Statistics\n\n```\n{}```\n", design.stats());
+            let _ = writeln!(text, "## Metrics\n\n{metrics}\n");
+            let _ = writeln!(text, "## Timing\n\n```\n{}```\n", timing.report(&design));
+            let _ = writeln!(text, "## Fingerprint capacity\n\n{cap}\n");
+            let _ = writeln!(
+                text,
+                "Full embedding overhead: {oh}\n\nEvery embedded copy is verified \
+                 functionally equivalent (1024-pattern simulation; SAT on demand)."
+            );
+            write_output(&o, &text, out)
+        }
+        "optimize" => {
+            let design = load_design(required_input(&o, "input design")?, library)?;
+            let before = design.num_gates();
+            let (opt, stats) = odcfp_synth::opt::optimize(&design);
+            writeln!(
+                out,
+                "{before} -> {} gates (folded {}, pruned {} pins, swept {} dead)",
+                opt.num_gates(),
+                stats.gates_folded,
+                stats.pins_pruned,
+                stats.dead_gates_removed
+            )?;
+            write_output(&o, &write_verilog(&opt), out)
+        }
+        "dot" => {
+            let design = load_design(required_input(&o, "input design")?, library)?;
+            write_output(&o, &odcfp_netlist::dot::to_dot(&design, &[]), out)
+        }
+        "bench" => {
+            let name = required_input(&o, "benchmark name")?;
+            let design = odcfp_synth::benchmarks::generate(name, library)
+                .ok_or_else(|| fail(format!("unknown benchmark {name:?}")))?;
+            write_output(&o, &write_verilog(&design), out)
+        }
+        other => Err(fail(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+usage: odcfp <command> [options]
+commands:
+  stats     <in.(blif|v)>                       design statistics and metrics
+  map       <in.blif> [-o out.v]                technology mapping
+  locations <in.(blif|v)>                       fingerprint locations + capacity
+  embed     <in.(blif|v)> (--seed N | --bits S) [-o out.v] [--verify none|sim|sat]
+  extract   <base.(blif|v)> <suspect.v>         recover a fingerprint
+  constrain <in.(blif|v)> --delay-pct P         delay-constrained embedding
+            [--method reactive|proactive] [-o out.v]
+  report    <in.(blif|v)> [-o out.md]           full markdown design report
+  optimize  <in.(blif|v)> [-o out.v]            constant folding + dead sweep
+  dot       <in.(blif|v)> [-o out.dot]          Graphviz export
+  bench     <name> [-o out.v]                   generate a Table II benchmark
+options: --genlib <file> to use a custom cell library";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("odcfp-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const BLIF: &str = "\
+.model tiny
+.inputs a b c d
+.outputs f
+.names a b x
+11 1
+.names c d y
+1- 1
+-1 1
+.names x y f
+11 1
+.end
+";
+
+    fn run_ok(command: &str, args: &[String]) -> String {
+        let mut out = Vec::new();
+        run(command, args, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn stats_on_blif() {
+        let input = tmp("s.blif", BLIF);
+        let text = run_ok("stats", &[input]);
+        assert!(text.contains("gates:"));
+        assert!(text.contains("area"));
+    }
+
+    #[test]
+    fn map_to_verilog_file() {
+        let input = tmp("m.blif", BLIF);
+        let output = tmp("m.v", "");
+        run_ok("map", &[input, "-o".into(), output.clone()]);
+        let v = fs::read_to_string(&output).unwrap();
+        assert!(v.contains("module tiny"));
+    }
+
+    #[test]
+    fn locations_listing() {
+        let input = tmp("l.blif", BLIF);
+        let text = run_ok("locations", &[input]);
+        assert!(text.contains("locations"));
+    }
+
+    #[test]
+    fn embed_extract_cycle() {
+        let base_blif = tmp("e.blif", BLIF);
+        let base_v = tmp("e_base.v", "");
+        run_ok("map", &[base_blif.clone(), "-o".into(), base_v.clone()]);
+        let marked_v = tmp("e_marked.v", "");
+        let report = run_ok(
+            "embed",
+            &[
+                base_v.clone(),
+                "--seed".into(),
+                "7".into(),
+                "--verify".into(),
+                "sat".into(),
+                "-o".into(),
+                marked_v.clone(),
+            ],
+        );
+        assert!(report.contains("embedded"));
+        let bits_line = run_ok("extract", &[base_v, marked_v]);
+        let embedded = report
+            .trim()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .trim();
+        assert_eq!(bits_line.trim(), embedded);
+    }
+
+    #[test]
+    fn constrain_reports_and_writes() {
+        let input = tmp("c.blif", BLIF);
+        let output = tmp("c.v", "");
+        let text = run_ok(
+            "constrain",
+            &[
+                input,
+                "--delay-pct".into(),
+                "10".into(),
+                "-o".into(),
+                output.clone(),
+            ],
+        );
+        assert!(text.contains("kept"));
+        assert!(fs::read_to_string(&output).unwrap().contains("module"));
+    }
+
+    #[test]
+    fn report_command() {
+        let input = tmp("r.blif", BLIF);
+        let text = run_ok("report", &[input]);
+        assert!(text.contains("# Design report"));
+        assert!(text.contains("## Timing"));
+        assert!(text.contains("Fingerprint capacity"));
+    }
+
+    #[test]
+    fn optimize_command() {
+        let input = tmp(
+            "o.blif",
+            ".model o\n.inputs a\n.outputs y\n.names one\n1\n.names a one y\n11 1\n.end\n",
+        );
+        let text = run_ok("optimize", &[input]);
+        assert!(text.contains("-> "), "{text}");
+        assert!(text.contains("module o"));
+    }
+
+    #[test]
+    fn bench_generation() {
+        let output = tmp("b.v", "");
+        run_ok("bench", &["c432".into(), "-o".into(), output.clone()]);
+        assert!(fs::read_to_string(&output).unwrap().contains("module c432"));
+    }
+
+    #[test]
+    fn dot_export() {
+        let input = tmp("d.blif", BLIF);
+        let text = run_ok("dot", &[input]);
+        assert!(text.starts_with("digraph"));
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        let e = run("embed", &["nope.v".into()], &mut Vec::new()).unwrap_err();
+        assert!(e.0.contains("cannot read"));
+        let e2 = run("frobnicate", &[], &mut Vec::new()).unwrap_err();
+        assert!(e2.0.contains("unknown command"));
+        let input = tmp("err.blif", BLIF);
+        let e3 = run("embed", &[input], &mut Vec::new()).unwrap_err();
+        assert!(e3.0.contains("--bits or --seed"));
+    }
+
+    #[test]
+    fn custom_genlib_flows_through() {
+        let lib = tmp(
+            "mini.genlib",
+            "\
+GATE INV  928  Y=!A;    PIN * INV 1 999 0.9 0.12 0.9 0.12
+GATE NAND2 1392 Y=!(A*B); PIN * INV 1 999 1.0 0.12 1.0 0.12
+GATE NAND3 1856 Y=!(A*B*C); PIN * INV 1 999 1.1 0.12 1.1 0.12
+GATE AND2 1856 Y=A*B;   PIN * NONINV 2 999 1.8 0.12 1.8 0.12
+GATE AND3 2320 Y=A*B*C; PIN * NONINV 2 999 1.9 0.12 1.9 0.12
+GATE OR2  1856 Y=A+B;   PIN * NONINV 2 999 2.0 0.12 2.0 0.12
+GATE OR3  2320 Y=A+B+C; PIN * NONINV 2 999 2.2 0.12 2.2 0.12
+GATE NOR2 1392 Y=!(A+B); PIN * INV 1 999 1.3 0.12 1.3 0.12
+",
+        );
+        let input = tmp("g.blif", BLIF);
+        let text = run_ok("stats", &[input, "--genlib".into(), lib]);
+        assert!(text.contains("gates:"));
+    }
+}

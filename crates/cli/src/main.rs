@@ -1,0 +1,14 @@
+//! The `odcfp` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", odcfp_cli::USAGE);
+        std::process::exit(2);
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = odcfp_cli::run(command, rest, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

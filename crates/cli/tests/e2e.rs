@@ -1,0 +1,130 @@
+//! True end-to-end tests: spawn the compiled `odcfp` binary as a child
+//! process and drive it through files, exactly as a user would.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("odcfp-e2e");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn odcfp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_odcfp"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "odcfp failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const BLIF: &str = "\
+.model e2e
+.inputs a b c d
+.outputs f g
+.names a b x
+11 1
+.names c d y
+1- 1
+-1 1
+.names x y f
+11 1
+.names x c g
+10 1
+.end
+";
+
+#[test]
+fn no_arguments_prints_usage_and_exits_nonzero() {
+    let out = odcfp(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: odcfp"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = odcfp(&["transmogrify"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn full_designer_flow_through_files() {
+    let dir = workdir();
+    let blif = dir.join("e2e.blif");
+    fs::write(&blif, BLIF).unwrap();
+    let blif = blif.to_str().unwrap();
+    let base_v = dir.join("e2e_base.v");
+    let base_v = base_v.to_str().unwrap();
+    let marked_v = dir.join("e2e_marked.v");
+    let marked_v = marked_v.to_str().unwrap();
+
+    // map: BLIF -> Verilog.
+    stdout_of(&odcfp(&["map", blif, "-o", base_v]));
+    let v = fs::read_to_string(base_v).unwrap();
+    assert!(v.contains("module e2e"));
+
+    // stats + locations on the mapped design.
+    let stats = stdout_of(&odcfp(&["stats", base_v]));
+    assert!(stats.contains("gates:"));
+    assert!(stats.contains("circuit delay"));
+    let locs = stdout_of(&odcfp(&["locations", base_v]));
+    assert!(locs.contains("locations"));
+
+    // embed with SAT verification, then extract and compare.
+    let embed_report = stdout_of(&odcfp(&[
+        "embed", base_v, "--seed", "5", "--verify", "sat", "-o", marked_v,
+    ]));
+    let embedded_bits = embed_report
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("bits at end of report")
+        .to_owned();
+    let extracted = stdout_of(&odcfp(&["extract", base_v, marked_v]));
+    assert_eq!(extracted.trim(), embedded_bits);
+
+    // report renders markdown.
+    let report = stdout_of(&odcfp(&["report", base_v]));
+    assert!(report.contains("# Design report"));
+
+    // constrain respects the budget and writes a netlist.
+    let constrained_v = dir.join("e2e_con.v");
+    let constrained_v = constrained_v.to_str().unwrap();
+    let con = stdout_of(&odcfp(&[
+        "constrain", base_v, "--delay-pct", "10", "-o", constrained_v,
+    ]));
+    assert!(con.contains("kept"));
+    assert!(fs::read_to_string(constrained_v).unwrap().contains("module"));
+
+    // optimize is a no-op on a constant-free design but must succeed.
+    let opt = stdout_of(&odcfp(&["optimize", base_v]));
+    assert!(opt.contains("-> "));
+}
+
+#[test]
+fn benchmark_generation_and_dot() {
+    let dir = workdir();
+    let v = dir.join("c432_e2e.v");
+    let v = v.to_str().unwrap();
+    stdout_of(&odcfp(&["bench", "c432", "-o", v]));
+    assert!(fs::read_to_string(v).unwrap().contains("module c432"));
+    let dot = stdout_of(&odcfp(&["dot", v]));
+    assert!(dot.starts_with("digraph"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = odcfp(&["stats", "/nonexistent/x.v"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

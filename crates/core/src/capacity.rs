@@ -1,0 +1,110 @@
+//! Fingerprint capacity accounting (Table II, columns 6–7).
+
+use std::fmt;
+
+use crate::FingerprintLocation;
+
+/// How much fingerprint information a design can carry.
+///
+/// The paper counts a minimum of `2^n` fingerprints for `n` locations (one
+/// bit per location: modified or not) and reports
+/// `log2(possible combinations)` when every configuration choice at every
+/// location is counted; both views are provided here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityReport {
+    /// The number of fingerprint locations (`n` of the paper's `2^n`).
+    pub num_locations: usize,
+    /// `log2` of the total number of distinct fingerprinted copies:
+    /// `Σ_loc log2(configurations(loc))`, configurations including "leave
+    /// unmodified".
+    pub log2_combinations: f64,
+    /// The total number of enumerated modification options across all
+    /// locations.
+    pub num_candidates: usize,
+}
+
+impl CapacityReport {
+    /// Computes the report for a set of locations.
+    pub fn of(locations: &[FingerprintLocation]) -> Self {
+        let num_candidates = locations.iter().map(|l| l.candidates.len()).sum();
+        let log2_combinations = locations
+            .iter()
+            .map(|l| (l.num_configurations() as f64).log2())
+            .sum();
+        CapacityReport {
+            num_locations: locations.len(),
+            log2_combinations,
+            num_candidates,
+        }
+    }
+
+    /// The guaranteed minimum fingerprint bits (one per location).
+    pub fn min_bits(&self) -> usize {
+        self.num_locations
+    }
+}
+
+impl fmt::Display for CapacityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} locations, {} options, log2(combinations) = {:.2}",
+            self.num_locations, self.num_candidates, self.log2_combinations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::Candidate;
+    use crate::Modification;
+    use odcfp_netlist::{GateId, NetId};
+
+    fn loc(primary: usize, n_candidates: usize) -> FingerprintLocation {
+        FingerprintLocation {
+            primary_gate: GateId::from_index(primary),
+            candidates: (0..n_candidates)
+                .map(|i| Candidate {
+                    ffc_pin: 0,
+                    ffc_root: GateId::from_index(primary + 1),
+                    trigger_pin: 1,
+                    modification: Modification::InsertTrigger {
+                        target: GateId::from_index(primary + 1),
+                        trigger: NetId::from_index(i),
+                        complement: false,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn capacity_math() {
+        // Two locations: one with 1 option (2 configs), one with 3 options
+        // (4 configs): log2(2*4) = 3 bits.
+        let locs = vec![loc(0, 1), loc(5, 3)];
+        let r = CapacityReport::of(&locs);
+        assert_eq!(r.num_locations, 2);
+        assert_eq!(r.num_candidates, 4);
+        assert!((r.log2_combinations - 3.0).abs() < 1e-12);
+        assert_eq!(r.min_bits(), 2);
+        assert!(r.to_string().contains("2 locations"));
+    }
+
+    #[test]
+    fn empty_capacity() {
+        let r = CapacityReport::of(&[]);
+        assert_eq!(r.num_locations, 0);
+        assert_eq!(r.log2_combinations, 0.0);
+    }
+
+    #[test]
+    fn log2_exceeds_location_count_with_options() {
+        // With >1 option per location, log2(combinations) > n — the
+        // paper's "far larger than 2^n" observation.
+        let locs = vec![loc(0, 3), loc(5, 3), loc(9, 3)];
+        let r = CapacityReport::of(&locs);
+        assert!(r.log2_combinations > r.num_locations as f64);
+    }
+}

@@ -1,0 +1,347 @@
+//! The collusion attack of §III-E and designer-side tracing.
+//!
+//! An attacker holding several fingerprinted copies can diff their layouts:
+//! every location where the copies disagree is *exposed* (the attacker sees
+//! the optional wire present in one copy and absent in another) and can be
+//! set arbitrarily in a forged copy. Locations where all held copies agree
+//! stay *hidden* — the attacker cannot distinguish them from ordinary
+//! structure, so the forged copy necessarily inherits those bits. Tracing
+//! exploits exactly that residue.
+
+use odcfp_logic::rng::Xoshiro256;
+use odcfp_netlist::Netlist;
+
+use crate::{FingerprintError, Fingerprinter, FingerprintedCopy};
+
+/// What a collusion of copies reveals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollusionReport {
+    /// Location indices where the colluders' bits differ (attacker-visible).
+    pub exposed: Vec<usize>,
+    /// Location indices where every colluder agrees (attacker-blind); the
+    /// shared bit value is attached.
+    pub hidden: Vec<(usize, bool)>,
+}
+
+impl CollusionReport {
+    /// Fraction of locations exposed by this collusion, in `[0, 1]`.
+    pub fn exposure_rate(&self) -> f64 {
+        let total = self.exposed.len() + self.hidden.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.exposed.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Diffs the colluders' copies (by extracting each one's bits against the
+/// base) and reports which locations their comparison exposes.
+///
+/// # Panics
+///
+/// Panics if `copies` is empty or bit lengths disagree (copies from a
+/// different engine).
+pub fn analyze_collusion(fp: &Fingerprinter, copies: &[&Netlist]) -> CollusionReport {
+    assert!(!copies.is_empty(), "collusion needs at least one copy");
+    let bit_sets: Vec<Vec<bool>> = copies.iter().map(|c| fp.extract(c)).collect();
+    let n = bit_sets[0].len();
+    assert!(
+        bit_sets.iter().all(|b| b.len() == n),
+        "copies disagree on location count"
+    );
+    let mut exposed = Vec::new();
+    let mut hidden = Vec::new();
+    for i in 0..n {
+        let first = bit_sets[0][i];
+        if bit_sets.iter().all(|b| b[i] == first) {
+            hidden.push((i, first));
+        } else {
+            exposed.push(i);
+        }
+    }
+    CollusionReport { exposed, hidden }
+}
+
+/// How the attacker sets the bits they exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForgeStrategy {
+    /// Disconnect every exposed wire (remove what fingerprint they can see).
+    ClearExposed,
+    /// Majority vote of the held copies per exposed location.
+    Majority,
+    /// Random choice per exposed location, seeded.
+    Random(u64),
+}
+
+/// Forges the copy a colluding attacker would produce: hidden bits are
+/// inherited (the attacker cannot see them), exposed bits are set per
+/// `strategy`.
+///
+/// # Errors
+///
+/// Propagates embedding errors.
+///
+/// # Panics
+///
+/// Panics if `copies` is empty.
+pub fn forge(
+    fp: &Fingerprinter,
+    copies: &[&Netlist],
+    strategy: ForgeStrategy,
+) -> Result<FingerprintedCopy, FingerprintError> {
+    let report = analyze_collusion(fp, copies);
+    let bit_sets: Vec<Vec<bool>> = copies.iter().map(|c| fp.extract(c)).collect();
+    let n = fp.locations().len();
+    let mut bits = vec![false; n];
+    for &(i, v) in &report.hidden {
+        bits[i] = v;
+    }
+    let mut rng = match strategy {
+        ForgeStrategy::Random(seed) => Some(Xoshiro256::seed_from_u64(seed)),
+        _ => None,
+    };
+    for &i in &report.exposed {
+        bits[i] = match strategy {
+            ForgeStrategy::ClearExposed => false,
+            ForgeStrategy::Majority => {
+                let ones = bit_sets.iter().filter(|b| b[i]).count();
+                ones * 2 > bit_sets.len()
+            }
+            ForgeStrategy::Random(_) => rng.as_mut().expect("seeded").next_bool(),
+        };
+    }
+    fp.embed(&bits)
+}
+
+/// Agreement score between a forged bit string and one buyer's registered
+/// bits: the fraction of locations on which they match.
+///
+/// # Example
+///
+/// ```
+/// use odcfp_core::collusion::agreement;
+/// assert_eq!(agreement(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+/// ```
+pub fn agreement(forged: &[bool], buyer: &[bool]) -> f64 {
+    assert_eq!(forged.len(), buyer.len(), "bit length mismatch");
+    if forged.is_empty() {
+        return 0.0;
+    }
+    let matches = forged.iter().zip(buyer).filter(|(a, b)| a == b).count();
+    matches as f64 / forged.len() as f64
+}
+
+/// Containment score: the fraction of the forged copy's *set* bits (wires
+/// present) that the buyer's registered copy also carries.
+///
+/// This is the sharp tracing signal: an extra wire in a forged copy is
+/// either a hidden bit (shared by **every** colluder) or an exposed bit at
+/// least one colluder carried, so true colluders score at or near 1.0 while
+/// innocent buyers match each surviving wire only by coincidence. A forged
+/// copy with no set bits scores 1.0 for everyone (no information — the
+/// attackers destroyed the whole fingerprint, which §III-E concedes).
+///
+/// # Example
+///
+/// ```
+/// use odcfp_core::collusion::containment;
+/// // The buyer carries both surviving wires: fully contained.
+/// assert_eq!(containment(&[true, false, true], &[true, true, true]), 1.0);
+/// // Missing one of the two surviving wires.
+/// assert_eq!(containment(&[true, false, true], &[true, false, false]), 0.5);
+/// ```
+pub fn containment(forged: &[bool], buyer: &[bool]) -> f64 {
+    assert_eq!(forged.len(), buyer.len(), "bit length mismatch");
+    let total = forged.iter().filter(|&&f| f).count();
+    if total == 0 {
+        return 1.0;
+    }
+    let covered = forged
+        .iter()
+        .zip(buyer)
+        .filter(|&(&f, &b)| f && b)
+        .count();
+    covered as f64 / total as f64
+}
+
+/// One buyer's tracing score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspectScore {
+    /// Index into the registry.
+    pub buyer: usize,
+    /// Set-bit containment (primary ranking key).
+    pub containment: f64,
+    /// Whole-string agreement (tie breaker).
+    pub agreement: f64,
+}
+
+/// Ranks registered buyers against a recovered (possibly forged) bit
+/// string, most suspicious first — the designer's tracing step. Primary
+/// key is [`containment`] of the surviving wires, with [`agreement`] as
+/// the tie breaker.
+pub fn trace_suspects(forged: &[bool], registry: &[Vec<bool>]) -> Vec<(usize, f64)> {
+    let mut scored = score_suspects(forged, registry);
+    scored.sort_by(|a, b| {
+        (b.containment, b.agreement)
+            .partial_cmp(&(a.containment, a.agreement))
+            .expect("finite scores")
+    });
+    scored
+        .into_iter()
+        .map(|s| (s.buyer, s.containment))
+        .collect()
+}
+
+/// Computes both tracing metrics for every registered buyer, in registry
+/// order.
+pub fn score_suspects(forged: &[bool], registry: &[Vec<bool>]) -> Vec<SuspectScore> {
+    registry
+        .iter()
+        .enumerate()
+        .map(|(i, bits)| SuspectScore {
+            buyer: i,
+            containment: containment(forged, bits),
+            agreement: agreement(forged, bits),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odcfp_netlist::CellLibrary;
+    use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+
+    fn engine() -> Fingerprinter {
+        let lib = CellLibrary::standard();
+        let base = random_dag(
+            lib,
+            DagParams {
+                inputs: 12,
+                gates: 120,
+                outputs: 8,
+                window: 30,
+                seed: 777,
+            },
+        );
+        Fingerprinter::new(base).unwrap()
+    }
+
+    #[test]
+    fn collusion_exposes_exactly_differing_locations() {
+        let fp = engine();
+        let n = fp.locations().len();
+        assert!(n >= 4, "need a few locations, got {n}");
+        let a = fp.embed_seeded(1).unwrap();
+        let b = fp.embed_seeded(2).unwrap();
+        let report = analyze_collusion(&fp, &[a.netlist(), b.netlist()]);
+        for &i in &report.exposed {
+            assert_ne!(a.bits()[i], b.bits()[i]);
+        }
+        for &(i, v) in &report.hidden {
+            assert_eq!(a.bits()[i], b.bits()[i]);
+            assert_eq!(a.bits()[i], v);
+        }
+        assert_eq!(report.exposed.len() + report.hidden.len(), n);
+        assert!(report.exposure_rate() > 0.0 && report.exposure_rate() < 1.0);
+    }
+
+    #[test]
+    fn single_copy_exposes_nothing() {
+        let fp = engine();
+        let a = fp.embed_seeded(3).unwrap();
+        let report = analyze_collusion(&fp, &[a.netlist()]);
+        assert!(report.exposed.is_empty());
+        assert_eq!(report.exposure_rate(), 0.0);
+    }
+
+    #[test]
+    fn more_colluders_expose_more() {
+        let fp = engine();
+        let copies: Vec<_> = (0..5).map(|s| fp.embed_seeded(s).unwrap()).collect();
+        let two = analyze_collusion(&fp, &[copies[0].netlist(), copies[1].netlist()]);
+        let all: Vec<&Netlist> = copies.iter().map(|c| c.netlist()).collect();
+        let five = analyze_collusion(&fp, &all);
+        assert!(five.exposed.len() >= two.exposed.len());
+    }
+
+    #[test]
+    fn forged_copy_keeps_hidden_bits_and_stays_functional() {
+        let fp = engine();
+        let a = fp.embed_seeded(10).unwrap();
+        let b = fp.embed_seeded(11).unwrap();
+        let report = analyze_collusion(&fp, &[a.netlist(), b.netlist()]);
+        for strategy in [
+            ForgeStrategy::ClearExposed,
+            ForgeStrategy::Majority,
+            ForgeStrategy::Random(9),
+        ] {
+            let forged = forge(&fp, &[a.netlist(), b.netlist()], strategy).unwrap();
+            // Hidden bits survive in the forged copy.
+            for &(i, v) in &report.hidden {
+                assert_eq!(forged.bits()[i], v, "{strategy:?} hidden bit {i}");
+            }
+            // The forgery is still a functional copy (embed verified it).
+            assert_eq!(forged.bits().len(), fp.locations().len());
+        }
+    }
+
+    #[test]
+    fn tracing_ranks_colluders_first() {
+        let fp = engine();
+        let n_buyers = 8;
+        let copies: Vec<_> = (0..n_buyers)
+            .map(|s| fp.embed_seeded(s as u64 * 31 + 5).unwrap())
+            .collect();
+        let registry: Vec<Vec<bool>> =
+            copies.iter().map(|c| c.bits().to_vec()).collect();
+        // Buyers 2 and 5 collude and clear what they can see.
+        let forged = forge(
+            &fp,
+            &[copies[2].netlist(), copies[5].netlist()],
+            ForgeStrategy::ClearExposed,
+        )
+        .unwrap();
+        let recovered = fp.extract(forged.netlist());
+        let ranking = trace_suspects(&recovered, &registry);
+        let top2: Vec<usize> = ranking.iter().take(2).map(|&(i, _)| i).collect();
+        assert!(
+            top2.contains(&2) && top2.contains(&5),
+            "colluders should rank first: {ranking:?}"
+        );
+    }
+
+    #[test]
+    fn agreement_bounds() {
+        assert_eq!(agreement(&[true, false], &[true, false]), 1.0);
+        assert_eq!(agreement(&[true, false], &[false, true]), 0.0);
+        assert_eq!(agreement(&[true, true], &[true, false]), 0.5);
+        assert_eq!(agreement(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn containment_bounds() {
+        assert_eq!(containment(&[true, true], &[true, true]), 1.0);
+        assert_eq!(containment(&[true, true], &[true, false]), 0.5);
+        assert_eq!(containment(&[false, false], &[true, false]), 1.0, "no wires, no info");
+        // Buyer's extra wires do not hurt containment.
+        assert_eq!(containment(&[true, false], &[true, true]), 1.0);
+    }
+
+    #[test]
+    fn clear_exposed_colluders_have_full_containment() {
+        let fp = engine();
+        let copies: Vec<_> = (0..6).map(|s| fp.embed_seeded(s * 7 + 1).unwrap()).collect();
+        let held: Vec<&Netlist> = copies[..3].iter().map(|c| c.netlist()).collect();
+        let forged = forge(&fp, &held, ForgeStrategy::ClearExposed).unwrap();
+        let recovered = fp.extract(forged.netlist());
+        for colluder in copies[..3].iter() {
+            assert_eq!(
+                containment(&recovered, colluder.bits()),
+                1.0,
+                "every surviving wire is carried by every colluder"
+            );
+        }
+    }
+}

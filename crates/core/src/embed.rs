@@ -1,0 +1,529 @@
+//! The fingerprinting engine: selection, embedding, extraction.
+
+use odcfp_logic::rng::Xoshiro256;
+use odcfp_netlist::{NetDriver, NetId, Netlist};
+use odcfp_sat::{check_equivalence, probably_equivalent, EquivResult};
+
+use crate::location::{find_locations, Candidate, FingerprintLocation};
+use crate::modify::{applicable, apply_modification, modification_present, Modification};
+use crate::{CapacityReport, FingerprintError};
+
+/// How the default modification is chosen at each location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// The paper's Fig. 6 policy: modify the deepest eligible gate of the
+    /// deepest fanout-free cone, wired from the earliest-arriving trigger
+    /// signal, preferring the Fig. 5 early reroute when available — all to
+    /// minimize added delay.
+    DeepTargetEarlyTrigger,
+    /// Uniformly random candidate per location (seeded); the ablation
+    /// baseline showing what the depth-aware policy buys.
+    Random(u64),
+}
+
+/// How much verification each embedded copy receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyLevel {
+    /// Structural validation only.
+    None,
+    /// 64-way random simulation against the base (fast, probabilistic).
+    Simulation,
+    /// Simulation plus a full SAT miter proof.
+    Sat,
+}
+
+/// A fingerprinted copy of the base design.
+#[derive(Debug, Clone)]
+pub struct FingerprintedCopy {
+    netlist: Netlist,
+    bits: Vec<bool>,
+}
+
+impl FingerprintedCopy {
+    /// The fingerprinted netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Consumes the copy, returning the netlist.
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+
+    /// The embedded bit string (one bit per fingerprint location).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The bit string rendered as `0`/`1` characters.
+    pub fn bit_string(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+/// The fingerprinting engine for one base design.
+///
+/// Construction scans the netlist for locations, fixes a default
+/// [`Modification`] per location under the chosen [`SelectionPolicy`]
+/// (resolving inter-location conflicts greedily so that *any* subset of
+/// locations can be applied together), and then mints copies on demand.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    base: Netlist,
+    locations: Vec<FingerprintLocation>,
+    selected: Vec<Modification>,
+}
+
+impl Fingerprinter {
+    /// Builds an engine with the paper's default selection policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist fails validation.
+    pub fn new(base: Netlist) -> Result<Self, FingerprintError> {
+        Fingerprinter::with_policy(base, SelectionPolicy::DeepTargetEarlyTrigger)
+    }
+
+    /// Builds an engine with an explicit selection policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist fails validation.
+    pub fn with_policy(
+        base: Netlist,
+        policy: SelectionPolicy,
+    ) -> Result<Self, FingerprintError> {
+        base.validate()?;
+        let all = find_locations(&base);
+        let depths = base.gate_depths()?;
+        let net_depth = |netlist: &Netlist, net: NetId| -> usize {
+            match netlist.net(net).driver() {
+                NetDriver::Gate(g) => depths.get(g.index()).copied().unwrap_or(0),
+                _ => 0,
+            }
+        };
+
+        // Greedy conflict-free selection on a scratch copy carrying every
+        // chosen modification; any subset then also applies cleanly
+        // (removing modifications only relaxes arity/duplication limits).
+        let mut scratch = base.clone();
+        let mut rng = match policy {
+            SelectionPolicy::Random(seed) => Some(Xoshiro256::seed_from_u64(seed)),
+            SelectionPolicy::DeepTargetEarlyTrigger => None,
+        };
+        let mut locations = Vec::new();
+        let mut selected = Vec::new();
+        for loc in all {
+            let mut order: Vec<&Candidate> = loc.candidates.iter().collect();
+            match &mut rng {
+                Some(rng) => {
+                    // Fisher–Yates over candidate references.
+                    for i in (1..order.len()).rev() {
+                        let j = rng.next_below(i + 1);
+                        order.swap(i, j);
+                    }
+                }
+                None => {
+                    order.sort_by_key(|c| {
+                        let target_depth = depths[c.modification.target().index()];
+                        // Effective arrival of the added literal: the
+                        // latest of the added source nets.
+                        let signal_depth = c
+                            .modification
+                            .added_nets()
+                            .iter()
+                            .map(|&n| net_depth(&base, n))
+                            .max()
+                            .unwrap_or(0);
+                        // The paper's base flow applies the Fig. 4 trigger
+                        // insertion; Fig. 5 reroutes stay available as
+                        // alternate configurations (capacity) and fallbacks.
+                        let reroute_penalty =
+                            usize::from(matches!(c.modification, Modification::RerouteEarly { .. }));
+                        (
+                            usize::MAX - target_depth, // deepest target first
+                            reroute_penalty,           // Fig. 4 insertion first
+                            signal_depth,              // earliest signal first
+                        )
+                    });
+                }
+            }
+            if let Some(cand) = order.into_iter().find(|c| applicable(&scratch, &c.modification))
+            {
+                apply_modification(&mut scratch, &cand.modification)
+                    .expect("applicable modification must apply");
+                selected.push(cand.modification.clone());
+                locations.push(loc.clone());
+            }
+        }
+        Ok(Fingerprinter {
+            base,
+            locations,
+            selected,
+        })
+    }
+
+    /// The unfingerprinted base design.
+    pub fn base(&self) -> &Netlist {
+        &self.base
+    }
+
+    /// The usable fingerprint locations, one embedded bit each.
+    pub fn locations(&self) -> &[FingerprintLocation] {
+        &self.locations
+    }
+
+    /// The default modification chosen for each location (parallel to
+    /// [`Fingerprinter::locations`]).
+    pub fn selected_modifications(&self) -> &[Modification] {
+        &self.selected
+    }
+
+    /// Capacity accounting over the usable locations.
+    pub fn capacity(&self) -> CapacityReport {
+        CapacityReport::of(&self.locations)
+    }
+
+    /// Embeds a bit string (one bit per location) with simulation-level
+    /// verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on length mismatch or if verification fails.
+    pub fn embed(&self, bits: &[bool]) -> Result<FingerprintedCopy, FingerprintError> {
+        self.embed_verified(bits, VerifyLevel::Simulation)
+    }
+
+    /// Embeds a bit string with an explicit verification level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on length mismatch, inapplicable modifications
+    /// (impossible for subsets of the selection), or failed verification.
+    pub fn embed_verified(
+        &self,
+        bits: &[bool],
+        verify: VerifyLevel,
+    ) -> Result<FingerprintedCopy, FingerprintError> {
+        if bits.len() != self.locations.len() {
+            return Err(FingerprintError::BitLengthMismatch {
+                expected: self.locations.len(),
+                found: bits.len(),
+            });
+        }
+        let mut netlist = self.base.clone();
+        for (&bit, m) in bits.iter().zip(&self.selected) {
+            if bit {
+                apply_modification(&mut netlist, m)?;
+            }
+        }
+        netlist.validate()?;
+        match verify {
+            VerifyLevel::None => {}
+            VerifyLevel::Simulation | VerifyLevel::Sat => {
+                if !probably_equivalent(&self.base, &netlist, 16, 0xF1A9)? {
+                    return Err(FingerprintError::NotEquivalent {
+                        counterexample: None,
+                    });
+                }
+                if verify == VerifyLevel::Sat {
+                    match check_equivalence(&self.base, &netlist, None)? {
+                        EquivResult::Equivalent => {}
+                        EquivResult::Counterexample(cex) => {
+                            return Err(FingerprintError::NotEquivalent {
+                                counterexample: Some(cex),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(FingerprintedCopy {
+            netlist,
+            bits: bits.to_vec(),
+        })
+    }
+
+    /// Embeds a **configuration vector**: entry `i` selects which of
+    /// location `i`'s candidates to apply — `0` leaves the location
+    /// unmodified, `k` applies `candidates[k-1]`.
+    ///
+    /// This is the operational form of the paper's capacity claim: a
+    /// location with `m` candidates stores `log2(m + 1)` bits, so
+    /// configuration vectors realize the full `log2(combinations)` space
+    /// of Table II column 7, not just the `2^n` on/off subset.
+    ///
+    /// Configurations are applied in location order; a selection that
+    /// conflicts with an earlier one (same literal into the same gate, or
+    /// arity exhausted) is rejected rather than silently skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length mismatch, an out-of-range selection (reported as
+    /// [`FingerprintError::CannotApply`]), a conflict, or a verification
+    /// failure.
+    pub fn embed_configs(
+        &self,
+        configs: &[usize],
+        verify: VerifyLevel,
+    ) -> Result<Netlist, FingerprintError> {
+        if configs.len() != self.locations.len() {
+            return Err(FingerprintError::BitLengthMismatch {
+                expected: self.locations.len(),
+                found: configs.len(),
+            });
+        }
+        let mut netlist = self.base.clone();
+        for (&cfg, loc) in configs.iter().zip(&self.locations) {
+            if cfg == 0 {
+                continue;
+            }
+            let m = loc
+                .candidates
+                .get(cfg - 1)
+                .map(|c| &c.modification)
+                .ok_or_else(|| FingerprintError::CannotApply {
+                    gate: loc.primary_gate,
+                    reason: format!(
+                        "configuration {cfg} out of range (location has {} candidates)",
+                        loc.candidates.len()
+                    ),
+                })?;
+            if !crate::modify::applicable(&netlist, m) {
+                return Err(FingerprintError::CannotApply {
+                    gate: m.target(),
+                    reason: "configuration conflicts with an earlier selection".into(),
+                });
+            }
+            apply_modification(&mut netlist, m)?;
+        }
+        netlist.validate()?;
+        if verify != VerifyLevel::None {
+            if !probably_equivalent(&self.base, &netlist, 16, 0xF1A9)? {
+                return Err(FingerprintError::NotEquivalent {
+                    counterexample: None,
+                });
+            }
+            if verify == VerifyLevel::Sat {
+                if let EquivResult::Counterexample(cex) =
+                    check_equivalence(&self.base, &netlist, None)?
+                {
+                    return Err(FingerprintError::NotEquivalent {
+                        counterexample: Some(cex),
+                    });
+                }
+            }
+        }
+        Ok(netlist)
+    }
+
+    /// Recovers a configuration vector from a suspect copy: for each
+    /// location, the 1-based index of the first candidate whose literals
+    /// are present, or `0` when none is.
+    ///
+    /// Candidates at one location can overlap (a two-source reroute
+    /// contains a one-source one); discovery order makes the smaller
+    /// option win ties, so pair `extract_configs` with vectors produced by
+    /// [`Fingerprinter::embed_configs`] of non-overlapping selections for
+    /// exact roundtrips.
+    pub fn extract_configs(&self, suspect: &Netlist) -> Vec<usize> {
+        self.locations
+            .iter()
+            .map(|loc| {
+                loc.candidates
+                    .iter()
+                    .position(|c| modification_present(suspect, &c.modification))
+                    .map_or(0, |k| k + 1)
+            })
+            .collect()
+    }
+
+    /// Embeds the all-ones fingerprint (every location modified) — the
+    /// maximal-overhead configuration measured in the paper's Table II.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fingerprinter::embed`] errors.
+    pub fn embed_all(&self) -> Result<FingerprintedCopy, FingerprintError> {
+        self.embed(&vec![true; self.locations.len()])
+    }
+
+    /// Embeds a uniformly random fingerprint derived from `seed` — the
+    /// per-buyer minting operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fingerprinter::embed`] errors.
+    pub fn embed_seeded(&self, seed: u64) -> Result<FingerprintedCopy, FingerprintError> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let bits: Vec<bool> = (0..self.locations.len()).map(|_| rng.next_bool()).collect();
+        self.embed(&bits)
+    }
+
+    /// Recovers the embedded bit string from a suspect copy by comparing it
+    /// with the base design (the designer-side detection of §III-E: the
+    /// designer checks "whether and what change has occurred in each
+    /// fingerprint location").
+    ///
+    /// The suspect must be derived from this engine's base netlist (gate
+    /// and net identities are compared positionally, which clones
+    /// preserve).
+    pub fn extract(&self, suspect: &Netlist) -> Vec<bool> {
+        self.selected
+            .iter()
+            .map(|m| modification_present(suspect, m))
+            .collect()
+    }
+
+    /// Like [`Fingerprinter::extract`], but matches gates and nets **by
+    /// name** instead of by arena position — for suspects that passed
+    /// through a textual format (written to Verilog and re-parsed), where
+    /// ids no longer align but names survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FingerprintError::CannotApply`] naming the first location
+    /// whose target gate or trigger net is missing from the suspect
+    /// (renamed or stripped netlists cannot be compared this way).
+    pub fn extract_by_name(&self, suspect: &Netlist) -> Result<Vec<bool>, FingerprintError> {
+        self.selected
+            .iter()
+            .map(|m| {
+                crate::modify::modification_present_by_name(&self.base, suspect, m).ok_or_else(
+                    || FingerprintError::CannotApply {
+                        gate: m.target(),
+                        reason: format!(
+                            "suspect lacks gate {:?} or its trigger nets",
+                            self.base.gate(m.target()).name()
+                        ),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odcfp_logic::PrimitiveFn;
+    use odcfp_netlist::CellLibrary;
+    use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+
+    fn fig1() -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("fig1", lib);
+        let a = n.add_primary_input("A");
+        let b = n.add_primary_input("B");
+        let c = n.add_primary_input("C");
+        let d = n.add_primary_input("D");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let or2 = n.library().cell_for(PrimitiveFn::Or, 2).unwrap();
+        let x = n.add_gate("gx", and2, &[a, b]);
+        let y = n.add_gate("gy", or2, &[c, d]);
+        let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
+        n.set_primary_output(n.gate_output(f));
+        n
+    }
+
+    #[test]
+    fn embed_and_extract_roundtrip() {
+        let fp = Fingerprinter::new(fig1()).unwrap();
+        let n = fp.locations().len();
+        assert!(n >= 1);
+        for pattern in 0..(1usize << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+            let copy = fp.embed_verified(&bits, VerifyLevel::Sat).unwrap();
+            assert_eq!(fp.extract(copy.netlist()), bits, "pattern {pattern:b}");
+        }
+    }
+
+    #[test]
+    fn distinct_bits_distinct_structure() {
+        let fp = Fingerprinter::new(fig1()).unwrap();
+        let n = fp.locations().len();
+        let zero = fp.embed(&vec![false; n]).unwrap();
+        let one = fp.embed(&vec![true; n]).unwrap();
+        assert_eq!(zero.netlist().num_gates(), fp.base().num_gates());
+        // The all-ones copy differs structurally somewhere.
+        let differs = one
+            .netlist()
+            .gates()
+            .zip(zero.netlist().gates())
+            .any(|((_, g1), (_, g0))| g1.inputs().len() != g0.inputs().len())
+            || one.netlist().num_gates() != zero.netlist().num_gates();
+        assert!(differs);
+    }
+
+    #[test]
+    fn bit_length_checked() {
+        let fp = Fingerprinter::new(fig1()).unwrap();
+        assert!(matches!(
+            fp.embed(&[]),
+            Err(FingerprintError::BitLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn seeded_embedding_deterministic() {
+        let fp = Fingerprinter::new(fig1()).unwrap();
+        let a = fp.embed_seeded(7).unwrap();
+        let b = fp.embed_seeded(7).unwrap();
+        assert_eq!(a.bits(), b.bits());
+        assert_eq!(a.bit_string(), b.bit_string());
+    }
+
+    #[test]
+    fn random_dag_all_subsets_equivalent() {
+        // The integration-grade invariant: on a generated circuit, the
+        // all-ones embedding (every location modified simultaneously) is
+        // SAT-equivalent to the base.
+        let lib = CellLibrary::standard();
+        let base = random_dag(lib, DagParams::small(21));
+        let fp = Fingerprinter::new(base).unwrap();
+        assert!(
+            !fp.locations().is_empty(),
+            "expected locations in a 60-gate circuit"
+        );
+        let copy = fp.embed_verified(
+            &vec![true; fp.locations().len()],
+            VerifyLevel::Sat,
+        );
+        copy.unwrap();
+    }
+
+    #[test]
+    fn random_policy_also_safe() {
+        let lib = CellLibrary::standard();
+        let base = random_dag(lib, DagParams::small(33));
+        let fp = Fingerprinter::with_policy(base, SelectionPolicy::Random(5)).unwrap();
+        let copy = fp
+            .embed_verified(&vec![true; fp.locations().len()], VerifyLevel::Sat)
+            .unwrap();
+        assert_eq!(fp.extract(copy.netlist()), copy.bits());
+    }
+
+    #[test]
+    fn extract_on_base_is_all_zeros() {
+        let fp = Fingerprinter::new(fig1()).unwrap();
+        let bits = fp.extract(fp.base());
+        assert!(bits.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn policy_changes_selection() {
+        let lib = CellLibrary::standard();
+        let base = random_dag(lib, DagParams::small(44));
+        let deep = Fingerprinter::new(base.clone()).unwrap();
+        let rand = Fingerprinter::with_policy(base, SelectionPolicy::Random(1)).unwrap();
+        // Same locations, possibly different selected modifications.
+        assert_eq!(deep.locations().len(), rand.locations().len());
+        assert_ne!(
+            deep.selected_modifications(),
+            rand.selected_modifications(),
+            "random selection should diverge somewhere on a 60-gate circuit"
+        );
+    }
+}

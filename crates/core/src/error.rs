@@ -1,0 +1,71 @@
+//! Error type for fingerprinting operations.
+
+use std::fmt;
+
+use odcfp_netlist::{GateId, NetlistError};
+use odcfp_sat::EquivError;
+
+/// Why a fingerprinting operation failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FingerprintError {
+    /// The input netlist is structurally invalid.
+    InvalidNetlist(NetlistError),
+    /// The bit string length does not match the number of locations.
+    BitLengthMismatch {
+        /// Locations available.
+        expected: usize,
+        /// Bits supplied.
+        found: usize,
+    },
+    /// A modification could not be applied (e.g. no wide-enough cell).
+    CannotApply {
+        /// The gate that was to be modified.
+        gate: GateId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The fingerprinted copy failed functional verification — this
+    /// indicates a bug and should never occur for locations produced by
+    /// [`crate::find_locations`].
+    NotEquivalent {
+        /// A primary-input assignment exposing the difference, when the
+        /// checker produced one.
+        counterexample: Option<Vec<bool>>,
+    },
+    /// The SAT equivalence check ran out of budget.
+    Verification(EquivError),
+}
+
+impl fmt::Display for FingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FingerprintError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
+            FingerprintError::BitLengthMismatch { expected, found } => write!(
+                f,
+                "bit string length {found} does not match {expected} fingerprint locations"
+            ),
+            FingerprintError::CannotApply { gate, reason } => {
+                write!(f, "cannot modify gate {gate}: {reason}")
+            }
+            FingerprintError::NotEquivalent { .. } => {
+                write!(f, "fingerprinted copy is not functionally equivalent")
+            }
+            FingerprintError::Verification(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FingerprintError {}
+
+impl From<NetlistError> for FingerprintError {
+    fn from(e: NetlistError) -> Self {
+        FingerprintError::InvalidNetlist(e)
+    }
+}
+
+impl From<EquivError> for FingerprintError {
+    fn from(e: EquivError) -> Self {
+        FingerprintError::Verification(e)
+    }
+}

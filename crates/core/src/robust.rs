@@ -1,0 +1,306 @@
+//! Robust (error-correcting) fingerprints — the §V extension.
+//!
+//! *"For gates with an excessive number of fingerprint combinations, we can
+//! ... include additional functionality to our fingerprints, such as error
+//! correcting codes or redundancy, so that even if an adversary tampers
+//! with the circuit, we can figure out what they have done and what the
+//! original fingerprint was."*
+//!
+//! Two codes are provided over the location bit string:
+//!
+//! * [`Code::Repetition`] — each payload bit is embedded `r` times and
+//!   decoded by majority; tolerates `⌊(r-1)/2⌋` flips per payload bit;
+//! * [`Code::Hamming`] — classic Hamming(7,4) blocks; corrects one flip
+//!   per 7-location block at much lower redundancy.
+//!
+//! Both decoders also report *which* locations appear tampered, answering
+//! the paper's "figure out what they have done".
+
+use crate::{FingerprintError, Fingerprinter, FingerprintedCopy};
+
+/// The error-correcting code protecting a fingerprint payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Code {
+    /// Repeat every payload bit `r` times (majority decode). `r` must be
+    /// odd and ≥ 3.
+    Repetition(usize),
+    /// Hamming(7,4): 4 payload bits per 7 locations, single-error
+    /// correction per block.
+    Hamming,
+}
+
+impl Code {
+    /// Payload bits representable with `locations` fingerprint locations.
+    pub fn payload_capacity(self, locations: usize) -> usize {
+        match self {
+            Code::Repetition(r) => locations / r,
+            Code::Hamming => (locations / 7) * 4,
+        }
+    }
+}
+
+/// The outcome of decoding a (possibly tampered) fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedFingerprint {
+    /// The recovered payload bits.
+    pub payload: Vec<bool>,
+    /// Location indices whose extracted bit disagreed with the corrected
+    /// codeword — the tamper evidence.
+    pub tampered_locations: Vec<usize>,
+}
+
+/// Encodes a payload into a location bit string.
+///
+/// Unused trailing locations are set to parity padding (alternating bits
+/// derived from the payload length) so the whole string stays
+/// deterministic.
+///
+/// # Errors
+///
+/// Returns [`FingerprintError::BitLengthMismatch`] when the payload
+/// exceeds the code's capacity for `locations`, and panics if a
+/// repetition factor is even or < 3.
+pub fn encode(code: Code, payload: &[bool], locations: usize) -> Result<Vec<bool>, FingerprintError> {
+    if let Code::Repetition(r) = code {
+        assert!(r >= 3 && r % 2 == 1, "repetition factor must be odd and >= 3");
+    }
+    let capacity = code.payload_capacity(locations);
+    if payload.len() > capacity {
+        return Err(FingerprintError::BitLengthMismatch {
+            expected: capacity,
+            found: payload.len(),
+        });
+    }
+    let mut bits = Vec::with_capacity(locations);
+    match code {
+        Code::Repetition(r) => {
+            for &p in payload {
+                bits.extend(std::iter::repeat_n(p, r));
+            }
+        }
+        Code::Hamming => {
+            for block in payload.chunks(4) {
+                let mut d = [false; 4];
+                d[..block.len()].copy_from_slice(block);
+                bits.extend_from_slice(&hamming74_encode(d));
+            }
+        }
+    }
+    while bits.len() < locations {
+        bits.push(bits.len() % 2 == 1);
+    }
+    bits.truncate(locations);
+    Ok(bits)
+}
+
+/// Decodes a (possibly tampered) location bit string.
+///
+/// `payload_len` must match what was passed to [`encode`].
+///
+/// # Example
+///
+/// ```
+/// use odcfp_core::robust::{decode, encode, Code};
+///
+/// let payload = [true, false, true, true];
+/// let mut bits = encode(Code::Hamming, &payload, 7)?;
+/// bits[3] = !bits[3]; // adversary flips one wire
+/// let recovered = decode(Code::Hamming, &bits, 4);
+/// assert_eq!(recovered.payload, payload);
+/// assert_eq!(recovered.tampered_locations, vec![3]);
+/// # Ok::<(), odcfp_core::FingerprintError>(())
+/// ```
+pub fn decode(code: Code, bits: &[bool], payload_len: usize) -> DecodedFingerprint {
+    let mut payload = Vec::with_capacity(payload_len);
+    let mut tampered = Vec::new();
+    match code {
+        Code::Repetition(r) => {
+            for (k, chunk) in bits.chunks(r).take(payload_len).enumerate() {
+                let ones = chunk.iter().filter(|&&b| b).count();
+                let value = ones * 2 > chunk.len();
+                payload.push(value);
+                for (j, &b) in chunk.iter().enumerate() {
+                    if b != value {
+                        tampered.push(k * r + j);
+                    }
+                }
+            }
+        }
+        Code::Hamming => {
+            let blocks_needed = payload_len.div_ceil(4);
+            for (k, chunk) in bits.chunks(7).take(blocks_needed).enumerate() {
+                let mut block = [false; 7];
+                block[..chunk.len()].copy_from_slice(chunk);
+                let (data, flipped) = hamming74_decode(block);
+                if let Some(j) = flipped {
+                    if j < chunk.len() {
+                        tampered.push(k * 7 + j);
+                    }
+                }
+                payload.extend_from_slice(&data);
+            }
+            payload.truncate(payload_len);
+        }
+    }
+    DecodedFingerprint {
+        payload,
+        tampered_locations: tampered,
+    }
+}
+
+/// Embeds an error-correction-coded payload through an engine.
+///
+/// # Errors
+///
+/// Propagates capacity and embedding errors.
+pub fn embed_payload(
+    fp: &Fingerprinter,
+    code: Code,
+    payload: &[bool],
+) -> Result<FingerprintedCopy, FingerprintError> {
+    let bits = encode(code, payload, fp.locations().len())?;
+    fp.embed(&bits)
+}
+
+/// Extracts and decodes a payload from a suspect copy.
+pub fn extract_payload(
+    fp: &Fingerprinter,
+    code: Code,
+    suspect: &odcfp_netlist::Netlist,
+    payload_len: usize,
+) -> DecodedFingerprint {
+    decode(code, &fp.extract(suspect), payload_len)
+}
+
+/// Hamming(7,4) encoder: bits `[d0,d1,d2,d3]` →
+/// `[p0,p1,d0,p2,d1,d2,d3]` (parity positions 1,2,4 in 1-based indexing).
+fn hamming74_encode(d: [bool; 4]) -> [bool; 7] {
+    let p0 = d[0] ^ d[1] ^ d[3];
+    let p1 = d[0] ^ d[2] ^ d[3];
+    let p2 = d[1] ^ d[2] ^ d[3];
+    [p0, p1, d[0], p2, d[1], d[2], d[3]]
+}
+
+/// Hamming(7,4) decoder: returns the corrected data bits and the 0-based
+/// index of a corrected (flipped) position, if any.
+fn hamming74_decode(mut c: [bool; 7]) -> ([bool; 4], Option<usize>) {
+    let s0 = c[0] ^ c[2] ^ c[4] ^ c[6];
+    let s1 = c[1] ^ c[2] ^ c[5] ^ c[6];
+    let s2 = c[3] ^ c[4] ^ c[5] ^ c[6];
+    let syndrome = usize::from(s0) | usize::from(s1) << 1 | usize::from(s2) << 2;
+    let flipped = if syndrome == 0 {
+        None
+    } else {
+        let idx = syndrome - 1; // 1-based position -> 0-based index
+        c[idx] = !c[idx];
+        Some(idx)
+    };
+    ([c[2], c[4], c[5], c[6]], flipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odcfp_logic::rng::Xoshiro256;
+    use odcfp_netlist::CellLibrary;
+    use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+
+    #[test]
+    fn hamming74_roundtrip_and_single_error_correction() {
+        for d in 0..16usize {
+            let data = [d & 1 == 1, d & 2 == 2, d & 4 == 4, d & 8 == 8];
+            let code = hamming74_encode(data);
+            let (back, flipped) = hamming74_decode(code);
+            assert_eq!(back, data);
+            assert_eq!(flipped, None);
+            for e in 0..7 {
+                let mut corrupted = code;
+                corrupted[e] = !corrupted[e];
+                let (fixed, pos) = hamming74_decode(corrupted);
+                assert_eq!(fixed, data, "data {d} error at {e}");
+                assert_eq!(pos, Some(e));
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_roundtrip_and_majority() {
+        let payload = [true, false, true, true];
+        let bits = encode(Code::Repetition(5), &payload, 24).unwrap();
+        assert_eq!(bits.len(), 24);
+        let d = decode(Code::Repetition(5), &bits, 4);
+        assert_eq!(d.payload, payload);
+        assert!(d.tampered_locations.is_empty());
+        // Two flips per group still decode.
+        let mut tampered = bits.clone();
+        tampered[0] = !tampered[0];
+        tampered[3] = !tampered[3];
+        tampered[6] = !tampered[6];
+        let d2 = decode(Code::Repetition(5), &tampered, 4);
+        assert_eq!(d2.payload, payload);
+        assert_eq!(d2.tampered_locations, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn capacity_checks() {
+        assert_eq!(Code::Repetition(3).payload_capacity(10), 3);
+        assert_eq!(Code::Hamming.payload_capacity(21), 12);
+        assert!(matches!(
+            encode(Code::Hamming, &[true; 13], 21),
+            Err(FingerprintError::BitLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition factor")]
+    fn even_repetition_rejected() {
+        let _ = encode(Code::Repetition(4), &[true], 8);
+    }
+
+    #[test]
+    fn end_to_end_tamper_recovery() {
+        // Embed a coded buyer id, let the adversary flip a few wires
+        // (modelled by embedding the tampered bit string), and recover both
+        // the id and the tamper locations.
+        let base = random_dag(
+            CellLibrary::standard(),
+            DagParams {
+                inputs: 12,
+                gates: 220,
+                outputs: 10,
+                window: 40,
+                seed: 99,
+            },
+        );
+        let fp = Fingerprinter::new(base).unwrap();
+        let n = fp.locations().len();
+        assert!(n >= 14, "need at least two Hamming blocks, got {n}");
+        let payload_len = Code::Hamming.payload_capacity(n).min(8);
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        let payload: Vec<bool> = (0..payload_len).map(|_| rng.next_bool()).collect();
+
+        let copy = embed_payload(&fp, Code::Hamming, &payload).unwrap();
+        // Clean extraction.
+        let clean = extract_payload(&fp, Code::Hamming, copy.netlist(), payload_len);
+        assert_eq!(clean.payload, payload);
+        assert!(clean.tampered_locations.is_empty());
+
+        // Adversary flips one location in each of the first two blocks.
+        let mut bits = copy.bits().to_vec();
+        bits[2] = !bits[2];
+        bits[9] = !bits[9];
+        let tampered_copy = fp.embed(&bits).unwrap();
+        let recovered =
+            extract_payload(&fp, Code::Hamming, tampered_copy.netlist(), payload_len);
+        assert_eq!(recovered.payload, payload, "payload survives tampering");
+        assert_eq!(recovered.tampered_locations, vec![2, 9]);
+    }
+
+    #[test]
+    fn padding_is_deterministic() {
+        let a = encode(Code::Hamming, &[true, false], 20).unwrap();
+        let b = encode(Code::Hamming, &[true, false], 20).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+    }
+}

@@ -1,0 +1,44 @@
+//! Boolean-function substrate for the ODC-fingerprint workspace.
+//!
+//! This crate provides the low-level Boolean machinery every other crate in
+//! the workspace builds on:
+//!
+//! * [`TruthTable`] — a bit-packed complete truth table over up to
+//!   [`MAX_VARS`] variables, with cofactors, the Boolean difference and the
+//!   Observability Don't Care (ODC) operator from equation (1) of the paper:
+//!   `ODC_x(F) = !(F_x ^ F_x')`.
+//! * [`PrimitiveFn`] — the Boolean functions realizable by the standard-cell
+//!   library (AND/OR/NAND/NOR/XOR/XNOR/BUF/INV) together with the
+//!   *controlling value* and *neutral value* notions that the fingerprinting
+//!   method relies on.
+//! * [`Sop`] / [`Cube`] — sum-of-products covers in the style of BLIF
+//!   `.names` rows.
+//! * [`rng::Xoshiro256`] — a tiny, dependency-free, deterministic PRNG so
+//!   every experiment in the workspace is exactly reproducible.
+//! * [`sim`] — helpers for 64-way bit-parallel logic simulation.
+//!
+//! # Example
+//!
+//! Computing the ODC of one input of a 2-input AND (the paper's Figure 3):
+//!
+//! ```
+//! use odcfp_logic::{PrimitiveFn, TruthTable};
+//!
+//! // F(x, y) = x & y; the ODC of x is y' — x is unobservable when y = 0.
+//! let f = PrimitiveFn::And.truth_table(2);
+//! let odc_x = f.odc(0);
+//! assert_eq!(odc_x, !&TruthTable::var(1, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod primitive;
+pub mod rng;
+pub mod sim;
+mod tt;
+
+pub use cube::{Cube, CubeLit, ParseCubeError, Sop};
+pub use primitive::PrimitiveFn;
+pub use tt::{TruthTable, MAX_VARS};

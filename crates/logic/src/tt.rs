@@ -1,0 +1,542 @@
+//! Bit-packed complete truth tables.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Maximum number of variables a [`TruthTable`] may have.
+///
+/// 16 variables corresponds to a 64 Ki-bit (8 KiB) table, which is more than
+/// enough for the *local* Boolean reasoning the fingerprinting method needs
+/// (library cells have at most a handful of pins, and ODC windows are small).
+pub const MAX_VARS: usize = 16;
+
+/// A complete truth table over `num_vars` Boolean variables.
+///
+/// Bit `i` of the table is the value of the function on the input assignment
+/// whose binary encoding is `i`, with variable 0 as the least significant
+/// bit. Tables are stored in 64-bit words; for fewer than 6 variables only
+/// the low `2^num_vars` bits of the single word are meaningful and the rest
+/// are kept zeroed (a *normalized* representation), so `Eq`/`Hash` are
+/// structural.
+///
+/// # Example
+///
+/// ```
+/// use odcfp_logic::TruthTable;
+///
+/// let x = TruthTable::var(0, 2);
+/// let y = TruthTable::var(1, 2);
+/// let f = &x & &y;
+/// assert!(f.eval(0b11));
+/// assert!(!f.eval(0b01));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+fn num_words(num_vars: usize) -> usize {
+    if num_vars <= 6 {
+        1
+    } else {
+        1 << (num_vars - 6)
+    }
+}
+
+/// Mask selecting the meaningful bits of the (single) word of a table with
+/// `num_vars <= 6` variables.
+fn tail_mask(num_vars: usize) -> u64 {
+    if num_vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << num_vars)) - 1
+    }
+}
+
+/// Patterns of variable `v < 6` within one 64-bit word: bit `i` is the value
+/// of variable `v` in assignment `i`.
+const VAR_PATTERN: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+impl TruthTable {
+    /// Creates the constant-zero function of `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    pub fn zero(num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_VARS, "too many truth table variables");
+        TruthTable {
+            num_vars,
+            words: vec![0; num_words(num_vars)],
+        }
+    }
+
+    /// Creates the constant-one function of `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    pub fn one(num_vars: usize) -> Self {
+        let mut t = TruthTable::zero(num_vars);
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        t.normalize();
+        t
+    }
+
+    /// Creates the projection function of variable `var` over `num_vars`
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars` or `num_vars > MAX_VARS`.
+    pub fn var(var: usize, num_vars: usize) -> Self {
+        assert!(var < num_vars, "variable index out of range");
+        let mut t = TruthTable::zero(num_vars);
+        if var < 6 {
+            for w in &mut t.words {
+                *w = VAR_PATTERN[var];
+            }
+        } else {
+            let stride = 1 << (var - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if (i / stride) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t.normalize();
+        t
+    }
+
+    /// Builds a table by evaluating `f` on every input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    pub fn from_fn(num_vars: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut t = TruthTable::zero(num_vars);
+        for i in 0..(1usize << num_vars) {
+            if f(i) {
+                t.words[i >> 6] |= 1 << (i & 63);
+            }
+        }
+        t
+    }
+
+    /// The number of variables of this function.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The number of input assignments (`2^num_vars`).
+    pub fn num_rows(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// Evaluates the function on the assignment encoded by the low
+    /// `num_vars` bits of `assignment` (variable 0 is the LSB).
+    pub fn eval(&self, assignment: usize) -> bool {
+        let i = assignment & (self.num_rows() - 1);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// The number of satisfying assignments (the size of the on-set).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the function is constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if the function is constant one.
+    pub fn is_one(&self) -> bool {
+        self.count_ones() == self.num_rows()
+    }
+
+    /// True if the function is constant (zero or one).
+    pub fn is_constant(&self) -> bool {
+        self.is_zero() || self.is_one()
+    }
+
+    /// The positive cofactor (`value = true`) or negative cofactor
+    /// (`value = false`) with respect to `var`.
+    ///
+    /// The result has the same variable count; it simply no longer depends
+    /// on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Self {
+        assert!(var < self.num_vars, "variable index out of range");
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let pat = VAR_PATTERN[var];
+            for w in &mut out.words {
+                if value {
+                    let hi = *w & pat;
+                    *w = hi | (hi >> shift);
+                } else {
+                    let lo = *w & !pat;
+                    *w = lo | (lo << shift);
+                }
+            }
+        } else {
+            let stride = 1 << (var - 6);
+            let n = out.words.len();
+            for block in (0..n).step_by(2 * stride) {
+                for k in 0..stride {
+                    let src = if value { block + stride + k } else { block + k };
+                    let v = out.words[src];
+                    out.words[block + k] = v;
+                    out.words[block + stride + k] = v;
+                }
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// The Boolean difference `∂F/∂x = F_x ^ F_x'` with respect to `var`.
+    ///
+    /// The difference is one exactly on the assignments (of the *other*
+    /// variables) where toggling `var` toggles the function, i.e. where
+    /// `var` is observable.
+    pub fn boolean_difference(&self, var: usize) -> Self {
+        &self.cofactor(var, true) ^ &self.cofactor(var, false)
+    }
+
+    /// The Observability Don't Care condition of `var`: equation (1) of the
+    /// paper, `ODC_x = (∂F/∂x)'`.
+    ///
+    /// The result is one on the assignments where the value of `var` cannot
+    /// be observed at the function output.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use odcfp_logic::{PrimitiveFn, TruthTable};
+    ///
+    /// // For a 2-input OR, input 0 is unobservable when input 1 is 1.
+    /// let f = PrimitiveFn::Or.truth_table(2);
+    /// assert_eq!(f.odc(0), TruthTable::var(1, 2));
+    /// ```
+    pub fn odc(&self, var: usize) -> Self {
+        !&self.boolean_difference(var)
+    }
+
+    /// True if the function actually depends on `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        !self.boolean_difference(var).is_zero()
+    }
+
+    /// The set of variables the function depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Returns the same function extended to `num_vars` variables (the new
+    /// variables are don't-cares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` is smaller than the current variable count or
+    /// larger than [`MAX_VARS`].
+    pub fn extended_to(&self, num_vars: usize) -> Self {
+        assert!(num_vars >= self.num_vars, "cannot shrink a truth table");
+        let mut out = TruthTable::zero(num_vars);
+        let rows = self.num_rows();
+        for i in 0..out.num_rows() {
+            if self.eval(i % rows) {
+                out.words[i >> 6] |= 1 << (i & 63);
+            }
+        }
+        out
+    }
+
+    /// Returns the function with inputs `a` and `b` swapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn swapped(&self, a: usize, b: usize) -> Self {
+        assert!(a < self.num_vars && b < self.num_vars);
+        if a == b {
+            return self.clone();
+        }
+        TruthTable::from_fn(self.num_vars, |i| {
+            let bit_a = (i >> a) & 1;
+            let bit_b = (i >> b) & 1;
+            let j = (i & !(1 << a) & !(1 << b)) | (bit_b << a) | (bit_a << b);
+            self.eval(j)
+        })
+    }
+
+    /// Composes `self` with `g` substituted for variable `var`.
+    ///
+    /// `g` must have the same variable count as `self`; the result is
+    /// `self[var := g]`, the standard Boolean function composition used to
+    /// propagate ODC conditions through a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ or `var` is out of range.
+    pub fn compose(&self, var: usize, g: &TruthTable) -> Self {
+        assert_eq!(self.num_vars, g.num_vars, "mismatched variable counts");
+        assert!(var < self.num_vars);
+        let f1 = self.cofactor(var, true);
+        let f0 = self.cofactor(var, false);
+        &(&f1 & g) | &(&f0 & &!g)
+    }
+
+    fn normalize(&mut self) {
+        let m = tail_mask(self.num_vars);
+        if let Some(w) = self.words.first_mut() {
+            *w &= m;
+        }
+    }
+}
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.normalize();
+        out
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_op:tt) => {
+        impl $trait<&TruthTable> for &TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: &TruthTable) -> TruthTable {
+                assert_eq!(
+                    self.num_vars, rhs.num_vars,
+                    "mismatched truth table variable counts"
+                );
+                let mut out = self.clone();
+                for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+                    *w $assign_op *r;
+                }
+                out
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &=);
+impl_binop!(BitOr, bitor, |=);
+impl_binop!(BitXor, bitxor, ^=);
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars: ", self.num_vars)?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for TruthTable {
+    /// Hexadecimal on-set encoding, most significant row first (the format
+    /// used by ABC's `print_truth`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = (self.num_rows().max(4)) / 4;
+        let mut s = String::with_capacity(digits);
+        for d in (0..digits).rev() {
+            let nibble = (self.words[d / 16] >> ((d % 16) * 4)) & 0xF;
+            s.push(char::from_digit(nibble as u32, 16).unwrap());
+        }
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        for n in 0..=8 {
+            assert!(TruthTable::zero(n).is_zero());
+            assert!(TruthTable::one(n).is_one());
+            assert_eq!(TruthTable::one(n).count_ones(), 1 << n);
+            assert!(!TruthTable::zero(n).is_one() || n == usize::MAX);
+        }
+    }
+
+    #[test]
+    fn var_projection() {
+        for n in 1..=9 {
+            for v in 0..n {
+                let t = TruthTable::var(v, n);
+                for i in 0..(1usize << n) {
+                    assert_eq!(t.eval(i), (i >> v) & 1 == 1, "n={n} v={v} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ops_match_bitwise_semantics() {
+        let n = 7;
+        let a = TruthTable::from_fn(n, |i| i.count_ones() % 3 == 0);
+        let b = TruthTable::from_fn(n, |i| i % 5 < 2);
+        for i in 0..(1usize << n) {
+            assert_eq!((&a & &b).eval(i), a.eval(i) && b.eval(i));
+            assert_eq!((&a | &b).eval(i), a.eval(i) || b.eval(i));
+            assert_eq!((&a ^ &b).eval(i), a.eval(i) ^ b.eval(i));
+            assert_eq!((!&a).eval(i), !a.eval(i));
+        }
+    }
+
+    #[test]
+    fn cofactor_small_and_large_vars() {
+        let n = 8;
+        let f = TruthTable::from_fn(n, |i| (i * 2654435761) & 0x10 != 0);
+        for v in 0..n {
+            let c1 = f.cofactor(v, true);
+            let c0 = f.cofactor(v, false);
+            for i in 0..(1usize << n) {
+                assert_eq!(c1.eval(i), f.eval(i | (1 << v)), "v={v} i={i}");
+                assert_eq!(c0.eval(i), f.eval(i & !(1 << v)), "v={v} i={i}");
+                // Cofactors do not depend on v.
+                assert!(!c1.depends_on(v));
+                assert!(!c0.depends_on(v));
+            }
+        }
+    }
+
+    #[test]
+    fn odc_of_and_gate_is_complement_of_other_input() {
+        // Paper Figure 3 / Section III-A: for F = x & y, ODC_x = y'.
+        let x = TruthTable::var(0, 2);
+        let y = TruthTable::var(1, 2);
+        let f = &x & &y;
+        assert_eq!(f.odc(0), !&y);
+        assert_eq!(f.odc(1), !&x);
+    }
+
+    #[test]
+    fn odc_of_xor_is_empty() {
+        let f = &TruthTable::var(0, 2) ^ &TruthTable::var(1, 2);
+        assert!(f.odc(0).is_zero());
+        assert!(f.odc(1).is_zero());
+    }
+
+    #[test]
+    fn boolean_difference_definition() {
+        let n = 6;
+        let f = TruthTable::from_fn(n, |i| ((i >> 1) ^ (i >> 3)) & 1 == 1 || i % 7 == 0);
+        for v in 0..n {
+            let bd = f.boolean_difference(v);
+            for i in 0..(1usize << n) {
+                let toggles = f.eval(i) != f.eval(i ^ (1 << v));
+                assert_eq!(bd.eval(i), toggles);
+                assert_eq!(f.odc(v).eval(i), !toggles);
+            }
+        }
+    }
+
+    #[test]
+    fn support_and_depends() {
+        let n = 5;
+        let f = &TruthTable::var(1, n) & &TruthTable::var(3, n);
+        assert_eq!(f.support(), vec![1, 3]);
+        assert!(!f.depends_on(0));
+        assert!(f.depends_on(3));
+        assert!(TruthTable::one(n).support().is_empty());
+    }
+
+    #[test]
+    fn extend_preserves_function() {
+        let f = &TruthTable::var(0, 2) ^ &TruthTable::var(1, 2);
+        let g = f.extended_to(5);
+        assert_eq!(g.num_vars(), 5);
+        for i in 0..32 {
+            assert_eq!(g.eval(i), f.eval(i & 3));
+        }
+        assert!(!g.depends_on(4));
+    }
+
+    #[test]
+    fn swap_vars() {
+        let n = 4;
+        let f = TruthTable::from_fn(n, |i| i % 3 == 1);
+        let g = f.swapped(1, 3);
+        for i in 0..(1usize << n) {
+            let b1 = (i >> 1) & 1;
+            let b3 = (i >> 3) & 1;
+            let j = (i & !0b1010) | (b3 << 1) | (b1 << 3);
+            assert_eq!(g.eval(i), f.eval(j));
+        }
+        assert_eq!(g.swapped(1, 3), f);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        // f = a & b, substitute b := a | c  =>  a & (a | c) = a.
+        let n = 3;
+        let a = TruthTable::var(0, n);
+        let b = TruthTable::var(1, n);
+        let c = TruthTable::var(2, n);
+        let f = &a & &b;
+        let g = &a | &c;
+        assert_eq!(f.compose(1, &g), a);
+    }
+
+    #[test]
+    fn max_vars_tables_work() {
+        let t = TruthTable::var(MAX_VARS - 1, MAX_VARS);
+        assert_eq!(t.count_ones(), 1 << (MAX_VARS - 1));
+        let u = !&t;
+        assert_eq!((&t & &u).count_ones(), 0);
+        assert!((&t | &u).is_one());
+        assert!(t.depends_on(MAX_VARS - 1));
+        assert!(!t.depends_on(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many truth table variables")]
+    fn too_many_vars_rejected() {
+        let _ = TruthTable::zero(MAX_VARS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn shrinking_rejected() {
+        let t = TruthTable::zero(4);
+        let _ = t.extended_to(2);
+    }
+
+    #[test]
+    fn display_hex() {
+        let f = PrimAnd2::table();
+        assert_eq!(f.to_string(), "8");
+        let or3 = crate::PrimitiveFn::Or.truth_table(3);
+        assert_eq!(or3.to_string(), "fe");
+    }
+
+    struct PrimAnd2;
+    impl PrimAnd2 {
+        fn table() -> TruthTable {
+            &TruthTable::var(0, 2) & &TruthTable::var(1, 2)
+        }
+    }
+}

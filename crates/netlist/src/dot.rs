@@ -1,0 +1,116 @@
+//! Graphviz DOT export for visual inspection of (fingerprinted) netlists.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{NetDriver, Netlist};
+use crate::GateId;
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// Gates become boxes labelled with their cell name; primary inputs and
+/// outputs become ellipses. Gates listed in `highlight` (e.g. fingerprint
+/// modification sites) are drawn filled, which makes before/after diffs easy
+/// to eyeball.
+///
+/// # Example
+///
+/// ```
+/// use odcfp_netlist::{CellLibrary, Netlist, dot};
+///
+/// let mut n = Netlist::new("d", CellLibrary::standard());
+/// let a = n.add_primary_input("a");
+/// n.set_primary_output(a);
+/// let text = dot::to_dot(&n, &[]);
+/// assert!(text.starts_with("digraph"));
+/// ```
+pub fn to_dot(netlist: &Netlist, highlight: &[GateId]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(netlist.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for &pi in netlist.primary_inputs() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=ellipse, color=blue];",
+            escape(netlist.net(pi).name())
+        );
+    }
+    for (id, gate) in netlist.gates() {
+        let cell = netlist.library().cell(gate.cell());
+        let fill = if highlight.contains(&id) {
+            ", style=filled, fillcolor=orange"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, label=\"{}\\n{}\"{}];",
+            escape(gate.name()),
+            escape(gate.name()),
+            escape(cell.name()),
+            fill
+        );
+    }
+    // Edges: driver -> sink gate, labelled with the net name.
+    for (_, gate) in netlist.gates() {
+        for &i in gate.inputs() {
+            let net = netlist.net(i);
+            let src = match net.driver() {
+                NetDriver::Gate(g) => escape(netlist.gate(g).name()),
+                _ => escape(net.name()),
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                src,
+                escape(gate.name()),
+                escape(net.name())
+            );
+        }
+    }
+    for &po in netlist.primary_outputs() {
+        let net = netlist.net(po);
+        let sink = format!("PO:{}", net.name());
+        let _ = writeln!(out, "  \"{}\" [shape=ellipse, color=red];", escape(&sink));
+        let src = match net.driver() {
+            NetDriver::Gate(g) => escape(netlist.gate(g).name()),
+            _ => escape(net.name()),
+        };
+        let _ = writeln!(out, "  \"{}\" -> \"{}\";", src, escape(&sink));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellLibrary;
+    use odcfp_logic::PrimitiveFn;
+
+    #[test]
+    fn dot_contains_structure() {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("dottest", lib);
+        let a = n.add_primary_input("a");
+        let b = n.add_primary_input("b");
+        let nand2 = n.library().cell_for(PrimitiveFn::Nand, 2).unwrap();
+        let g = n.add_gate("u1", nand2, &[a, b]);
+        n.set_primary_output(n.gate_output(g));
+        let text = to_dot(&n, &[g]);
+        assert!(text.contains("digraph \"dottest\""));
+        assert!(text.contains("\"u1\""));
+        assert!(text.contains("NAND2"));
+        assert!(text.contains("fillcolor=orange"));
+        assert!(text.contains("PO:u1_o"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

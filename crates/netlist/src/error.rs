@@ -1,0 +1,71 @@
+//! Structural validation errors.
+
+use std::fmt;
+
+use crate::{GateId, NetId};
+
+/// A structural defect found by [`crate::Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net has no driver (neither a gate, a primary input, nor a constant).
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+    /// A gate's input count does not match its cell's arity.
+    ArityMismatch {
+        /// The offending gate.
+        gate: GateId,
+        /// The cell's declared arity.
+        expected: usize,
+        /// The connected input count.
+        found: usize,
+    },
+    /// The gate graph contains a combinational cycle.
+    CombinationalCycle {
+        /// A gate participating in the cycle.
+        gate: GateId,
+    },
+    /// A primary output net does not exist or is unconnected.
+    DanglingOutput {
+        /// The output net.
+        net: NetId,
+    },
+    /// A net's recorded sink list disagrees with gate input connections.
+    InconsistentSinks {
+        /// The inconsistent net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndrivenNet { net, name } => {
+                write!(f, "net {net} ({name:?}) has no driver")
+            }
+            NetlistError::ArityMismatch {
+                gate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "gate {gate} connects {found} inputs but its cell has arity {expected}"
+            ),
+            NetlistError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle through gate {gate}")
+            }
+            NetlistError::DanglingOutput { net } => {
+                write!(f, "primary output {net} is dangling")
+            }
+            NetlistError::InconsistentSinks { net } => {
+                write!(f, "sink bookkeeping for net {net} is inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,86 @@
+//! Copyable handles into a [`crate::Netlist`] and [`crate::CellLibrary`].
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The arena index of this handle.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds a handle from a raw arena index.
+            ///
+            /// Handles are only meaningful for the netlist/library that
+            /// produced the index; using a stale or foreign index yields
+            /// panics or wrong lookups, not undefined behaviour.
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("arena index exceeds u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a gate instance in a [`crate::Netlist`].
+    GateId,
+    "g"
+);
+id_type!(
+    /// Handle to a net (signal) in a [`crate::Netlist`].
+    NetId,
+    "n"
+);
+id_type!(
+    /// Handle to a cell in a [`crate::CellLibrary`].
+    CellId,
+    "c"
+);
+
+/// A reference to one input pin of one gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PinRef {
+    /// The gate whose pin is referenced.
+    pub gate: GateId,
+    /// The zero-based input pin index.
+    pub pin: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_format() {
+        let g = GateId::from_index(7);
+        assert_eq!(g.index(), 7);
+        assert_eq!(format!("{g}"), "g7");
+        assert_eq!(format!("{g:?}"), "g7");
+        let n = NetId::from_index(0);
+        assert_eq!(format!("{n}"), "n0");
+        let c = CellId::from_index(3);
+        assert_eq!(format!("{c}"), "c3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(GateId::from_index(1) < GateId::from_index(2));
+    }
+}

@@ -1,0 +1,56 @@
+//! Gate-level netlist intermediate representation.
+//!
+//! This crate is the structural substrate of the workspace: a mapped,
+//! combinational, gate-level netlist over a standard-cell
+//! [`library`](CellLibrary), with
+//!
+//! * arena-style storage and copyable [`GateId`]/[`NetId`]/[`CellId`] handles,
+//! * structural [validation](Netlist::validate) (single drivers, legal pin
+//!   counts, acyclicity),
+//! * [topological ordering](Netlist::topo_order) and logic
+//!   [depth](Netlist::gate_depths),
+//! * 64-way bit-parallel [simulation](Netlist::simulate),
+//! * Graphviz [DOT export](dot::to_dot).
+//!
+//! # Example
+//!
+//! Build the left circuit of the paper's Figure 1, `F = (A·B)·(C+D)`:
+//!
+//! ```
+//! use odcfp_netlist::{CellLibrary, Netlist};
+//! use odcfp_logic::PrimitiveFn;
+//!
+//! let lib = CellLibrary::standard();
+//! let mut n = Netlist::new("fig1", lib);
+//! let a = n.add_primary_input("A");
+//! let b = n.add_primary_input("B");
+//! let c = n.add_primary_input("C");
+//! let d = n.add_primary_input("D");
+//! let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+//! let or2 = n.library().cell_for(PrimitiveFn::Or, 2).unwrap();
+//! let x = n.add_gate("gx", and2, &[a, b]);
+//! let y = n.add_gate("gy", or2, &[c, d]);
+//! let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
+//! n.set_primary_output(n.gate_output(f));
+//! n.validate()?;
+//! assert_eq!(n.eval(&[true, true, false, true]), vec![true]);
+//! # Ok::<(), odcfp_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+mod error;
+pub mod genlib;
+mod ids;
+mod library;
+#[allow(clippy::module_inception)]
+mod netlist;
+mod stats;
+
+pub use error::NetlistError;
+pub use ids::{CellId, GateId, NetId, PinRef};
+pub use library::{Cell, CellLibrary};
+pub use netlist::{Gate, Net, NetDriver, Netlist};
+pub use stats::NetlistStats;

@@ -1,0 +1,104 @@
+//! Netlist summary statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use odcfp_logic::PrimitiveFn;
+
+use crate::netlist::Netlist;
+
+/// Summary statistics of a netlist, as printed by design reports.
+///
+/// # Example
+///
+/// ```
+/// use odcfp_netlist::{CellLibrary, Netlist};
+///
+/// let mut n = Netlist::new("empty", CellLibrary::standard());
+/// n.add_primary_input("a");
+/// let s = n.stats();
+/// assert_eq!(s.num_gates, 0);
+/// assert_eq!(s.num_primary_inputs, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total number of gate instances.
+    pub num_gates: usize,
+    /// Total number of nets.
+    pub num_nets: usize,
+    /// Number of primary inputs.
+    pub num_primary_inputs: usize,
+    /// Number of primary outputs.
+    pub num_primary_outputs: usize,
+    /// Maximum logic depth over all gates (0 for an empty netlist).
+    pub max_depth: usize,
+    /// Gate count per primitive function.
+    pub function_histogram: BTreeMap<PrimitiveFn, usize>,
+}
+
+impl NetlistStats {
+    pub(crate) fn of(netlist: &Netlist) -> Self {
+        let mut function_histogram = BTreeMap::new();
+        for (_, g) in netlist.gates() {
+            let f = netlist.library().cell(g.cell()).function();
+            *function_histogram.entry(f).or_insert(0) += 1;
+        }
+        let max_depth = netlist
+            .gate_depths()
+            .map(|d| d.into_iter().max().unwrap_or(0))
+            .unwrap_or(0);
+        NetlistStats {
+            num_gates: netlist.num_gates(),
+            num_nets: netlist.num_nets(),
+            num_primary_inputs: netlist.primary_inputs().len(),
+            num_primary_outputs: netlist.primary_outputs().len(),
+            max_depth,
+            function_histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gates: {}  nets: {}  PIs: {}  POs: {}  depth: {}",
+            self.num_gates,
+            self.num_nets,
+            self.num_primary_inputs,
+            self.num_primary_outputs,
+            self.max_depth
+        )?;
+        for (func, count) in &self.function_histogram {
+            writeln!(f, "  {func}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellLibrary;
+
+    #[test]
+    fn histogram_counts_functions() {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("t", lib);
+        let a = n.add_primary_input("a");
+        let b = n.add_primary_input("b");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let inv = n.library().cell_for(PrimitiveFn::Inv, 1).unwrap();
+        let g1 = n.add_gate("g1", and2, &[a, b]);
+        let g2 = n.add_gate("g2", inv, &[n.gate_output(g1)]);
+        n.set_primary_output(n.gate_output(g2));
+        let s = n.stats();
+        assert_eq!(s.num_gates, 2);
+        assert_eq!(s.function_histogram[&PrimitiveFn::And], 1);
+        assert_eq!(s.function_histogram[&PrimitiveFn::Inv], 1);
+        assert_eq!(s.max_depth, 2);
+        let shown = s.to_string();
+        assert!(shown.contains("gates: 2"));
+        assert!(shown.contains("and: 1"));
+    }
+}

@@ -1,0 +1,148 @@
+//! CNF formula construction.
+
+use crate::{Lit, Var};
+
+/// An incrementally built CNF formula.
+///
+/// Trivially satisfied clauses (containing `l` and `!l`) are dropped and
+/// duplicate literals within a clause are merged at insertion, so the
+/// [`crate::Solver`] only ever sees clean clauses.
+#[derive(Debug, Clone, Default)]
+pub struct CnfBuilder {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfBuilder {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        CnfBuilder::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// An empty clause makes the formula unsatisfiable. Tautological
+    /// clauses are silently dropped; repeated literals are deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(
+                l.var().index() < self.num_vars,
+                "literal {l} references an unallocated variable"
+            );
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // Tautology: `l` and `!l` are adjacent after sorting by code.
+        if clause.windows(2).any(|w| w[0] == !w[1]) {
+            return;
+        }
+        self.clauses.push(clause);
+    }
+
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses added so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a full assignment (for testing against
+    /// brute force).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars);
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment[l.var().index()])))
+    }
+
+    /// Emits the formula in DIMACS `cnf` format.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                let v = l.var().index() as i64 + 1;
+                let _ = write!(out, "{} ", if l.is_neg() { -v } else { v });
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_tautology() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+        cnf.add_clause([Lit::pos(a), Lit::neg(a)]);
+        assert_eq!(cnf.num_clauses(), 1, "tautology dropped");
+    }
+
+    #[test]
+    fn eval_formula() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        assert!(cnf.eval(&[true, true]));
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+
+    #[test]
+    fn dimacs_format() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        let text = cnf.to_dimacs();
+        assert!(text.starts_with("p cnf 2 1\n"));
+        assert!(text.contains("-1 2 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn unallocated_var_panics() {
+        let mut cnf = CnfBuilder::new();
+        cnf.add_clause([Lit::pos(Var::from_index(3))]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Miter-based combinational equivalence checking.
+
+use std::fmt;
+
+use odcfp_logic::rng::Xoshiro256;
+use odcfp_logic::sim;
+use odcfp_netlist::Netlist;
+
+use crate::tseitin::encode_netlist;
+use crate::{CnfBuilder, Lit, SolveResult, Solver};
+
+/// Why two netlists could not be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EquivError {
+    /// The primary input counts differ.
+    InputCountMismatch {
+        /// PI count of the left netlist.
+        left: usize,
+        /// PI count of the right netlist.
+        right: usize,
+    },
+    /// The primary output counts differ.
+    OutputCountMismatch {
+        /// PO count of the left netlist.
+        left: usize,
+        /// PO count of the right netlist.
+        right: usize,
+    },
+    /// The SAT solver exhausted its conflict budget.
+    BudgetExhausted,
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::InputCountMismatch { left, right } => {
+                write!(f, "primary input counts differ: {left} vs {right}")
+            }
+            EquivError::OutputCountMismatch { left, right } => {
+                write!(f, "primary output counts differ: {left} vs {right}")
+            }
+            EquivError::BudgetExhausted => write!(f, "SAT conflict budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+/// The verdict of [`check_equivalence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The circuits compute identical functions (proved by UNSAT).
+    Equivalent,
+    /// A concrete primary-input assignment on which the outputs differ.
+    Counterexample(Vec<bool>),
+}
+
+/// Proves or refutes combinational equivalence of two netlists by building a
+/// miter (shared inputs by position, XOR-compared outputs by position) and
+/// solving it.
+///
+/// Primary inputs and outputs are matched **by position**, which is the
+/// natural convention here: fingerprinted copies are clones of a base
+/// netlist, so positions always agree.
+///
+/// # Errors
+///
+/// Returns an error if the interfaces don't match or `conflict_budget`
+/// (if `Some`) is exhausted before a verdict.
+///
+/// # Example
+///
+/// ```
+/// use odcfp_netlist::{CellLibrary, Netlist};
+/// use odcfp_sat::{check_equivalence, EquivResult};
+/// use odcfp_logic::PrimitiveFn;
+///
+/// let lib = CellLibrary::standard();
+/// let mut build = |f: PrimitiveFn| {
+///     let mut n = Netlist::new("m", lib.clone());
+///     let a = n.add_primary_input("a");
+///     let b = n.add_primary_input("b");
+///     let c = n.library().cell_for(f, 2).unwrap();
+///     let g = n.add_gate("g", c, &[a, b]);
+///     n.set_primary_output(n.gate_output(g));
+///     n
+/// };
+/// let nand = build(PrimitiveFn::Nand);
+/// let also_nand = build(PrimitiveFn::Nand);
+/// let nor = build(PrimitiveFn::Nor);
+/// assert_eq!(check_equivalence(&nand, &also_nand, None)?, EquivResult::Equivalent);
+/// assert!(matches!(
+///     check_equivalence(&nand, &nor, None)?,
+///     EquivResult::Counterexample(_)
+/// ));
+/// # Ok::<(), odcfp_sat::EquivError>(())
+/// ```
+pub fn check_equivalence(
+    left: &Netlist,
+    right: &Netlist,
+    conflict_budget: Option<u64>,
+) -> Result<EquivResult, EquivError> {
+    if left.primary_inputs().len() != right.primary_inputs().len() {
+        return Err(EquivError::InputCountMismatch {
+            left: left.primary_inputs().len(),
+            right: right.primary_inputs().len(),
+        });
+    }
+    if left.primary_outputs().len() != right.primary_outputs().len() {
+        return Err(EquivError::OutputCountMismatch {
+            left: left.primary_outputs().len(),
+            right: right.primary_outputs().len(),
+        });
+    }
+
+    let mut cnf = CnfBuilder::new();
+    let enc_l = encode_netlist(&mut cnf, left);
+    let enc_r = encode_netlist(&mut cnf, right);
+    // Tie the inputs together.
+    for (&pl, &pr) in left.primary_inputs().iter().zip(right.primary_inputs()) {
+        let a = enc_l.var(pl);
+        let b = enc_r.var(pr);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::pos(a), Lit::neg(b)]);
+    }
+    // diff_i <-> (out_l_i XOR out_r_i); assert OR(diff_i).
+    let mut diffs = Vec::new();
+    for (&ol, &or) in left.primary_outputs().iter().zip(right.primary_outputs()) {
+        let d = cnf.new_var();
+        let a = enc_l.var(ol);
+        let b = enc_r.var(or);
+        cnf.add_clause([Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
+        cnf.add_clause([Lit::pos(d), Lit::pos(a), Lit::neg(b)]);
+        cnf.add_clause([Lit::pos(d), Lit::neg(a), Lit::pos(b)]);
+        diffs.push(Lit::pos(d));
+    }
+    if diffs.is_empty() {
+        return Ok(EquivResult::Equivalent);
+    }
+    cnf.add_clause(diffs);
+
+    let mut solver = Solver::from_cnf(&cnf);
+    if let Some(b) = conflict_budget {
+        solver.set_conflict_budget(b);
+    }
+    match solver.solve() {
+        SolveResult::Unsat => Ok(EquivResult::Equivalent),
+        SolveResult::Sat(model) => {
+            let inputs = left
+                .primary_inputs()
+                .iter()
+                .map(|&pi| model.value(enc_l.var(pi)))
+                .collect();
+            Ok(EquivResult::Counterexample(inputs))
+        }
+        SolveResult::Unknown => Err(EquivError::BudgetExhausted),
+    }
+}
+
+/// Fast probabilistic pre-check: simulates both netlists on `num_words * 64`
+/// seeded random patterns and compares the primary outputs.
+///
+/// `false` means the circuits *definitely* differ (a witness exists among
+/// the simulated patterns); `true` means no difference was observed. Use
+/// [`check_equivalence`] for proof.
+///
+/// # Errors
+///
+/// Returns an error if the interfaces don't match.
+pub fn probably_equivalent(
+    left: &Netlist,
+    right: &Netlist,
+    num_words: usize,
+    seed: u64,
+) -> Result<bool, EquivError> {
+    if left.primary_inputs().len() != right.primary_inputs().len() {
+        return Err(EquivError::InputCountMismatch {
+            left: left.primary_inputs().len(),
+            right: right.primary_inputs().len(),
+        });
+    }
+    if left.primary_outputs().len() != right.primary_outputs().len() {
+        return Err(EquivError::OutputCountMismatch {
+            left: left.primary_outputs().len(),
+            right: right.primary_outputs().len(),
+        });
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let patterns: Vec<Vec<u64>> = (0..left.primary_inputs().len())
+        .map(|_| sim::random_words(&mut rng, num_words))
+        .collect();
+    let vl = left.simulate(&patterns);
+    let vr = right.simulate(&patterns);
+    for (&ol, &or) in left.primary_outputs().iter().zip(right.primary_outputs()) {
+        if vl[ol.index()] != vr[or.index()] {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odcfp_logic::PrimitiveFn;
+    use odcfp_netlist::CellLibrary;
+
+    fn fig1(redundant: bool) -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("fig1", lib);
+        let a = n.add_primary_input("A");
+        let b = n.add_primary_input("B");
+        let c = n.add_primary_input("C");
+        let d = n.add_primary_input("D");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let and3 = n.library().cell_for(PrimitiveFn::And, 3).unwrap();
+        let or2 = n.library().cell_for(PrimitiveFn::Or, 2).unwrap();
+        let y = n.add_gate("gy", or2, &[c, d]);
+        let x = if redundant {
+            n.add_gate("gx", and3, &[a, b, n.gate_output(y)])
+        } else {
+            n.add_gate("gx", and2, &[a, b])
+        };
+        let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
+        n.set_primary_output(n.gate_output(f));
+        n
+    }
+
+    #[test]
+    fn paper_fig1_circuits_equivalent() {
+        let base = fig1(false);
+        let marked = fig1(true);
+        assert_eq!(
+            check_equivalence(&base, &marked, None).unwrap(),
+            EquivResult::Equivalent
+        );
+        assert!(probably_equivalent(&base, &marked, 4, 1).unwrap());
+    }
+
+    #[test]
+    fn inequivalent_detected_with_valid_counterexample() {
+        let base = fig1(false);
+        let lib = base.library().clone();
+        let mut wrong = Netlist::new("wrong", lib);
+        let a = wrong.add_primary_input("A");
+        let b = wrong.add_primary_input("B");
+        let _c = wrong.add_primary_input("C");
+        let d = wrong.add_primary_input("D");
+        let and2 = wrong.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let or2 = wrong.library().cell_for(PrimitiveFn::Or, 2).unwrap();
+        let x = wrong.add_gate("gx", and2, &[a, b]);
+        // Mistake: OR over (A&B, D) instead of the AND with (C|D).
+        let f = wrong.add_gate("gf", or2, &[wrong.gate_output(x), d]);
+        wrong.set_primary_output(wrong.gate_output(f));
+
+        match check_equivalence(&base, &wrong, None).unwrap() {
+            EquivResult::Counterexample(inputs) => {
+                assert_ne!(base.eval(&inputs), wrong.eval(&inputs));
+            }
+            EquivResult::Equivalent => panic!("must differ"),
+        }
+        assert!(!probably_equivalent(&base, &wrong, 4, 1).unwrap());
+    }
+
+    #[test]
+    fn interface_mismatch_errors() {
+        let base = fig1(false);
+        let lib = base.library().clone();
+        let mut tiny = Netlist::new("tiny", lib);
+        let a = tiny.add_primary_input("a");
+        tiny.set_primary_output(a);
+        assert!(matches!(
+            check_equivalence(&base, &tiny, None),
+            Err(EquivError::InputCountMismatch { .. })
+        ));
+        assert!(matches!(
+            probably_equivalent(&base, &tiny, 1, 0),
+            Err(EquivError::InputCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn const_nets_in_miter() {
+        let lib = CellLibrary::standard();
+        let build = |tie: bool| {
+            let mut n = Netlist::new("k", lib.clone());
+            let a = n.add_primary_input("a");
+            let second = if tie {
+                n.add_constant("one", true)
+            } else {
+                // Equivalent: a AND a.
+                a
+            };
+            let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+            let g = n.add_gate("g", and2, &[a, second]);
+            n.set_primary_output(n.gate_output(g));
+            n
+        };
+        assert_eq!(
+            check_equivalence(&build(true), &build(false), None).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! A CDCL SAT solver and combinational equivalence checking.
+//!
+//! The fingerprinting method's central safety claim is that every
+//! modification leaves the circuit function unchanged. This crate provides
+//! the machinery to *prove* that claim for each fingerprinted copy:
+//!
+//! * [`Solver`] — a conflict-driven clause-learning SAT solver with
+//!   two-literal watching, VSIDS branching, phase saving, first-UIP clause
+//!   learning and Luby restarts;
+//! * [`tseitin`] — Tseitin encoding of a gate-level
+//!   [`Netlist`](odcfp_netlist::Netlist) into CNF;
+//! * [`check_equivalence`] — miter-based combinational equivalence checking
+//!   between two netlists, returning either a proof of equivalence or a
+//!   concrete counterexample input assignment;
+//! * [`probably_equivalent`] — the fast 64-way random-simulation pre-check
+//!   used before invoking the full decision procedure.
+//!
+//! # Example
+//!
+//! ```
+//! use odcfp_sat::{CnfBuilder, Lit, Solver, SolveResult};
+//!
+//! let mut cnf = CnfBuilder::new();
+//! let a = cnf.new_var();
+//! let b = cnf.new_var();
+//! cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! cnf.add_clause([Lit::neg(a)]);
+//! let mut solver = Solver::from_cnf(&cnf);
+//! match solver.solve() {
+//!     SolveResult::Sat(model) => {
+//!         assert!(!model.value(a));
+//!         assert!(model.value(b));
+//!     }
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod dimacs;
+mod equiv;
+mod heap;
+mod lit;
+mod solver;
+pub mod tseitin;
+
+pub use cnf::CnfBuilder;
+pub use dimacs::{parse_dimacs, ParseDimacsError};
+pub use equiv::{check_equivalence, probably_equivalent, EquivError, EquivResult};
+pub use lit::{Lit, Var};
+pub use solver::{Model, SolveResult, Solver, SolverStats};

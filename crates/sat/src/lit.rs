@@ -1,0 +1,137 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The variable's zero-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from its index.
+    pub fn from_index(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | sign`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Self {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Self {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// A literal of `v` with the given polarity (`true` = positive).
+    pub fn with_polarity(v: Var, polarity: bool) -> Self {
+        if polarity {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The packed code, usable as a dense array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True iff the literal is satisfied when its variable has `value`.
+    pub fn eval(self, value: bool) -> bool {
+        value != self.is_neg()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "!x{}", self.0 >> 1)
+        } else {
+            write!(f, "x{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing() {
+        let v = Var::from_index(5);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.code(), 10);
+        assert_eq!(n.code(), 11);
+    }
+
+    #[test]
+    fn polarity_and_eval() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::with_polarity(v, true), Lit::pos(v));
+        assert_eq!(Lit::with_polarity(v, false), Lit::neg(v));
+        assert!(Lit::pos(v).eval(true));
+        assert!(!Lit::pos(v).eval(false));
+        assert!(Lit::neg(v).eval(false));
+    }
+
+    #[test]
+    fn display() {
+        let v = Var::from_index(3);
+        assert_eq!(format!("{}", Lit::pos(v)), "x3");
+        assert_eq!(format!("{}", Lit::neg(v)), "!x3");
+        assert_eq!(format!("{v}"), "x3");
+    }
+}

@@ -1,0 +1,841 @@
+//! The CDCL solver.
+
+use crate::heap::VarHeap;
+use crate::{CnfBuilder, Lit, Var};
+
+/// The outcome of [`Solver::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveResult {
+    /// The formula is satisfiable; a model is attached.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+/// A satisfying assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The value of `v` in the model (variables never constrained default to
+    /// `false`).
+    pub fn value(&self, v: Var) -> bool {
+        self.values.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// True iff the literal is satisfied by the model.
+    pub fn satisfies(&self, l: Lit) -> bool {
+        l.eval(self.value(l.var()))
+    }
+}
+
+/// Search statistics exposed for benchmarking and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently stored.
+    pub learnt_clauses: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+const UNASSIGNED: i8 = -1;
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// Implements the MiniSat architecture: two-literal watching, VSIDS
+/// activities with an indexed heap, phase saving, first-UIP conflict
+/// analysis and Luby-sequence restarts. See the
+/// [crate documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    /// Per-variable assignment: `UNASSIGNED`, 0 (false) or 1 (true).
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    first_learnt: usize,
+    stats: SolverStats,
+    max_conflicts: Option<u64>,
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::with_vars(0),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            first_learnt: 0,
+            stats: SolverStats::default(),
+            max_conflicts: None,
+        }
+    }
+
+    /// Builds a solver loaded with the formula in `cnf`.
+    pub fn from_cnf(cnf: &CnfBuilder) -> Self {
+        let mut s = Solver::new();
+        s.reserve_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            s.add_clause(clause.iter().copied());
+        }
+        s.first_learnt = s.clauses.len();
+        s
+    }
+
+    /// Limits the search to `conflicts` conflicts; [`SolveResult::Unknown`]
+    /// is returned when exceeded.
+    pub fn set_conflict_budget(&mut self, conflicts: u64) {
+        self.max_conflicts = Some(conflicts);
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnt_clauses = self.clauses.len().saturating_sub(self.first_learnt);
+        s
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.assign.len() < n {
+            let v = Var::from_index(self.assign.len());
+            self.assign.push(UNASSIGNED);
+            self.level.push(0);
+            self.reason.push(None);
+            self.activity.push(0.0);
+            self.phase.push(false);
+            self.seen.push(false);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.order.grow(n);
+            self.order.insert(v, &self.activity);
+        }
+    }
+
+    /// Adds a clause; an empty clause makes the instance trivially UNSAT.
+    ///
+    /// Clauses may be added while the solver is at decision level zero —
+    /// i.e. before the first solve or between [`Solver::solve_under`]
+    /// calls — making the solver incrementally usable for families of
+    /// related queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search or on unallocated variables.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added before solving"
+        );
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        clause.sort_unstable();
+        clause.dedup();
+        if clause.windows(2).any(|w| w[0] == !w[1]) {
+            return; // tautology
+        }
+        for l in &clause {
+            assert!(
+                l.var().index() < self.assign.len(),
+                "literal {l} references an unallocated variable"
+            );
+        }
+        match clause.len() {
+            0 => self.ok = false,
+            1 => {
+                // Unit at level 0.
+                match self.value(clause[0]) {
+                    Some(false) => self.ok = false,
+                    Some(true) => {}
+                    None => self.enqueue(clause[0], None),
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watch(clause[0], ci, clause[1]);
+                self.watch(clause[1], ci, clause[0]);
+                self.clauses.push(Clause { lits: clause });
+            }
+        }
+    }
+
+    fn watch(&mut self, l: Lit, clause: u32, blocker: Lit) {
+        self.watches[l.code()].push(Watch { clause, blocker });
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        match self.assign[l.var().index()] {
+            UNASSIGNED => None,
+            v => Some(l.eval(v == 1)),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.value(l), None);
+        let v = l.var().index();
+        self.assign[v] = i8::from(!l.is_neg());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Propagates all enqueued assignments; returns a conflicting clause
+    /// index if one arises.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Visit clauses watching the literal that just became false.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut keep = 0usize;
+            let mut conflict = None;
+            let mut i = 0usize;
+            while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value(w.blocker) == Some(true) {
+                    ws[keep] = w;
+                    keep += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                // Normalize: the false literal goes to position 1.
+                {
+                    let lits = &mut self.clauses[ci].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.value(first) == Some(true) {
+                    ws[keep] = Watch {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    keep += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.value(cand) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watch(cand, w.clause, first);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                ws[keep] = w;
+                keep += 1;
+                if self.value(first) == Some(false) {
+                    // Conflict: retain remaining watches and bail out.
+                    while i < ws.len() {
+                        ws[keep] = ws[i];
+                        keep += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.clause);
+                } else {
+                    self.enqueue(first, Some(w.clause));
+                }
+            }
+            ws.truncate(keep);
+            self.watches[false_lit.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut path = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = conflict;
+        loop {
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        path += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next marked literal on the trail.
+            let pl = loop {
+                index -= 1;
+                let cand = self.trail[index];
+                if self.seen[cand.var().index()] {
+                    break cand;
+                }
+            };
+            self.seen[pl.var().index()] = false;
+            path -= 1;
+            p = Some(pl);
+            if path == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.expect("analysis visits at least one literal");
+        for l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        // Backtrack level: highest level among the non-asserting literals.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            // Move the max-level literal to slot 1 (it becomes the second watch).
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()]
+                    > self.level[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail nonempty");
+                let v = l.var();
+                self.phase[v.index()] = !l.is_neg();
+                self.assign[v.index()] = UNASSIGNED;
+                self.reason[v.index()] = None;
+                self.order.insert(v, &self.activity);
+            }
+        }
+        // Clamp, don't jump: when nothing was popped (e.g. the defensive
+        // backtrack at the start of a solve), pending level-0 enqueues must
+        // still be propagated.
+        self.qhead = self.qhead.min(self.trail.len());
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], None);
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        self.watch(learnt[0], ci, learnt[1]);
+        self.watch(learnt[1], ci, learnt[0]);
+        let asserting = learnt[0];
+        self.clauses.push(Clause { lits: learnt });
+        self.enqueue(asserting, Some(ci));
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == UNASSIGNED {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Runs the CDCL search to completion (or to the conflict budget).
+    ///
+    /// Equivalent to [`Solver::solve_under`] with no assumptions. Note
+    /// that once this returns `Unsat` the formula itself is contradictory
+    /// and every later call also returns `Unsat`.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_under(&[])
+    }
+
+    /// Runs the CDCL search under `assumptions`: literals forced true for
+    /// this call only.
+    ///
+    /// The solver is reusable across calls — clauses learnt in one call
+    /// are implied by the clause database alone and stay valid for
+    /// different assumption sets, which makes repeated reachability
+    /// queries (e.g. the SDC scan) incremental. `Unsat` here means
+    /// *unsatisfiable together with the assumptions*; the solver stays
+    /// usable afterwards unless the formula itself was refuted.
+    ///
+    /// The conflict budget, when set, applies per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption references an unallocated variable.
+    pub fn solve_under(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.assign.len(),
+                "assumption {a} references an unallocated variable"
+            );
+        }
+        self.backtrack_to(0);
+        let start_conflicts = self.stats.conflicts;
+        let mut luby_index = 0u32;
+        let mut conflicts_until_restart = 100 * luby(luby_index);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack_to(bt);
+                self.record_learnt(learnt);
+                self.decay_activities();
+                if let Some(budget) = self.max_conflicts {
+                    if self.stats.conflicts - start_conflicts >= budget {
+                        self.backtrack_to(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if conflicts_until_restart > 0 {
+                    conflicts_until_restart -= 1;
+                } else {
+                    self.stats.restarts += 1;
+                    luby_index += 1;
+                    conflicts_until_restart = 100 * luby(luby_index);
+                    self.backtrack_to(0);
+                }
+            } else if (self.decision_level() as usize) < assumptions.len() {
+                // Seat the next assumption as a decision.
+                let a = assumptions[self.decision_level() as usize];
+                match self.value(a) {
+                    Some(true) => {
+                        // Already implied: open an empty level so indexing
+                        // into `assumptions` by decision level stays aligned.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Some(false) => {
+                        // The database (plus earlier assumptions) refutes
+                        // this assumption.
+                        self.backtrack_to(0);
+                        return SolveResult::Unsat;
+                    }
+                    None => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, None);
+                    }
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        let values = self.assign.iter().map(|&a| a == 1).collect();
+                        self.backtrack_to(0);
+                        return SolveResult::Sat(Model { values });
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v.index()];
+                        self.enqueue(Lit::with_polarity(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(i: u32) -> u64 {
+    // Find the finite subsequence containing index i and its position.
+    let mut k = 1u32;
+    loop {
+        if i + 1 == (1 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        if i + 1 < (1 << k) - 1 {
+            return luby(i + 1 - (1 << (k - 1)));
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i64) -> Lit {
+        let v = Var::from_index((i.unsigned_abs() - 1) as usize);
+        if i < 0 {
+            Lit::neg(v)
+        } else {
+            Lit::pos(v)
+        }
+    }
+
+    fn solver_with(num_vars: usize, clauses: &[&[i64]]) -> Solver {
+        let mut s = Solver::new();
+        s.reserve_vars(num_vars);
+        for c in clauses {
+            s.add_clause(c.iter().map(|&i| lit(i)));
+        }
+        s
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = solver_with(1, &[&[1]]);
+        assert!(matches!(s.solve(), SolveResult::Sat(_)));
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = solver_with(3, &[]);
+        assert!(matches!(s.solve(), SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn unit_chain_propagation() {
+        // 1, 1->2, 2->3, 3->4 forces all true.
+        let mut s = solver_with(4, &[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                for i in 0..4 {
+                    assert!(m.value(Var::from_index(i)), "x{i}");
+                }
+            }
+            other => panic!("expected SAT: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let clauses: &[&[i64]] = &[
+            &[1, 2, -3],
+            &[-1, 3],
+            &[-2, -3],
+            &[2, 3],
+            &[-1, -2, 3],
+        ];
+        let mut s = solver_with(3, clauses);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                for c in clauses {
+                    assert!(
+                        c.iter().any(|&i| m.satisfies(lit(i))),
+                        "clause {c:?} unsatisfied"
+                    );
+                }
+            }
+            other => panic!("expected SAT: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. Vars 1..=6 as (i*2 + j + 1).
+        let p = |i: i64, j: i64| i * 2 + j + 1;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+        let mut s = solver_with(6, &refs);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5i64;
+        let h = 4i64;
+        let p = |i: i64, j: i64| i * h + j + 1;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 0..n {
+            clauses.push((0..h).map(|j| p(i, j)).collect());
+        }
+        for j in 0..h {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+        let mut s = solver_with((n * h) as usize, &refs);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn random_3sat_matches_brute_force() {
+        use odcfp_logic::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(2024);
+        for round in 0..60 {
+            let num_vars = 3 + rng.next_below(8); // 3..=10
+            let num_clauses = 2 + rng.next_below(5 * num_vars);
+            let mut cnf = CnfBuilder::new();
+            let vars = cnf.new_vars(num_vars);
+            let mut raw: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..num_clauses {
+                let len = 1 + rng.next_below(3);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    let v = vars[rng.next_below(num_vars)];
+                    c.push(Lit::with_polarity(v, rng.next_bool()));
+                }
+                raw.push(c.clone());
+                cnf.add_clause(c);
+            }
+            let brute_sat = (0..(1usize << num_vars)).any(|m| {
+                let assignment: Vec<bool> =
+                    (0..num_vars).map(|v| (m >> v) & 1 == 1).collect();
+                cnf.eval(&assignment)
+            });
+            let mut s = Solver::from_cnf(&cnf);
+            match s.solve() {
+                SolveResult::Sat(model) => {
+                    assert!(brute_sat, "round {round}: solver SAT, brute UNSAT");
+                    for c in &raw {
+                        assert!(
+                            c.iter().any(|&l| model.satisfies(l)),
+                            "round {round}: model violates {c:?}"
+                        );
+                    }
+                }
+                SolveResult::Unsat => {
+                    assert!(!brute_sat, "round {round}: solver UNSAT, brute SAT");
+                }
+                SolveResult::Unknown => panic!("no budget set"),
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A pigeonhole instance large enough to need > 1 conflict.
+        let n = 6i64;
+        let h = 5i64;
+        let p = |i: i64, j: i64| i * h + j + 1;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 0..n {
+            clauses.push((0..h).map(|j| p(i, j)).collect());
+        }
+        for j in 0..h {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+        let mut s = solver_with((n * h) as usize, &refs);
+        s.set_conflict_budget(1);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn decisions_counted_and_model_defaults() {
+        let mut s = solver_with(4, &[&[1, 2], &[3, 4]]);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                // Unconstrained extra variable defaults to false.
+                assert!(!m.value(Var::from_index(100)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(s.stats().decisions > 0);
+    }
+
+    #[test]
+    fn assumptions_restrict_without_poisoning() {
+        // x1 free; assume !x1 then x1: both SAT; assume both -> caught.
+        let mut s = solver_with(2, &[&[1, 2]]);
+        assert!(matches!(s.solve_under(&[lit(-1)]), SolveResult::Sat(_)));
+        assert!(matches!(s.solve_under(&[lit(1)]), SolveResult::Sat(_)));
+        assert_eq!(s.solve_under(&[lit(1), lit(-1)]), SolveResult::Unsat);
+        // The solver is still usable and the formula still satisfiable.
+        assert!(matches!(s.solve(), SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn unsat_under_assumptions_is_not_global_unsat() {
+        // Formula forces x1; assuming !x1 is Unsat but only under the
+        // assumption.
+        let mut s = solver_with(2, &[&[1], &[-1, 2]]);
+        assert_eq!(s.solve_under(&[lit(-1)]), SolveResult::Unsat);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var::from_index(0)));
+                assert!(m.value(Var::from_index(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Assumptions consistent with the formula succeed.
+        assert!(matches!(s.solve_under(&[lit(2)]), SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn repeated_assumption_queries_match_brute_force() {
+        use odcfp_logic::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(777);
+        for round in 0..25 {
+            let num_vars = 4 + rng.next_below(5);
+            let num_clauses = 3 + rng.next_below(4 * num_vars);
+            let mut cnf = CnfBuilder::new();
+            let vars = cnf.new_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + rng.next_below(3);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(Lit::with_polarity(
+                        vars[rng.next_below(num_vars)],
+                        rng.next_bool(),
+                    ));
+                }
+                cnf.add_clause(c);
+            }
+            // One solver instance, many assumption queries.
+            let mut solver = Solver::from_cnf(&cnf);
+            for q in 0..8 {
+                let k = rng.next_below(3);
+                let mut assumptions = Vec::new();
+                let mut used = Vec::new();
+                for _ in 0..k {
+                    let v = rng.next_below(num_vars);
+                    if used.contains(&v) {
+                        continue;
+                    }
+                    used.push(v);
+                    assumptions.push(Lit::with_polarity(vars[v], rng.next_bool()));
+                }
+                let brute = (0..(1usize << num_vars)).any(|m| {
+                    let assignment: Vec<bool> =
+                        (0..num_vars).map(|v| (m >> v) & 1 == 1).collect();
+                    cnf.eval(&assignment)
+                        && assumptions.iter().all(|l| l.eval(assignment[l.var().index()]))
+                });
+                match solver.solve_under(&assumptions) {
+                    SolveResult::Sat(model) => {
+                        assert!(brute, "round {round} query {q}: solver SAT, brute UNSAT");
+                        for a in &assumptions {
+                            assert!(model.satisfies(*a), "assumption {a} violated");
+                        }
+                        let assignment: Vec<bool> =
+                            (0..num_vars).map(|v| model.value(vars[v])).collect();
+                        assert!(cnf.eval(&assignment), "model violates formula");
+                    }
+                    SolveResult::Unsat => {
+                        assert!(!brute, "round {round} query {q}: solver UNSAT, brute SAT");
+                    }
+                    SolveResult::Unknown => panic!("no budget set"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut s = solver_with(3, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2, 3]]);
+        let _ = s.solve();
+        let st = s.stats();
+        assert!(st.propagations > 0);
+    }
+}

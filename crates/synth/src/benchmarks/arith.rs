@@ -1,0 +1,192 @@
+//! Arithmetic circuit generators: ripple-carry adders and the C6288-class
+//! array multiplier.
+
+use std::sync::Arc;
+
+use odcfp_netlist::{CellLibrary, NetId, Netlist};
+
+use crate::builder::CircuitBuilder;
+
+/// How full adders inside generated arithmetic circuits are implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdderStyle {
+    /// XOR2/AND2/OR2 cells (5 gates per full adder).
+    Compact,
+    /// NAND2-only expansion (the ISCAS'85 C6288 is famously built from
+    /// 2-input NOR/NAND modules; this reproduces that gate-count profile).
+    NandExpanded,
+}
+
+fn full_adder(
+    b: &mut CircuitBuilder,
+    style: AdderStyle,
+    x: NetId,
+    y: NetId,
+    cin: NetId,
+) -> (NetId, NetId) {
+    match style {
+        AdderStyle::Compact => b.full_adder(x, y, cin),
+        AdderStyle::NandExpanded => b.full_adder_nand(x, y, cin),
+    }
+}
+
+fn half_adder(b: &mut CircuitBuilder, style: AdderStyle, x: NetId, y: NetId) -> (NetId, NetId) {
+    match style {
+        AdderStyle::Compact => b.half_adder(x, y),
+        AdderStyle::NandExpanded => {
+            let s = b.xor2_nand(x, y);
+            let t = b.nand2(x, y);
+            let c = b.not(t);
+            (s, c)
+        }
+    }
+}
+
+/// An n-bit ripple-carry adder with carry-in and carry-out.
+///
+/// Inputs `a0..`, `b0..`, `cin`; outputs `s0..`, `cout`.
+pub fn ripple_adder(library: Arc<CellLibrary>, bits: usize, style: AdderStyle) -> Netlist {
+    let mut b = CircuitBuilder::new(format!("add{bits}"), library);
+    let xs = b.inputs("a", bits);
+    let ys = b.inputs("b", bits);
+    let mut carry = b.input("cin");
+    for i in 0..bits {
+        let (s, c) = full_adder(&mut b, style, xs[i], ys[i], carry);
+        b.output(s);
+        carry = c;
+    }
+    b.output(carry);
+    b.finish()
+}
+
+/// An n×n array multiplier (the C6288 class: C6288 is a 16×16 array
+/// multiplier).
+///
+/// Inputs `a0..`, `b0..`; outputs `p0..p{2n-1}`. The array forms n² partial
+/// products with AND2 gates and reduces them with rows of half/full adders,
+/// exactly the carry-save structure of the original benchmark.
+pub fn array_multiplier(library: Arc<CellLibrary>, n: usize, style: AdderStyle) -> Netlist {
+    assert!(n >= 2, "multiplier needs at least 2 bits");
+    let mut b = CircuitBuilder::new(format!("mul{n}x{n}"), library);
+    let xs = b.inputs("a", n);
+    let ys = b.inputs("b", n);
+    // Partial products pp[i][j] = a_i & b_j contributes to output bit i+j.
+    // One spare column absorbs structural carries out of bit 2n-1 (they are
+    // semantically zero for an n×n product).
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * n + 1];
+    for i in 0..n {
+        for j in 0..n {
+            let pp = b.and2(xs[i], ys[j]);
+            columns[i + j].push(pp);
+        }
+    }
+    // Carry-save reduction, column by column. The spare top column is left
+    // unreduced; its (semantically zero) bits stay internal.
+    for col in 0..(2 * n) {
+        while columns[col].len() > 1 {
+            let bits_here = std::mem::take(&mut columns[col]);
+            let mut kept: Vec<NetId> = Vec::new();
+            let mut iter = bits_here.into_iter();
+            loop {
+                match (iter.next(), iter.next(), iter.next()) {
+                    (Some(x), Some(y), Some(z)) => {
+                        let (s, c) = full_adder(&mut b, style, x, y, z);
+                        kept.push(s);
+                        columns[col + 1].push(c);
+                    }
+                    (Some(x), Some(y), None) => {
+                        let (s, c) = half_adder(&mut b, style, x, y);
+                        kept.push(s);
+                        columns[col + 1].push(c);
+                        break;
+                    }
+                    (Some(x), None, None) => {
+                        kept.push(x);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            columns[col] = kept;
+        }
+    }
+    for col in columns.iter().take(2 * n) {
+        match col.first() {
+            Some(&bit) => b.output(bit),
+            None => {
+                let zero = b.constant(false);
+                b.output(zero);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_num(n: &Netlist, inputs: &[bool]) -> u64 {
+        n.eval(inputs)
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn adder_adds() {
+        for style in [AdderStyle::Compact, AdderStyle::NandExpanded] {
+            let n = ripple_adder(CellLibrary::standard(), 4, style);
+            for a in 0..16u64 {
+                for bv in [0u64, 3, 9, 15] {
+                    for cin in [0u64, 1] {
+                        let mut bits = Vec::new();
+                        for i in 0..4 {
+                            bits.push((a >> i) & 1 == 1);
+                        }
+                        for i in 0..4 {
+                            bits.push((bv >> i) & 1 == 1);
+                        }
+                        bits.push(cin == 1);
+                        assert_eq!(
+                            eval_num(&n, &bits),
+                            a + bv + cin,
+                            "{style:?} {a}+{bv}+{cin}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        for style in [AdderStyle::Compact, AdderStyle::NandExpanded] {
+            let n = array_multiplier(CellLibrary::standard(), 4, style);
+            assert_eq!(n.primary_outputs().len(), 8);
+            for a in [0u64, 1, 5, 9, 15] {
+                for bv in [0u64, 2, 7, 11, 15] {
+                    let mut bits = Vec::new();
+                    for i in 0..4 {
+                        bits.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..4 {
+                        bits.push((bv >> i) & 1 == 1);
+                    }
+                    assert_eq!(eval_num(&n, &bits), a * bv, "{style:?} {a}*{bv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c6288_class_size() {
+        let n = array_multiplier(CellLibrary::standard(), 16, AdderStyle::NandExpanded);
+        let gates = n.num_gates();
+        assert!(
+            (2500..3600).contains(&gates),
+            "16x16 NAND multiplier gate count {gates} out of C6288 range"
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! PLA-style two-level benchmark generators (k2/t481/i8/vda class) and the
+//! S-box substitution network standing in for `des`.
+//!
+//! These go through the real BLIF-network + technology-mapping path
+//! ([`crate::map_network`]), exactly like the paper's MCNC circuits went
+//! through ABC.
+
+use std::sync::Arc;
+
+use odcfp_blif::{LogicNetwork, LogicNode};
+use odcfp_logic::rng::Xoshiro256;
+use odcfp_logic::{Cube, CubeLit, Sop};
+use odcfp_netlist::{CellLibrary, NetId, Netlist};
+
+use crate::builder::CircuitBuilder;
+use crate::map_network;
+
+/// Parameters of [`two_level`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaParams {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of outputs (one SOP node each).
+    pub outputs: usize,
+    /// Fanin signals drawn per output.
+    pub fanin_per_output: usize,
+    /// Product terms per output.
+    pub cubes_per_output: usize,
+    /// Tested literals per product term.
+    pub lits_per_cube: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl PlaParams {
+    /// Profile for the MCNC `k2` row (paper: 1206 gates).
+    pub fn k2_like() -> Self {
+        PlaParams {
+            inputs: 45,
+            outputs: 45,
+            fanin_per_output: 16,
+            cubes_per_output: 8,
+            lits_per_cube: 7,
+            seed: 0x6B32,
+        }
+    }
+
+    /// Profile for the MCNC `t481` row (paper: 826 gates).
+    pub fn t481_like() -> Self {
+        PlaParams {
+            inputs: 16,
+            outputs: 32,
+            fanin_per_output: 14,
+            cubes_per_output: 7,
+            lits_per_cube: 7,
+            seed: 0x7481,
+        }
+    }
+
+    /// Profile for the MCNC `i8` row (paper: 1211 gates).
+    pub fn i8_like() -> Self {
+        PlaParams {
+            inputs: 133,
+            outputs: 81,
+            fanin_per_output: 14,
+            cubes_per_output: 4,
+            lits_per_cube: 6,
+            seed: 0x0108,
+        }
+    }
+
+    /// Profile for the MCNC `vda` row (paper: 635 gates).
+    pub fn vda_like() -> Self {
+        PlaParams {
+            inputs: 17,
+            outputs: 39,
+            fanin_per_output: 13,
+            cubes_per_output: 5,
+            lits_per_cube: 6,
+            seed: 0x0DA,
+        }
+    }
+}
+
+fn random_cube(rng: &mut Xoshiro256, width: usize, lits: usize) -> Cube {
+    let mut cube = vec![CubeLit::DontCare; width];
+    let mut positions: Vec<usize> = (0..width).collect();
+    rng.shuffle(&mut positions);
+    for &p in positions.iter().take(lits.min(width)) {
+        cube[p] = if rng.next_bool() {
+            CubeLit::One
+        } else {
+            CubeLit::Zero
+        };
+    }
+    Cube::new(cube)
+}
+
+/// Generates a random two-level (PLA-style) circuit and technology-maps it.
+///
+/// Deterministic in `p` (including `p.seed`).
+pub fn two_level(library: Arc<CellLibrary>, p: PlaParams) -> Netlist {
+    assert!(p.fanin_per_output <= p.inputs, "fanin exceeds input count");
+    let mut rng = Xoshiro256::seed_from_u64(p.seed);
+    let mut net = LogicNetwork::new("pla");
+    let input_names: Vec<String> = (0..p.inputs).map(|i| format!("x{i}")).collect();
+    for n in &input_names {
+        net.add_input(n.clone());
+    }
+    for o in 0..p.outputs {
+        let mut pool = input_names.clone();
+        rng.shuffle(&mut pool);
+        let fanins: Vec<String> = pool.into_iter().take(p.fanin_per_output).collect();
+        let cubes: Vec<Cube> = (0..p.cubes_per_output)
+            .map(|_| random_cube(&mut rng, p.fanin_per_output, p.lits_per_cube))
+            .collect();
+        let name = format!("y{o}");
+        net.add_node(LogicNode {
+            output: name.clone(),
+            fanins,
+            cover: Sop::new(p.fanin_per_output, cubes, true),
+        });
+        net.add_output(name);
+    }
+    map_network(&net, library).expect("generated network is valid")
+}
+
+/// Parameters of [`sbox_network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SboxParams {
+    /// Block width in bits (split into two halves Feistel-style).
+    pub block_bits: usize,
+    /// Round-key input bits per round.
+    pub key_bits: usize,
+    /// Number of S-boxes per round (each 6 → 4).
+    pub sboxes: usize,
+    /// Product terms per S-box output.
+    pub cubes_per_output: usize,
+    /// Number of Feistel rounds.
+    pub rounds: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl SboxParams {
+    /// The profile standing in for the MCNC `des` row (paper: 3544 gates).
+    pub fn des_like() -> Self {
+        SboxParams {
+            block_bits: 64,
+            key_bits: 48,
+            sboxes: 8,
+            cubes_per_output: 19,
+            rounds: 3,
+            seed: 0xDE5,
+        }
+    }
+}
+
+/// One 6→4 S-box as a mapped two-level block over existing nets.
+fn sbox(
+    b: &mut CircuitBuilder,
+    rng: &mut Xoshiro256,
+    ins: &[NetId; 6],
+    cubes_per_output: usize,
+) -> Vec<NetId> {
+    use odcfp_logic::PrimitiveFn as F;
+    (0..4)
+        .map(|_| {
+            let cube_nets: Vec<NetId> = (0..cubes_per_output)
+                .map(|_| {
+                    let lits: Vec<NetId> = ins
+                        .iter()
+                        .filter_map(|&n| match rng.next_below(3) {
+                            0 => Some(n),
+                            1 => Some(b.not(n)),
+                            _ => None,
+                        })
+                        .collect();
+                    if lits.is_empty() {
+                        // Degenerate all-don't-care draw: pin to one literal.
+                        ins[rng.next_below(6)]
+                    } else {
+                        b.tree(F::And, &lits)
+                    }
+                })
+                .collect();
+            b.tree(F::Or, &cube_nets)
+        })
+        .collect()
+}
+
+/// Generates a Feistel-style substitution/permutation network: per round,
+/// the right half is expanded, XORed with round-key inputs, pushed through
+/// random 6→4 S-boxes, permuted and XORed into the left half — the
+/// structural shape of the MCNC `des` combinational benchmark.
+pub fn sbox_network(library: Arc<CellLibrary>, p: SboxParams) -> Netlist {
+    assert!(p.block_bits.is_multiple_of(2), "block splits into halves");
+    assert_eq!(
+        p.sboxes * 6,
+        p.key_bits,
+        "each round key bit feeds one S-box input"
+    );
+    assert!(
+        p.sboxes * 4 <= p.block_bits / 2,
+        "S-box outputs must fit the half block"
+    );
+    let mut rng = Xoshiro256::seed_from_u64(p.seed);
+    let mut b = CircuitBuilder::new("feistel", library);
+    let half = p.block_bits / 2;
+    let mut left: Vec<NetId> = b.inputs("l", half);
+    let mut right: Vec<NetId> = b.inputs("r", half);
+
+    for round in 0..p.rounds {
+        let keys = b.inputs(&format!("k{round}_"), p.key_bits);
+        // Expansion: pick 6 right-half bits per S-box and XOR with key bits.
+        let mut sbox_outs: Vec<NetId> = Vec::with_capacity(p.sboxes * 4);
+        for s in 0..p.sboxes {
+            let mut ins = [right[0]; 6];
+            for (j, slot) in ins.iter_mut().enumerate() {
+                let r = right[rng.next_below(half)];
+                *slot = b.xor2(r, keys[s * 6 + j]);
+            }
+            sbox_outs.extend(sbox(&mut b, &mut rng, &ins, p.cubes_per_output));
+        }
+        // Permute S-box outputs across the half block and fold into left.
+        let mut perm: Vec<usize> = (0..half).collect();
+        rng.shuffle(&mut perm);
+        let new_right: Vec<NetId> = (0..half)
+            .map(|i| {
+                let f_bit = sbox_outs[perm[i] % sbox_outs.len()];
+                b.xor2(left[i], f_bit)
+            })
+            .collect();
+        left = right;
+        right = new_right;
+    }
+    for &bit in left.iter().chain(&right) {
+        b.output(bit);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_deterministic_and_sized() {
+        let lib = CellLibrary::standard();
+        let p = PlaParams::vda_like();
+        let a = two_level(lib.clone(), p);
+        let c = two_level(lib, p);
+        assert_eq!(a.num_gates(), c.num_gates());
+        assert_eq!(a.primary_outputs().len(), p.outputs);
+        assert_eq!(a.primary_inputs().len(), p.inputs);
+        assert!(a.num_gates() > 100);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let lib = CellLibrary::standard();
+        let mut p1 = PlaParams::vda_like();
+        let a = two_level(lib.clone(), p1);
+        p1.seed ^= 1;
+        let b = two_level(lib, p1);
+        // Same shape parameters, different covers: behaviour should differ.
+        let bits = vec![true; a.primary_inputs().len()];
+        let ra = a.eval(&bits);
+        let rb = b.eval(&bits);
+        assert!(ra != rb || a.num_gates() != b.num_gates());
+    }
+
+    #[test]
+    fn sbox_network_valid_and_deterministic() {
+        let lib = CellLibrary::standard();
+        let p = SboxParams {
+            block_bits: 16,
+            key_bits: 12,
+            sboxes: 2,
+            cubes_per_output: 4,
+            rounds: 2,
+            seed: 77,
+        };
+        let a = sbox_network(lib.clone(), p);
+        let c = sbox_network(lib, p);
+        assert_eq!(a.num_gates(), c.num_gates());
+        assert_eq!(a.primary_outputs().len(), 16);
+        // Changing a key bit changes some output.
+        let n_in = a.primary_inputs().len();
+        let zeros = vec![false; n_in];
+        let mut flipped = zeros.clone();
+        flipped[16] = true; // first key bit of round 0
+        assert_ne!(a.eval(&zeros), a.eval(&flipped));
+    }
+
+    #[test]
+    fn feistel_rounds_mix_left_and_right() {
+        let lib = CellLibrary::standard();
+        let p = SboxParams {
+            block_bits: 16,
+            key_bits: 12,
+            sboxes: 2,
+            cubes_per_output: 4,
+            rounds: 2,
+            seed: 3,
+        };
+        let n = sbox_network(lib, p);
+        // Flipping a left-half input changes outputs.
+        let n_in = n.primary_inputs().len();
+        let zeros = vec![false; n_in];
+        let mut l0 = zeros.clone();
+        l0[0] = true;
+        assert_ne!(n.eval(&zeros), n.eval(&l0));
+    }
+}

@@ -1,0 +1,364 @@
+//! An ergonomic construction layer over [`Netlist`] used by the technology
+//! mapper and the benchmark generators.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odcfp_logic::PrimitiveFn;
+use odcfp_netlist::{CellId, CellLibrary, NetId, Netlist};
+
+/// Builds gate-level circuits with automatic naming, inverter caching and
+/// wide-gate tree decomposition.
+///
+/// # Example
+///
+/// A full adder in five gates:
+///
+/// ```
+/// use odcfp_netlist::CellLibrary;
+/// use odcfp_synth::builder::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new("fa", CellLibrary::standard());
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let cin = b.input("cin");
+/// let (sum, cout) = b.full_adder(a, c, cin);
+/// b.output(sum);
+/// b.output(cout);
+/// let n = b.finish();
+/// assert_eq!(n.num_gates(), 5);
+/// assert_eq!(n.eval(&[true, true, true]), vec![true, true]);
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    netlist: Netlist,
+    counter: usize,
+    inv_cache: HashMap<NetId, NetId>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new circuit over `library`.
+    pub fn new(name: impl Into<String>, library: Arc<CellLibrary>) -> Self {
+        CircuitBuilder {
+            netlist: Netlist::new(name, library),
+            counter: 0,
+            inv_cache: HashMap::new(),
+        }
+    }
+
+    /// Access to the netlist under construction.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        self.netlist.add_primary_input(name)
+    }
+
+    /// Adds `n` primary inputs named `prefix0..prefix{n-1}`.
+    pub fn inputs(&mut self, prefix: &str, n: usize) -> Vec<NetId> {
+        (0..n).map(|i| self.input(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Marks a net as primary output.
+    pub fn output(&mut self, net: NetId) {
+        self.netlist.set_primary_output(net);
+    }
+
+    /// A constant-valued net.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.counter += 1;
+        self.netlist
+            .add_constant(format!("const{}_{}", u8::from(value), self.counter), value)
+    }
+
+    fn cell(&self, f: PrimitiveFn, arity: usize) -> CellId {
+        self.netlist
+            .library()
+            .cell_for(f, arity)
+            .unwrap_or_else(|| panic!("library lacks {f} at arity {arity}"))
+    }
+
+    /// Instantiates one gate of function `f` over `ins`, returning its
+    /// output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no cell of that function/arity.
+    pub fn gate(&mut self, f: PrimitiveFn, ins: &[NetId]) -> NetId {
+        let cell = self.cell(f, ins.len());
+        self.counter += 1;
+        let g = self
+            .netlist
+            .add_gate(format!("{}_{}", f, self.counter), cell, ins);
+        self.netlist.gate_output(g)
+    }
+
+    /// An inverter, cached per source net (repeated complements share one
+    /// INV).
+    pub fn not(&mut self, a: NetId) -> NetId {
+        if let Some(&n) = self.inv_cache.get(&a) {
+            return n;
+        }
+        let out = self.gate(PrimitiveFn::Inv, &[a]);
+        self.inv_cache.insert(a, out);
+        out
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(PrimitiveFn::And, &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(PrimitiveFn::Or, &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(PrimitiveFn::Xor, &[a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(PrimitiveFn::Nand, &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(PrimitiveFn::Nor, &[a, b])
+    }
+
+    /// A balanced tree of `f` cells (AND or OR) over any number of inputs,
+    /// using the widest available cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins` is empty or `f` is not AND/OR.
+    pub fn tree(&mut self, f: PrimitiveFn, ins: &[NetId]) -> NetId {
+        assert!(
+            matches!(f, PrimitiveFn::And | PrimitiveFn::Or),
+            "tree supports AND/OR only"
+        );
+        assert!(!ins.is_empty(), "tree needs at least one input");
+        let max = self
+            .netlist
+            .library()
+            .max_arity(f)
+            .expect("library has the function");
+        let mut level: Vec<NetId> = ins.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(max));
+            for chunk in level.chunks(max) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    next.push(self.gate(f, chunk));
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// A tree of XOR2 cells over any number of inputs (odd parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins` is empty.
+    pub fn xor_tree(&mut self, ins: &[NetId]) -> NetId {
+        assert!(!ins.is_empty(), "xor tree needs at least one input");
+        let mut level: Vec<NetId> = ins.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for chunk in level.chunks(2) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    next.push(self.xor2(chunk[0], chunk[1]));
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// An XOR of two signals expanded into four NAND2 gates (no XOR cell) —
+    /// the classic trick that turns a C499-style circuit into its
+    /// C1355-style equivalent.
+    pub fn xor2_nand(&mut self, a: NetId, b: NetId) -> NetId {
+        let t = self.nand2(a, b);
+        let u = self.nand2(a, t);
+        let v = self.nand2(b, t);
+        self.nand2(u, v)
+    }
+
+    /// A 2:1 multiplexer `sel ? a1 : a0` in three NAND2 + one INV.
+    pub fn mux2(&mut self, sel: NetId, a0: NetId, a1: NetId) -> NetId {
+        let ns = self.not(sel);
+        let t0 = self.nand2(ns, a0);
+        let t1 = self.nand2(sel, a1);
+        self.nand2(t0, t1)
+    }
+
+    /// A half adder: returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        (self.xor2(a, b), self.and2(a, b))
+    }
+
+    /// A full adder in 5 gates: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let p = self.xor2(a, b);
+        let sum = self.xor2(p, cin);
+        let g1 = self.and2(a, b);
+        let g2 = self.and2(p, cin);
+        let cout = self.or2(g1, g2);
+        (sum, cout)
+    }
+
+    /// A full adder built only from NAND2/INV (9 gates + shared inverters),
+    /// the NOR/NAND-heavy style of the ISCAS'85 multiplier.
+    pub fn full_adder_nand(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let p = self.xor2_nand(a, b);
+        let sum = self.xor2_nand(p, cin);
+        let t1 = self.nand2(a, b);
+        let t2 = self.nand2(p, cin);
+        let cout = self.nand2(t1, t2);
+        (sum, cout)
+    }
+
+    /// Finalizes and returns the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed netlist fails validation — generator bugs
+    /// should fail loudly.
+    pub fn finish(self) -> Netlist {
+        self.netlist
+            .validate()
+            .unwrap_or_else(|e| panic!("generated netlist invalid: {e}"));
+        self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder(name: &str) -> CircuitBuilder {
+        CircuitBuilder::new(name, CellLibrary::standard())
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for style_nand in [false, true] {
+            let mut b = builder("fa");
+            let x = b.input("x");
+            let y = b.input("y");
+            let c = b.input("c");
+            let (s, co) = if style_nand {
+                b.full_adder_nand(x, y, c)
+            } else {
+                b.full_adder(x, y, c)
+            };
+            b.output(s);
+            b.output(co);
+            let n = b.finish();
+            for i in 0..8usize {
+                let bits: Vec<bool> = (0..3).map(|v| (i >> v) & 1 == 1).collect();
+                let ones = bits.iter().filter(|&&x| x).count();
+                assert_eq!(
+                    n.eval(&bits),
+                    vec![ones % 2 == 1, ones >= 2],
+                    "style_nand={style_nand} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = builder("mux");
+        let s = b.input("s");
+        let a0 = b.input("a0");
+        let a1 = b.input("a1");
+        let y = b.mux2(s, a0, a1);
+        b.output(y);
+        let n = b.finish();
+        for i in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|v| (i >> v) & 1 == 1).collect();
+            let expect = if bits[0] { bits[2] } else { bits[1] };
+            assert_eq!(n.eval(&bits), vec![expect], "i={i}");
+        }
+    }
+
+    #[test]
+    fn trees_compute_wide_ops() {
+        for f in [PrimitiveFn::And, PrimitiveFn::Or] {
+            let mut b = builder("tree");
+            let ins = b.inputs("x", 9);
+            let y = b.tree(f, &ins);
+            b.output(y);
+            let n = b.finish();
+            for i in [0usize, 1, 0x1FF, 0x155, 0x80] {
+                let bits: Vec<bool> = (0..9).map(|v| (i >> v) & 1 == 1).collect();
+                let expect = match f {
+                    PrimitiveFn::And => bits.iter().all(|&x| x),
+                    _ => bits.iter().any(|&x| x),
+                };
+                assert_eq!(n.eval(&bits), vec![expect], "{f} i={i:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_tree_is_parity() {
+        let mut b = builder("parity");
+        let ins = b.inputs("x", 7);
+        let y = b.xor_tree(&ins);
+        b.output(y);
+        let n = b.finish();
+        for i in 0..128usize {
+            let bits: Vec<bool> = (0..7).map(|v| (i >> v) & 1 == 1).collect();
+            assert_eq!(n.eval(&bits), vec![i.count_ones() % 2 == 1]);
+        }
+    }
+
+    #[test]
+    fn xor_nand_expansion_matches_xor() {
+        let mut b = builder("xn");
+        let x = b.input("x");
+        let y = b.input("y");
+        let out = b.xor2_nand(x, y);
+        b.output(out);
+        let n = b.finish();
+        assert_eq!(n.num_gates(), 4);
+        for i in 0..4usize {
+            let bits: Vec<bool> = (0..2).map(|v| (i >> v) & 1 == 1).collect();
+            assert_eq!(n.eval(&bits), vec![bits[0] ^ bits[1]]);
+        }
+    }
+
+    #[test]
+    fn inverter_cache_shares() {
+        let mut b = builder("inv");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(a);
+        assert_eq!(n1, n2);
+        b.output(n1);
+        assert_eq!(b.finish().num_gates(), 1);
+    }
+
+    #[test]
+    fn single_input_tree_is_wire() {
+        let mut b = builder("t1");
+        let a = b.input("a");
+        let t = b.tree(PrimitiveFn::And, &[a]);
+        assert_eq!(t, a);
+        b.output(t);
+        assert_eq!(b.finish().num_gates(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Technology mapping and benchmark circuit generation.
+//!
+//! The paper's experimental setup runs MCNC / ISCAS'85 BLIF benchmarks
+//! through Berkeley ABC "with a library of gate cells" to obtain mapped
+//! Verilog netlists. This crate is that stage of the flow, built from
+//! scratch:
+//!
+//! * [`map_network`] — maps a technology-independent
+//!   [`LogicNetwork`](odcfp_blif::LogicNetwork) (e.g. parsed from BLIF)
+//!   onto a [`CellLibrary`](odcfp_netlist::CellLibrary), decomposing SOP
+//!   covers into balanced AND/OR/NAND/NOR/INV/XOR trees;
+//! * [`builder::CircuitBuilder`] — an ergonomic layer for writing
+//!   generators (gate helpers, adders, multiplexers);
+//! * [`benchmarks`] — deterministic generators reproducing the *class and
+//!   size* of every Table II benchmark row (see `DESIGN.md` §3–4 for the
+//!   substitution rationale: the original MCNC/ISCAS BLIF files are not
+//!   redistributable here, and the fingerprinting method depends on
+//!   structural properties — gate mix, FFC structure, depth — which the
+//!   generators match).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod builder;
+mod map;
+pub mod opt;
+
+pub use map::{map_network, MapError};

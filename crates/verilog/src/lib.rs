@@ -1,0 +1,89 @@
+//! Structural Verilog netlist I/O.
+//!
+//! The paper's circuit modifier consumes and produces gate-level Verilog
+//! netlists ("Input: Circuit in Verilog netlist format / Output: Circuit in
+//! Verilog netlist format with fingerprints inserted", Fig. 6). This crate
+//! implements that interchange layer for mapped [`odcfp_netlist::Netlist`]s:
+//!
+//! * [`parse_verilog`] — parses a single flat module of standard-cell
+//!   instances (named `.A(net)` or positional port lists), `input` /
+//!   `output` / `wire` declarations, and constant `assign net = 1'b0/1'b1`
+//!   ties;
+//! * [`write_verilog`] — emits the same subset with named ports; the writer
+//!   sanitizes identifiers so arbitrary BLIF-derived names stay legal.
+//!
+//! Cell pins follow the workspace convention: inputs are `A`, `B`, `C`, `D`
+//! (pin order 0–3) and the output is `Y`. Positional instances list the
+//! output first, like Verilog gate primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use odcfp_netlist::CellLibrary;
+//! use odcfp_verilog::{parse_verilog, write_verilog};
+//!
+//! let src = "\
+//! module tiny (a, b, y);
+//!   input a, b;
+//!   output y;
+//!   NAND2 u1 (.A(a), .B(b), .Y(y));
+//! endmodule
+//! ";
+//! let n = parse_verilog(src, CellLibrary::standard())?;
+//! assert_eq!(n.eval(&[true, true]), vec![false]);
+//! let text = write_verilog(&n);
+//! assert!(text.contains("NAND2"));
+//! # Ok::<(), odcfp_verilog::ParseVerilogError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod write;
+
+pub use parse::{parse_verilog, ParseVerilogError, ParseVerilogErrorKind};
+pub use write::write_verilog;
+
+/// The input pin name for pin index `i` under the workspace convention.
+///
+/// # Panics
+///
+/// Panics if `i >= 26` (no standard cell has that many pins).
+pub fn input_pin_name(i: usize) -> char {
+    assert!(i < 26, "pin index out of range");
+    (b'A' + i as u8) as char
+}
+
+/// The output pin name under the workspace convention.
+pub const OUTPUT_PIN: char = 'Y';
+
+/// The pin index for a named input pin, if it is one.
+pub fn pin_index(name: &str) -> Option<usize> {
+    let mut chars = name.chars();
+    let c = chars.next()?;
+    if chars.next().is_some() {
+        return None;
+    }
+    let c = c.to_ascii_uppercase();
+    if c.is_ascii_uppercase() && c != OUTPUT_PIN {
+        Some((c as u8 - b'A') as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_names() {
+        assert_eq!(input_pin_name(0), 'A');
+        assert_eq!(input_pin_name(3), 'D');
+        assert_eq!(pin_index("A"), Some(0));
+        assert_eq!(pin_index("d"), Some(3));
+        assert_eq!(pin_index("Y"), None);
+        assert_eq!(pin_index("AB"), None);
+    }
+}

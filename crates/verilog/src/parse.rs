@@ -1,0 +1,729 @@
+//! Parser for the structural Verilog subset.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use odcfp_netlist::{CellId, CellLibrary, NetId, Netlist};
+
+use crate::pin_index;
+
+/// A parse failure with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseVerilogErrorKind,
+}
+
+/// The specific parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseVerilogErrorKind {
+    /// Expected a different token.
+    Expected {
+        /// What the parser wanted.
+        wanted: String,
+        /// What it found.
+        found: String,
+    },
+    /// An instance references a cell absent from the library.
+    UnknownCell(String),
+    /// An unknown pin name in a named port connection.
+    UnknownPin(String),
+    /// An instance's connections don't match its cell (missing output,
+    /// wrong input count, duplicate pin).
+    BadConnections(String),
+    /// A net is driven more than once.
+    MultipleDrivers(String),
+    /// The file ended unexpectedly.
+    UnexpectedEof,
+    /// Input ended without a module.
+    Empty,
+    /// A construct outside the supported subset (vectors, behavioral code).
+    Unsupported(String),
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Verilog parse error at line {}: ", self.line)?;
+        match &self.kind {
+            ParseVerilogErrorKind::Expected { wanted, found } => {
+                write!(f, "expected {wanted}, found {found:?}")
+            }
+            ParseVerilogErrorKind::UnknownCell(c) => write!(f, "unknown cell {c:?}"),
+            ParseVerilogErrorKind::UnknownPin(p) => write!(f, "unknown pin {p:?}"),
+            ParseVerilogErrorKind::BadConnections(m) => write!(f, "bad connections: {m}"),
+            ParseVerilogErrorKind::MultipleDrivers(n) => {
+                write!(f, "net {n:?} has multiple drivers")
+            }
+            ParseVerilogErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseVerilogErrorKind::Empty => write!(f, "no module found"),
+            ParseVerilogErrorKind::Unsupported(w) => write!(f, "unsupported construct: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Literal(bool),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(c) => write!(f, "{c}"),
+            Tok::Literal(b) => write!(f, "1'b{}", u8::from(*b)),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseVerilogError> {
+    let mut toks = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                chars.next();
+                let mut prev = ' ';
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                    }
+                    if prev == '*' && c2 == '/' {
+                        break;
+                    }
+                    prev = c2;
+                }
+            }
+            '(' | ')' | ',' | ';' | '.' | '=' => toks.push((line, Tok::Punct(c))),
+            '1' if src[i..].starts_with("1'b0") || src[i..].starts_with("1'b1") => {
+                let bit = src.as_bytes()[i + 3] == b'1';
+                toks.push((line, Tok::Literal(bit)));
+                chars.next();
+                chars.next();
+                chars.next();
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '\\' => {
+                let mut s = String::new();
+                if c == '\\' {
+                    // Escaped identifier: runs to whitespace.
+                    while let Some(&(_, c2)) = chars.peek() {
+                        if c2.is_whitespace() {
+                            break;
+                        }
+                        s.push(c2);
+                        chars.next();
+                    }
+                } else {
+                    s.push(c);
+                    while let Some(&(_, c2)) = chars.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == '_' || c2 == '$' {
+                            s.push(c2);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                toks.push((line, Tok::Ident(s)));
+            }
+            other => {
+                return Err(ParseVerilogError {
+                    line,
+                    kind: ParseVerilogErrorKind::Unsupported(format!("character {other:?}")),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: &'a [(usize, Tok)],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(1, |t| t.0)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.1)
+    }
+
+    fn next(&mut self) -> Result<&'a Tok, ParseVerilogError> {
+        let t = self.toks.get(self.pos).ok_or(ParseVerilogError {
+            line: self.toks.last().map_or(1, |t| t.0),
+            kind: ParseVerilogErrorKind::UnexpectedEof,
+        })?;
+        self.pos += 1;
+        Ok(&t.1)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseVerilogError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Punct(p) if *p == c => Ok(()),
+            other => Err(ParseVerilogError {
+                line,
+                kind: ParseVerilogErrorKind::Expected {
+                    wanted: format!("{c:?}"),
+                    found: other.to_string(),
+                },
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<&'a str, ParseVerilogError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseVerilogError {
+                line,
+                kind: ParseVerilogErrorKind::Expected {
+                    wanted: "identifier".into(),
+                    found: other.to_string(),
+                },
+            }),
+        }
+    }
+
+    /// Parses `name, name, ... ;` returning the names.
+    fn ident_list_until_semi(&mut self) -> Result<Vec<&'a str>, ParseVerilogError> {
+        let mut names = vec![self.expect_ident()?];
+        loop {
+            let line = self.line();
+            match self.next()? {
+                Tok::Punct(';') => return Ok(names),
+                Tok::Punct(',') => names.push(self.expect_ident()?),
+                other => {
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::Expected {
+                            wanted: "',' or ';'".into(),
+                            found: other.to_string(),
+                        },
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Parses a single flat gate-level module into a [`Netlist`] over `library`.
+///
+/// See the [crate documentation](crate) for the accepted subset. The
+/// returned netlist is validated structurally before being returned.
+///
+/// # Errors
+///
+/// Returns a [`ParseVerilogError`] with a 1-based line number on syntax
+/// errors, unknown cells/pins, arity mismatches, multiply-driven nets, and
+/// unsupported constructs.
+pub fn parse_verilog(
+    src: &str,
+    library: Arc<CellLibrary>,
+) -> Result<Netlist, ParseVerilogError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+    };
+
+    // module NAME ( ports ) ;
+    let line = p.line();
+    match p.peek() {
+        Some(Tok::Ident(k)) if k == "module" => {
+            p.next()?;
+        }
+        _ => {
+            return Err(ParseVerilogError {
+                line,
+                kind: ParseVerilogErrorKind::Empty,
+            })
+        }
+    }
+    let module_name = p.expect_ident()?.to_owned();
+    p.expect_punct('(')?;
+    // Skip the port list (names repeated in input/output declarations).
+    loop {
+        match p.next()? {
+            Tok::Punct(')') => break,
+            Tok::Ident(_) | Tok::Punct(',') => {}
+            other => {
+                return Err(ParseVerilogError {
+                    line: p.line(),
+                    kind: ParseVerilogErrorKind::Expected {
+                        wanted: "port name".into(),
+                        found: other.to_string(),
+                    },
+                })
+            }
+        }
+    }
+    p.expect_punct(';')?;
+
+    let mut netlist = Netlist::new(module_name, library.clone());
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut pending_outputs: Vec<String> = Vec::new();
+    // Instances seen before all declarations are unusual but legal in our
+    // subset because we require declarations first; enforce that.
+    #[derive(PartialEq)]
+    enum Phase {
+        Decls,
+        Body,
+    }
+    let mut phase = Phase::Decls;
+    let mut instance_counter = 0usize;
+
+    loop {
+        let line = p.line();
+        let tok = p.next()?.clone();
+        match tok {
+            Tok::Ident(k) if k == "endmodule" => break,
+            Tok::Ident(k) if k == "input" => {
+                if phase == Phase::Body {
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::Unsupported(
+                            "declaration after instances".into(),
+                        ),
+                    });
+                }
+                for name in p.ident_list_until_semi()? {
+                    if nets.contains_key(name) {
+                        return Err(ParseVerilogError {
+                            line,
+                            kind: ParseVerilogErrorKind::MultipleDrivers(name.to_owned()),
+                        });
+                    }
+                    let id = netlist.add_primary_input(name);
+                    nets.insert(name.to_owned(), id);
+                }
+            }
+            Tok::Ident(k) if k == "output" => {
+                if phase == Phase::Body {
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::Unsupported(
+                            "declaration after instances".into(),
+                        ),
+                    });
+                }
+                for name in p.ident_list_until_semi()? {
+                    pending_outputs.push(name.to_owned());
+                    if !nets.contains_key(name) {
+                        let id = netlist.add_net(name);
+                        nets.insert(name.to_owned(), id);
+                    }
+                }
+            }
+            Tok::Ident(k) if k == "wire" => {
+                if phase == Phase::Body {
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::Unsupported(
+                            "declaration after instances".into(),
+                        ),
+                    });
+                }
+                for name in p.ident_list_until_semi()? {
+                    if !nets.contains_key(name) {
+                        let id = netlist.add_net(name);
+                        nets.insert(name.to_owned(), id);
+                    }
+                }
+            }
+            Tok::Ident(k) if k == "assign" => {
+                phase = Phase::Body;
+                // assign net = 1'b0 ; | assign net = net2 ; (buffer alias is
+                // unsupported: netlists use BUF cells instead).
+                let name = p.expect_ident()?.to_owned();
+                p.expect_punct('=')?;
+                let val_line = p.line();
+                let value = match p.next()? {
+                    Tok::Literal(b) => *b,
+                    other => {
+                        return Err(ParseVerilogError {
+                            line: val_line,
+                            kind: ParseVerilogErrorKind::Unsupported(format!(
+                                "assign from {other}"
+                            )),
+                        })
+                    }
+                };
+                p.expect_punct(';')?;
+                if nets.contains_key(&name) {
+                    // The net was declared as wire/output; re-create it as a
+                    // constant by checking it is undriven later (the netlist
+                    // arena has no "retype" so we only allow assign-before-use
+                    // on declared nets via a fresh constant net aliasing).
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::Unsupported(
+                            "assign to a declared net (declare via assign only)".into(),
+                        ),
+                    });
+                }
+                let id = netlist.add_constant(&name, value);
+                nets.insert(name, id);
+            }
+            Tok::Ident(cell_name) => {
+                phase = Phase::Body;
+                let cell = library.cell_by_name(&cell_name).ok_or(ParseVerilogError {
+                    line,
+                    kind: ParseVerilogErrorKind::UnknownCell(cell_name.clone()),
+                })?;
+                let inst_name = match p.peek() {
+                    Some(Tok::Ident(_)) => p.expect_ident()?.to_owned(),
+                    _ => {
+                        instance_counter += 1;
+                        format!("_u{instance_counter}")
+                    }
+                };
+                let (inputs, output) =
+                    parse_connections(&mut p, &mut netlist, &mut nets, &library, cell, line)?;
+                let out_driven = !matches!(
+                    netlist.net(output).driver(),
+                    odcfp_netlist::NetDriver::None
+                );
+                if out_driven {
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::MultipleDrivers(
+                            netlist.net(output).name().to_owned(),
+                        ),
+                    });
+                }
+                netlist.add_gate_driving(inst_name, cell, &inputs, output);
+            }
+            other => {
+                return Err(ParseVerilogError {
+                    line,
+                    kind: ParseVerilogErrorKind::Expected {
+                        wanted: "declaration, instance or endmodule".into(),
+                        found: other.to_string(),
+                    },
+                })
+            }
+        }
+    }
+
+    for name in pending_outputs {
+        let id = nets[&name];
+        netlist.set_primary_output(id);
+    }
+    netlist.validate().map_err(|e| ParseVerilogError {
+        line: 1,
+        kind: ParseVerilogErrorKind::BadConnections(e.to_string()),
+    })?;
+    Ok(netlist)
+}
+
+fn parse_connections(
+    p: &mut Parser<'_>,
+    netlist: &mut Netlist,
+    nets: &mut HashMap<String, NetId>,
+    library: &CellLibrary,
+    cell: CellId,
+    inst_line: usize,
+) -> Result<(Vec<NetId>, NetId), ParseVerilogError> {
+    let arity = library.cell(cell).arity();
+    p.expect_punct('(')?;
+    let mut named: Vec<(Option<usize>, NetId)> = Vec::new(); // None = output pin
+    let mut positional: Vec<NetId> = Vec::new();
+    let mut is_named = None;
+    loop {
+        let line = p.line();
+        match p.next()? {
+            Tok::Punct(')') => break,
+            Tok::Punct(',') => {}
+            Tok::Punct('.') => {
+                if is_named == Some(false) {
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::BadConnections(
+                            "mixed named and positional ports".into(),
+                        ),
+                    });
+                }
+                is_named = Some(true);
+                let pin_name = p.expect_ident()?.to_owned();
+                p.expect_punct('(')?;
+                let net_name = p.expect_ident()?.to_owned();
+                p.expect_punct(')')?;
+                let net = *nets.entry(net_name.clone()).or_insert_with(|| {
+                    // Implicitly declared wire.
+                    netlist.add_net(&net_name)
+                });
+                if pin_name.eq_ignore_ascii_case("Y") {
+                    named.push((None, net));
+                } else {
+                    let idx = pin_index(&pin_name).ok_or(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::UnknownPin(pin_name.clone()),
+                    })?;
+                    if idx >= arity {
+                        return Err(ParseVerilogError {
+                            line,
+                            kind: ParseVerilogErrorKind::UnknownPin(pin_name),
+                        });
+                    }
+                    named.push((Some(idx), net));
+                }
+            }
+            Tok::Ident(net_name) => {
+                if is_named == Some(true) {
+                    return Err(ParseVerilogError {
+                        line,
+                        kind: ParseVerilogErrorKind::BadConnections(
+                            "mixed named and positional ports".into(),
+                        ),
+                    });
+                }
+                is_named = Some(false);
+                let net = *nets
+                    .entry(net_name.clone())
+                    .or_insert_with(|| netlist.add_net(net_name));
+                positional.push(net);
+            }
+            other => {
+                return Err(ParseVerilogError {
+                    line,
+                    kind: ParseVerilogErrorKind::Expected {
+                        wanted: "port connection".into(),
+                        found: other.to_string(),
+                    },
+                })
+            }
+        }
+    }
+    p.expect_punct(';')?;
+
+    if is_named == Some(true) {
+        let mut output = None;
+        let mut inputs: Vec<Option<NetId>> = vec![None; arity];
+        for (pin, net) in named {
+            match pin {
+                None => {
+                    if output.replace(net).is_some() {
+                        return Err(ParseVerilogError {
+                            line: inst_line,
+                            kind: ParseVerilogErrorKind::BadConnections(
+                                "duplicate output pin".into(),
+                            ),
+                        });
+                    }
+                }
+                Some(i) => {
+                    if inputs[i].replace(net).is_some() {
+                        return Err(ParseVerilogError {
+                            line: inst_line,
+                            kind: ParseVerilogErrorKind::BadConnections(format!(
+                                "duplicate input pin {}",
+                                crate::input_pin_name(i)
+                            )),
+                        });
+                    }
+                }
+            }
+        }
+        let output = output.ok_or(ParseVerilogError {
+            line: inst_line,
+            kind: ParseVerilogErrorKind::BadConnections("missing output pin Y".into()),
+        })?;
+        let inputs: Option<Vec<NetId>> = inputs.into_iter().collect();
+        let inputs = inputs.ok_or(ParseVerilogError {
+            line: inst_line,
+            kind: ParseVerilogErrorKind::BadConnections("missing input pin".into()),
+        })?;
+        Ok((inputs, output))
+    } else {
+        // Positional: output first, then inputs.
+        if positional.len() != arity + 1 {
+            return Err(ParseVerilogError {
+                line: inst_line,
+                kind: ParseVerilogErrorKind::BadConnections(format!(
+                    "expected {} connections, found {}",
+                    arity + 1,
+                    positional.len()
+                )),
+            });
+        }
+        let output = positional.remove(0);
+        Ok((positional, output))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Arc<CellLibrary> {
+        CellLibrary::standard()
+    }
+
+    #[test]
+    fn named_ports() {
+        let src = "\
+module m (a, b, y);
+  input a, b;
+  output y;
+  wire t;
+  AND2 u1 (.A(a), .B(b), .Y(t));
+  INV u2 (.A(t), .Y(y));
+endmodule
+";
+        let n = parse_verilog(src, lib()).unwrap();
+        assert_eq!(n.name(), "m");
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(n.eval(&[true, true]), vec![false]);
+        assert_eq!(n.eval(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn positional_ports_output_first() {
+        let src = "module m (a, y);\ninput a;\noutput y;\nINV u1 (y, a);\nendmodule\n";
+        let n = parse_verilog(src, lib()).unwrap();
+        assert_eq!(n.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn comments_and_shuffled_pin_order() {
+        let src = "\
+// line comment
+module m (a, b, y); /* block
+   comment */
+  input a, b; output y;
+  NOR2 u1 (.Y(y), .B(b), .A(a));
+endmodule
+";
+        let n = parse_verilog(src, lib()).unwrap();
+        assert_eq!(n.eval(&[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn constants_via_assign() {
+        let src = "\
+module m (a, y);
+  input a;
+  output y;
+  assign one = 1'b1;
+  AND2 u1 (.A(a), .B(one), .Y(y));
+endmodule
+";
+        let n = parse_verilog(src, lib()).unwrap();
+        assert_eq!(n.eval(&[true]), vec![true]);
+        assert_eq!(n.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let src = "module m (y);\noutput y;\nMUX21 u1 (.Y(y));\nendmodule\n";
+        let e = parse_verilog(src, lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::UnknownCell(_)));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unknown_pin_rejected() {
+        let src =
+            "module m (a, y);\ninput a;\noutput y;\nINV u1 (.Q(y), .A(a));\nendmodule\n";
+        let e = parse_verilog(src, lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::UnknownPin(_)));
+    }
+
+    #[test]
+    fn pin_out_of_arity_rejected() {
+        let src = "module m (a, y);\ninput a;\noutput y;\nINV u1 (.B(a), .Y(y));\nendmodule\n";
+        let e = parse_verilog(src, lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::UnknownPin(_)));
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        let src = "module m (a, b);\ninput a, b;\nAND2 u1 (.A(a), .B(b));\nendmodule\n";
+        let e = parse_verilog(src, lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::BadConnections(_)));
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let src = "\
+module m (a, y);
+  input a;
+  output y;
+  INV u1 (.A(a), .Y(y));
+  INV u2 (.A(a), .Y(y));
+endmodule
+";
+        let e = parse_verilog(src, lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::MultipleDrivers(_)));
+    }
+
+    #[test]
+    fn wrong_positional_count_rejected() {
+        let src = "module m (a, y);\ninput a;\noutput y;\nAND2 u1 (y, a);\nendmodule\n";
+        let e = parse_verilog(src, lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::BadConnections(_)));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let e = parse_verilog("// nothing\n", lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::Empty));
+    }
+
+    #[test]
+    fn eof_mid_module_rejected() {
+        let e = parse_verilog("module m (a);\ninput a;\n", lib()).unwrap_err();
+        assert!(matches!(e.kind, ParseVerilogErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn escaped_identifiers() {
+        let src = "module m (\\a[0] , y);\ninput \\a[0] ;\noutput y;\nINV u1 (.A(\\a[0] ), .Y(y));\nendmodule\n";
+        let n = parse_verilog(src, lib()).unwrap();
+        assert_eq!(n.primary_inputs().len(), 1);
+        assert_eq!(n.net(n.primary_inputs()[0]).name(), "a[0]");
+        assert_eq!(n.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn block_comment_line_numbers_tracked() {
+        let src = "module m (a, y);\n/* one\n   two\n   three */\ninput a;\noutput y;\nMUX21 u (.Y(y));\nendmodule\n";
+        let e = parse_verilog(src, lib()).unwrap_err();
+        assert_eq!(e.line, 7, "line numbers must survive block comments");
+    }
+
+    #[test]
+    fn anonymous_instances_get_names() {
+        let src = "module m (a, y);\ninput a;\noutput y;\nINV (.A(a), .Y(y));\nendmodule\n";
+        let n = parse_verilog(src, lib()).unwrap();
+        assert_eq!(n.num_gates(), 1);
+        assert!(n.gate_by_name("_u1").is_some());
+    }
+}

@@ -1,0 +1,200 @@
+//! Writer for the structural Verilog subset.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use odcfp_netlist::{NetDriver, NetId, Netlist};
+
+use crate::input_pin_name;
+
+/// Emits a netlist as a flat gate-level Verilog module with named ports.
+///
+/// Net and instance names are sanitized to legal simple identifiers
+/// (alphanumerics and `_`; anything else becomes `_`) and uniquified with
+/// numeric suffixes when sanitization collides, so any netlist — including
+/// ones built from BLIF files with bracketed names — round-trips through
+/// [`crate::parse_verilog`] functionally (names may differ textually).
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut namer = Namer::default();
+    // Reserve language keywords and cell names up front.
+    for kw in [
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "wire",
+        "assign",
+    ] {
+        namer.reserve(kw);
+    }
+    for (_, cell) in netlist.library().iter() {
+        namer.reserve(cell.name());
+    }
+
+    let mut net_names: HashMap<NetId, String> = HashMap::new();
+    for (id, net) in netlist.nets() {
+        net_names.insert(id, namer.fresh(net.name()));
+    }
+
+    let mut out = String::new();
+    let module = sanitize(netlist.name());
+    let ports: Vec<String> = netlist
+        .primary_inputs()
+        .iter()
+        .chain(netlist.primary_outputs())
+        .map(|n| net_names[n].clone())
+        .collect();
+    let _ = writeln!(out, "module {module} ({});", ports.join(", "));
+
+    let list = |ids: &[NetId]| -> String {
+        ids.iter()
+            .map(|n| net_names[n].as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !netlist.primary_inputs().is_empty() {
+        let _ = writeln!(out, "  input {};", list(netlist.primary_inputs()));
+    }
+    if !netlist.primary_outputs().is_empty() {
+        let _ = writeln!(out, "  output {};", list(netlist.primary_outputs()));
+    }
+    let wires: Vec<NetId> = netlist
+        .nets()
+        .filter(|(_, n)| {
+            matches!(n.driver(), NetDriver::Gate(_)) && !n.is_primary_output()
+        })
+        .map(|(id, _)| id)
+        .collect();
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", list(&wires));
+    }
+    for (id, net) in netlist.nets() {
+        if let NetDriver::Const(v) = net.driver() {
+            let _ = writeln!(out, "  assign {} = 1'b{};", net_names[&id], u8::from(v));
+        }
+    }
+    out.push('\n');
+
+    for (_, gate) in netlist.gates() {
+        let cell = netlist.library().cell(gate.cell());
+        let inst = namer.fresh(gate.name());
+        let mut conns: Vec<String> = gate
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(pin, n)| format!(".{}({})", input_pin_name(pin), net_names[n]))
+            .collect();
+        conns.push(format!(".Y({})", net_names[&gate.output()]));
+        let _ = writeln!(out, "  {} {} ({});", cell.name(), inst, conns.join(", "));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+#[derive(Default)]
+struct Namer {
+    used: HashMap<String, usize>,
+}
+
+impl Namer {
+    fn reserve(&mut self, name: &str) {
+        self.used.insert(name.to_owned(), 0);
+    }
+
+    fn fresh(&mut self, want: &str) -> String {
+        let base = sanitize(want);
+        if !self.used.contains_key(&base) {
+            self.used.insert(base.clone(), 0);
+            return base;
+        }
+        loop {
+            let counter = self.used.get_mut(&base).expect("base present");
+            *counter += 1;
+            let candidate = format!("{base}_{counter}");
+            if !self.used.contains_key(&candidate) {
+                self.used.insert(candidate.clone(), 0);
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_verilog;
+    use odcfp_logic::PrimitiveFn;
+    use odcfp_netlist::CellLibrary;
+
+    fn sample() -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("sample", lib);
+        let a = n.add_primary_input("a");
+        let b = n.add_primary_input("b[0]"); // hostile name
+        let one = n.add_constant("tie1", true);
+        let nand2 = n.library().cell_for(PrimitiveFn::Nand, 2).unwrap();
+        let and3 = n.library().cell_for(PrimitiveFn::And, 3).unwrap();
+        let g1 = n.add_gate("u1", nand2, &[a, b]);
+        let g2 = n.add_gate("u 2", and3, &[n.gate_output(g1), b, one]);
+        n.set_primary_output(n.gate_output(g2));
+        n
+    }
+
+    #[test]
+    fn roundtrip_functionality() {
+        let n = sample();
+        let text = write_verilog(&n);
+        let back = parse_verilog(&text, n.library().clone()).unwrap();
+        assert_eq!(back.num_gates(), n.num_gates());
+        for i in 0..4usize {
+            let bits: Vec<bool> = (0..2).map(|v| (i >> v) & 1 == 1).collect();
+            assert_eq!(back.eval(&bits), n.eval(&bits), "assignment {i}");
+        }
+    }
+
+    #[test]
+    fn hostile_names_sanitized_and_unique() {
+        let text = write_verilog(&sample());
+        assert!(text.contains("b_0_"), "bracketed name sanitized: {text}");
+        assert!(!text.contains('['));
+        assert!(text.contains("assign"));
+    }
+
+    #[test]
+    fn sanitize_rules() {
+        assert_eq!(sanitize("a[3]"), "a_3_");
+        assert_eq!(sanitize("3x"), "n3x");
+        assert_eq!(sanitize(""), "n");
+    }
+
+    #[test]
+    fn namer_uniquifies() {
+        let mut n = Namer::default();
+        assert_eq!(n.fresh("x"), "x");
+        assert_eq!(n.fresh("x"), "x_1");
+        assert_eq!(n.fresh("x"), "x_2");
+        n.reserve("y");
+        assert_eq!(n.fresh("y"), "y_1");
+    }
+
+    #[test]
+    fn keywords_avoided() {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("kw", lib);
+        let w = n.add_primary_input("wire");
+        n.set_primary_output(w);
+        let text = write_verilog(&n);
+        assert!(text.contains("input wire_1;"), "{text}");
+    }
+}

@@ -1,0 +1,81 @@
+//! The end-to-end IP-protection flow of §III-E: the vendor protects an IP
+//! with a keyed **watermark** (authorship, identical in every copy) plus a
+//! per-buyer **fingerprint**, ships gate-level Verilog, and later runs the
+//! two-step check on a grey-market netlist — watermark first to establish
+//! piracy, fingerprint second to trace the buyer.
+//!
+//! Run with: `cargo run --release --example ip_protection_flow`
+
+use odcfp_analysis::DesignMetrics;
+use odcfp_core::collusion::trace_suspects;
+use odcfp_core::watermark::ProtectedIp;
+use odcfp_core::Fingerprinter;
+use odcfp_netlist::CellLibrary;
+use odcfp_synth::benchmarks;
+use odcfp_verilog::write_verilog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The IP: a C880-class ALU out of the benchmark suite.
+    let lib = CellLibrary::standard();
+    let base = benchmarks::generate("c880", lib).expect("known benchmark");
+    let base_metrics = DesignMetrics::measure(&base);
+    println!(
+        "IP: {} ({} gates, {base_metrics})",
+        base.name(),
+        base.num_gates()
+    );
+
+    // Protect: split locations between watermark and fingerprints.
+    let designer_key = 0x0DC_F1A6;
+    let ip = ProtectedIp::new(Fingerprinter::new(base)?, designer_key);
+    println!(
+        "protection: {} watermark bits (authorship) + {} fingerprint bits (buyers)\n",
+        ip.watermark_len(),
+        ip.fingerprint_len()
+    );
+
+    // Mint one copy per buyer.
+    let buyers = ["acme-soc", "nile-semi", "orbit-ic", "quanta-chips"];
+    let mut registry: Vec<(String, Vec<bool>)> = Vec::new();
+    for (k, buyer) in buyers.iter().enumerate() {
+        let copy = ip.mint_seeded(0xB0B0 + k as u64)?;
+        let metrics = DesignMetrics::measure(copy.netlist());
+        let oh = metrics.overhead_vs(&base_metrics);
+        let verdict = ip.verify(copy.netlist());
+        registry.push((buyer.to_string(), verdict.buyer_bits.clone()));
+        let verilog = write_verilog(copy.netlist());
+        println!(
+            "minted {buyer:>14}: {oh}; shipped {} lines of Verilog",
+            verilog.lines().count()
+        );
+    }
+
+    // Years later: a suspicious netlist surfaces — a verbatim clone of
+    // buyer 2's chips (heredity: copies of the IC carry the same marks).
+    let pirated = ip.mint_seeded(0xB0B0 + 2)?;
+    println!("\nsuspicious netlist acquired — step 1: verify the watermark");
+    let verdict = ip.verify(pirated.netlist());
+    println!(
+        "  watermark match: {:.0}% -> authorship {}",
+        verdict.watermark_match * 100.0,
+        if verdict.authorship_established {
+            "ESTABLISHED (this is our IP)"
+        } else {
+            "not established"
+        }
+    );
+    assert!(verdict.authorship_established);
+
+    println!("step 2: trace the fingerprint to a buyer");
+    let ranking = trace_suspects(
+        &verdict.buyer_bits,
+        &registry.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>(),
+    );
+    for &(idx, score) in &ranking {
+        println!("  {:>14}: {:>6.2}%", registry[idx].0, score * 100.0);
+    }
+    let culprit = ranking[0].0;
+    assert_eq!(registry[culprit].0, "orbit-ic");
+    println!("\n=> pirated copies trace to {:?}", registry[culprit].0);
+    Ok(())
+}

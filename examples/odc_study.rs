@@ -1,0 +1,61 @@
+//! An observability study: how common are ODCs in real circuits, and how
+//! does that explain fingerprint capacity?
+//!
+//! For each benchmark we measure, by seeded random simulation, the fraction
+//! of nets that are *not always observable* — exactly the raw material the
+//! fingerprinting method mines — and relate it to the number of Definition-1
+//! locations found.
+//!
+//! Run with: `cargo run --release --example odc_study [circuit...]`
+
+use odcfp_analysis::odc::simulated_observability;
+use odcfp_core::Fingerprinter;
+use odcfp_netlist::{CellLibrary, NetDriver};
+use odcfp_synth::benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        vec!["c432".into(), "c499".into(), "c880".into(), "vda".into()]
+    } else {
+        args
+    };
+    println!(
+        "{:<8} {:>6} {:>12} {:>14} {:>10}",
+        "circuit", "gates", "avg obs.", "nets w/ ODCs", "FP locs"
+    );
+    for name in &names {
+        let base = benchmarks::generate(name, CellLibrary::standard())
+            .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+        // Sample up to 150 gate-output nets for the observability average.
+        let nets: Vec<_> = base
+            .nets()
+            .filter(|(_, n)| matches!(n.driver(), NetDriver::Gate(_)) && n.fanout() > 0)
+            .map(|(id, _)| id)
+            .take(150)
+            .collect();
+        let mut total = 0.0;
+        let mut with_odc = 0usize;
+        for &net in &nets {
+            let obs = simulated_observability(&base, net, 8, 42);
+            total += obs;
+            if obs < 1.0 - 1e-9 {
+                with_odc += 1;
+            }
+        }
+        let fp = Fingerprinter::new(base.clone())?;
+        println!(
+            "{:<8} {:>6} {:>11.1}% {:>12.1}% {:>10}",
+            name,
+            base.num_gates(),
+            total / nets.len() as f64 * 100.0,
+            with_odc as f64 / nets.len() as f64 * 100.0,
+            fp.locations().len()
+        );
+    }
+    println!();
+    println!("\"ODC conditions exist almost everywhere in any combinational");
+    println!("circuit\" (§I) — the measured don't-care density above is what");
+    println!("gives the method its embedding space.");
+    Ok(())
+}

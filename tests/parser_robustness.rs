@@ -1,0 +1,106 @@
+//! Robustness: the three text parsers must never panic — any input either
+//! parses or returns a structured error. Driven by proptest over both
+//! arbitrary bytes and format-shaped fragments.
+
+use proptest::prelude::*;
+
+use odcfp_netlist::genlib::parse_genlib;
+use odcfp_netlist::CellLibrary;
+
+/// Fragments that look like the formats, to push the parsers deeper than
+/// pure noise would.
+fn blif_fragments() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(".model m".to_owned()),
+            Just(".inputs a b".to_owned()),
+            Just(".outputs y".to_owned()),
+            Just(".names a b y".to_owned()),
+            Just(".names y".to_owned()),
+            Just("11 1".to_owned()),
+            Just("0- 0".to_owned()),
+            Just("1".to_owned()),
+            Just(".latch a b".to_owned()),
+            Just(".end".to_owned()),
+            Just("# comment".to_owned()),
+            Just("\\".to_owned()),
+            "[ -~]{0,20}",
+        ],
+        0..12,
+    )
+    .prop_map(|lines| lines.join("\n"))
+}
+
+fn verilog_fragments() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("module m (a, y);".to_owned()),
+            Just("input a;".to_owned()),
+            Just("output y;".to_owned()),
+            Just("wire w;".to_owned()),
+            Just("INV u1 (.A(a), .Y(y));".to_owned()),
+            Just("NAND2 (y, a, w);".to_owned()),
+            Just("assign k = 1'b1;".to_owned()),
+            Just("endmodule".to_owned()),
+            Just("/* block".to_owned()),
+            Just("// line".to_owned()),
+            "[ -~]{0,20}",
+        ],
+        0..12,
+    )
+    .prop_map(|lines| lines.join("\n"))
+}
+
+fn genlib_fragments() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("GATE X 1 Y=A*B;".to_owned()),
+            Just("GATE Y 2 Y=!(A+B);".to_owned()),
+            Just("PIN * INV 1 999 1 1 1 1".to_owned()),
+            Just("GATE Z 3 Y=".to_owned()),
+            Just("LATCH L 1 Q=D;".to_owned()),
+            Just("# comment".to_owned()),
+            "[ -~]{0,20}",
+        ],
+        0..10,
+    )
+    .prop_map(|lines| lines.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn blif_parser_never_panics_on_noise(src in "[ -~\\n\\t]{0,200}") {
+        let _ = odcfp_blif::parse_blif(&src);
+    }
+
+    #[test]
+    fn blif_parser_never_panics_on_fragments(src in blif_fragments()) {
+        if let Ok(network) = odcfp_blif::parse_blif(&src) {
+            // A parsed network may still be semantically invalid; validation
+            // must also not panic.
+            let _ = network.validate();
+        }
+    }
+
+    #[test]
+    fn verilog_parser_never_panics_on_noise(src in "[ -~\\n\\t]{0,200}") {
+        let _ = odcfp_verilog::parse_verilog(&src, CellLibrary::standard());
+    }
+
+    #[test]
+    fn verilog_parser_never_panics_on_fragments(src in verilog_fragments()) {
+        let _ = odcfp_verilog::parse_verilog(&src, CellLibrary::standard());
+    }
+
+    #[test]
+    fn genlib_parser_never_panics(src in genlib_fragments()) {
+        let _ = parse_genlib(&src, "fuzz");
+    }
+
+    #[test]
+    fn cube_parser_never_panics(src in "[ -~]{0,32}") {
+        let _ = src.parse::<odcfp_logic::Cube>();
+    }
+}
