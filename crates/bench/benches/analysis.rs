@@ -12,24 +12,24 @@ use odcfp_logic::sim;
 fn bench_analysis(c: &mut Criterion) {
     for name in ["c880", "c6288"] {
         let n = netlist_for(name);
-        c.bench_function(&format!("sta/{name}"), |b| {
+        c.bench_function(format!("sta/{name}"), |b| {
             b.iter(|| sta::analyze(black_box(&n)).unwrap())
         });
-        c.bench_function(&format!("area/{name}"), |b| {
+        c.bench_function(format!("area/{name}"), |b| {
             b.iter(|| black_box(area::total_area(black_box(&n))))
         });
-        c.bench_function(&format!("power_16w/{name}"), |b| {
+        c.bench_function(format!("power_16w/{name}"), |b| {
             b.iter(|| power::estimate_power(black_box(&n), 16, 7))
         });
         let mut rng = Xoshiro256::seed_from_u64(3);
         let patterns: Vec<Vec<u64>> = (0..n.primary_inputs().len())
             .map(|_| sim::random_words(&mut rng, 16))
             .collect();
-        c.bench_function(&format!("simulate_16w/{name}"), |b| {
+        c.bench_function(format!("simulate_16w/{name}"), |b| {
             b.iter(|| black_box(n.simulate(black_box(&patterns))))
         });
         let roots: Vec<_> = n.gates().map(|(id, _)| id).take(64).collect();
-        c.bench_function(&format!("ffc_sweep_64/{name}"), |b| {
+        c.bench_function(format!("ffc_sweep_64/{name}"), |b| {
             b.iter(|| {
                 for &r in &roots {
                     black_box(cones::ffc_of(&n, r));

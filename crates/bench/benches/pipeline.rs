@@ -10,18 +10,18 @@ use odcfp_core::{find_locations, Fingerprinter};
 fn bench_pipeline(c: &mut Criterion) {
     for name in ["c432", "c880", "c1908"] {
         let base = netlist_for(name);
-        c.bench_function(&format!("find_locations/{name}"), |b| {
+        c.bench_function(format!("find_locations/{name}"), |b| {
             b.iter(|| black_box(find_locations(black_box(&base))))
         });
-        c.bench_function(&format!("engine_new/{name}"), |b| {
+        c.bench_function(format!("engine_new/{name}"), |b| {
             b.iter(|| Fingerprinter::new(black_box(base.clone())).unwrap())
         });
         let fp = Fingerprinter::new(base).unwrap();
-        c.bench_function(&format!("embed_all/{name}"), |b| {
+        c.bench_function(format!("embed_all/{name}"), |b| {
             b.iter(|| fp.embed_all().unwrap())
         });
         let copy = fp.embed_seeded(1).unwrap();
-        c.bench_function(&format!("extract/{name}"), |b| {
+        c.bench_function(format!("extract/{name}"), |b| {
             b.iter(|| black_box(fp.extract(black_box(copy.netlist()))))
         });
     }

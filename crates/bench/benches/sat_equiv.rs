@@ -12,7 +12,7 @@ fn bench_equiv(c: &mut Criterion) {
     for name in ["c432", "c880"] {
         let fp = Fingerprinter::new(netlist_for(name)).unwrap();
         let copy = fp.embed_all().unwrap();
-        c.bench_function(&format!("sim_equiv_16w/{name}"), |b| {
+        c.bench_function(format!("sim_equiv_16w/{name}"), |b| {
             b.iter(|| {
                 assert!(probably_equivalent(
                     black_box(fp.base()),

@@ -9,6 +9,8 @@
 //! odcfp embed      <in.(blif|v)> -o <out.v>      embed a fingerprint
 //!                  (--seed N | --bits 0101..) [--verify none|sim|sat]
 //! odcfp extract    <base.(blif|v)> <suspect.v>   recover a fingerprint
+//! odcfp verify     <golden.(blif|v)> <candidate.(blif|v)>
+//!                  [--verify-budget N] [--verify-timeout SECS]
 //! odcfp constrain  <in.(blif|v)> -o <out.v>      delay-constrained embedding
 //!                  --delay-pct P [--method reactive|proactive]
 //! odcfp dot        <in.(blif|v)> -o <out.dot>    Graphviz export
@@ -19,6 +21,13 @@
 //! Every command accepts `--genlib <file>` to use a custom cell library
 //! instead of the built-in one. BLIF inputs are technology-mapped on the
 //! fly.
+//!
+//! # Exit codes
+//!
+//! `run` reports the process exit code for the outcome: `0` success (and
+//! `verify`'s *proven equivalent*), `1` runtime error, `2` usage error,
+//! `3` *refuted*, `4` *undecided* (budget or deadline exhausted), `5`
+//! *probably equivalent* (simulation only, no proof).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,18 +36,27 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use odcfp_analysis::DesignMetrics;
 use odcfp_core::heuristics::{
     proactive_delay_embedding, reactive_delay_reduction, ReactiveOptions,
 };
-use odcfp_core::{Fingerprinter, VerifyLevel};
+use odcfp_core::{verify_equivalent, Fingerprinter, Verdict, VerifyLevel, VerifyPolicy};
 use odcfp_netlist::{genlib, CellLibrary, Netlist};
 use odcfp_verilog::{parse_verilog, write_verilog};
 
-/// A CLI failure: message already formatted for the user.
+/// A CLI failure: message already formatted for the user, plus the process
+/// exit code (`1` runtime error, `2` usage error).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError(pub String, pub i32);
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> i32 {
+        self.1
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -52,7 +70,7 @@ macro_rules! from_error {
     ($($ty:ty),* $(,)?) => {
         $(impl From<$ty> for CliError {
             fn from(e: $ty) -> Self {
-                CliError(e.to_string())
+                CliError(e.to_string(), 1)
             }
         })*
     };
@@ -69,7 +87,22 @@ from_error!(
 );
 
 fn fail(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError(msg.into(), 1)
+}
+
+/// A usage mistake (bad flags / arguments): exit code 2.
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError(msg.into(), 2)
+}
+
+/// The process exit code a [`Verdict`] maps to.
+pub fn verdict_exit_code(verdict: &Verdict) -> i32 {
+    match verdict {
+        Verdict::Proven => 0,
+        Verdict::Refuted { .. } => 3,
+        Verdict::Undecided { .. } => 4,
+        Verdict::ProbablyEquivalent { .. } => 5,
+    }
 }
 
 /// Parsed global options.
@@ -80,8 +113,25 @@ struct Options {
     seed: Option<u64>,
     bits: Option<String>,
     verify: VerifyLevel,
+    verify_budget: Option<u64>,
+    verify_timeout: Option<f64>,
     delay_pct: Option<f64>,
     method: String,
+}
+
+impl Options {
+    /// The equivalence-checking policy the flags ask for: `--verify-budget`
+    /// overrides `base`, and `--verify-timeout` adds a deadline.
+    fn verify_policy(&self, base: VerifyPolicy) -> VerifyPolicy {
+        let mut policy = match self.verify_budget {
+            Some(budget) => VerifyPolicy::budgeted(budget),
+            None => base,
+        };
+        if let Some(secs) = self.verify_timeout {
+            policy = policy.with_time_limit(Duration::from_secs_f64(secs));
+        }
+        policy
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -92,6 +142,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         seed: None,
         bits: None,
         verify: VerifyLevel::Simulation,
+        verify_budget: None,
+        verify_timeout: None,
         delay_pct: None,
         method: "reactive".into(),
     };
@@ -100,7 +152,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         let mut take = |name: &str| -> Result<String, CliError> {
             it.next()
                 .cloned()
-                .ok_or_else(|| fail(format!("{name} needs a value")))
+                .ok_or_else(|| usage(format!("{name} needs a value")))
         };
         match a.as_str() {
             "-o" | "--output" => o.output = Some(take("-o")?),
@@ -109,7 +161,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 o.seed = Some(
                     take("--seed")?
                         .parse()
-                        .map_err(|_| fail("--seed needs an integer"))?,
+                        .map_err(|_| usage("--seed needs an integer"))?,
                 )
             }
             "--bits" => o.bits = Some(take("--bits")?),
@@ -118,19 +170,35 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     "none" => VerifyLevel::None,
                     "sim" => VerifyLevel::Simulation,
                     "sat" => VerifyLevel::Sat,
-                    other => return Err(fail(format!("unknown verify level {other:?}"))),
+                    other => return Err(usage(format!("unknown verify level {other:?}"))),
                 }
+            }
+            "--verify-budget" => {
+                o.verify_budget = Some(
+                    take("--verify-budget")?
+                        .parse()
+                        .map_err(|_| usage("--verify-budget needs a conflict count"))?,
+                )
+            }
+            "--verify-timeout" => {
+                let secs: f64 = take("--verify-timeout")?
+                    .parse()
+                    .map_err(|_| usage("--verify-timeout needs seconds"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(usage("--verify-timeout needs non-negative seconds"));
+                }
+                o.verify_timeout = Some(secs);
             }
             "--delay-pct" => {
                 o.delay_pct = Some(
                     take("--delay-pct")?
                         .parse()
-                        .map_err(|_| fail("--delay-pct needs a number"))?,
+                        .map_err(|_| usage("--delay-pct needs a number"))?,
                 )
             }
             "--method" => o.method = take("--method")?,
             flag if flag.starts_with('-') => {
-                return Err(fail(format!("unknown flag {flag:?}")))
+                return Err(usage(format!("unknown flag {flag:?}")))
             }
             _ => o.positional.push(a.clone()),
         }
@@ -196,15 +264,18 @@ fn required_input<'a>(o: &'a Options, what: &str) -> Result<&'a str, CliError> {
     o.positional
         .first()
         .map(String::as_str)
-        .ok_or_else(|| fail(format!("missing {what}")))
+        .ok_or_else(|| usage(format!("missing {what}")))
 }
 
 /// Runs one subcommand with its arguments; `out` receives report text.
 ///
+/// Returns the process exit code for the outcome (`0` except for `verify`
+/// verdicts and unverified embeddings — see the crate docs).
+///
 /// # Errors
 ///
 /// Returns a formatted error for any user or I/O problem.
-pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Result<i32, CliError> {
     let o = parse_options(args)?;
     let library = load_library(&o)?;
     match command {
@@ -216,11 +287,12 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             let timing = odcfp_analysis::sta::analyze(&design)
                 .map_err(|e| fail(e.to_string()))?;
             writeln!(out, "{}", timing.report(&design))?;
-            Ok(())
+            Ok(0)
         }
         "map" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
-            write_output(&o, &write_verilog(&design), out)
+            write_output(&o, &write_verilog(&design), out)?;
+            Ok(0)
         }
         "locations" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
@@ -234,7 +306,7 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
                     loc.candidates.len()
                 )?;
             }
-            Ok(())
+            Ok(0)
         }
         "embed" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
@@ -245,22 +317,34 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
                     .map(|c| match c {
                         '0' => Ok(false),
                         '1' => Ok(true),
-                        other => Err(fail(format!("bad bit {other:?}"))),
+                        other => Err(usage(format!("bad bit {other:?}"))),
                     })
                     .collect::<Result<_, _>>()?,
                 (None, Some(seed)) => {
                     let mut rng = odcfp_logic::rng::Xoshiro256::seed_from_u64(seed);
                     (0..fp.locations().len()).map(|_| rng.next_bool()).collect()
                 }
-                (None, None) => return Err(fail("embed needs --bits or --seed")),
+                (None, None) => return Err(usage("embed needs --bits or --seed")),
             };
-            let copy = fp.embed_verified(&bits, o.verify)?;
+            let mut code = 0;
+            let copy = match o.verify.policy() {
+                None => fp.embed_verified(&bits, VerifyLevel::None)?,
+                Some(level_policy) => {
+                    let (copy, verdict) = fp.embed_with_policy(&bits, &o.verify_policy(level_policy))?;
+                    if let Verdict::Undecided { .. } = verdict {
+                        eprintln!("warning: equivalence {verdict}; output is unverified");
+                        code = verdict_exit_code(&verdict);
+                    }
+                    copy
+                }
+            };
             writeln!(out, "embedded {} bits: {}", bits.len(), copy.bit_string())?;
-            write_output(&o, &write_verilog(copy.netlist()), out)
+            write_output(&o, &write_verilog(copy.netlist()), out)?;
+            Ok(code)
         }
         "extract" => {
             if o.positional.len() != 2 {
-                return Err(fail("extract needs <base> and <suspect>"));
+                return Err(usage("extract needs <base> and <suspect>"));
             }
             let base = load_design(&o.positional[0], library.clone())?;
             let suspect = load_design(&o.positional[1], library)?;
@@ -268,18 +352,29 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             let bits = fp.extract_by_name(&suspect)?;
             let s: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
             writeln!(out, "{s}")?;
-            Ok(())
+            Ok(0)
+        }
+        "verify" => {
+            if o.positional.len() != 2 {
+                return Err(usage("verify needs <golden> and <candidate>"));
+            }
+            let golden = load_design(&o.positional[0], library.clone())?;
+            let candidate = load_design(&o.positional[1], library)?;
+            let verdict =
+                verify_equivalent(&golden, &candidate, &o.verify_policy(VerifyPolicy::strict()))?;
+            writeln!(out, "{verdict}")?;
+            Ok(verdict_exit_code(&verdict))
         }
         "constrain" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
             let pct = o
                 .delay_pct
-                .ok_or_else(|| fail("constrain needs --delay-pct"))?;
+                .ok_or_else(|| usage("constrain needs --delay-pct"))?;
             let fp = Fingerprinter::new(design)?;
             let result = match o.method.as_str() {
                 "reactive" => reactive_delay_reduction(&fp, pct, ReactiveOptions::default())?,
                 "proactive" => proactive_delay_embedding(&fp, pct)?,
-                other => return Err(fail(format!("unknown method {other:?}"))),
+                other => return Err(usage(format!("unknown method {other:?}"))),
             };
             writeln!(
                 out,
@@ -288,7 +383,8 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
                 fp.locations().len(),
                 result.metrics.overhead_vs(&result.base_metrics)
             )?;
-            write_output(&o, &write_verilog(result.copy.netlist()), out)
+            write_output(&o, &write_verilog(result.copy.netlist()), out)?;
+            Ok(0)
         }
         "report" => {
             let path = required_input(&o, "input design")?;
@@ -313,7 +409,8 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
                 "Full embedding overhead: {oh}\n\nEvery embedded copy is verified \
                  functionally equivalent (1024-pattern simulation; SAT on demand)."
             );
-            write_output(&o, &text, out)
+            write_output(&o, &text, out)?;
+            Ok(0)
         }
         "optimize" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
@@ -327,19 +424,22 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
                 stats.pins_pruned,
                 stats.dead_gates_removed
             )?;
-            write_output(&o, &write_verilog(&opt), out)
+            write_output(&o, &write_verilog(&opt), out)?;
+            Ok(0)
         }
         "dot" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
-            write_output(&o, &odcfp_netlist::dot::to_dot(&design, &[]), out)
+            write_output(&o, &odcfp_netlist::dot::to_dot(&design, &[]), out)?;
+            Ok(0)
         }
         "bench" => {
             let name = required_input(&o, "benchmark name")?;
             let design = odcfp_synth::benchmarks::generate(name, library)
                 .ok_or_else(|| fail(format!("unknown benchmark {name:?}")))?;
-            write_output(&o, &write_verilog(&design), out)
+            write_output(&o, &write_verilog(&design), out)?;
+            Ok(0)
         }
-        other => Err(fail(format!("unknown command {other:?}\n{USAGE}"))),
+        other => Err(usage(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }
 
@@ -352,13 +452,18 @@ commands:
   locations <in.(blif|v)>                       fingerprint locations + capacity
   embed     <in.(blif|v)> (--seed N | --bits S) [-o out.v] [--verify none|sim|sat]
   extract   <base.(blif|v)> <suspect.v>         recover a fingerprint
+  verify    <golden.(blif|v)> <candidate.(blif|v)>   equivalence check
+            [--verify-budget N] [--verify-timeout SECS]
   constrain <in.(blif|v)> --delay-pct P         delay-constrained embedding
             [--method reactive|proactive] [-o out.v]
   report    <in.(blif|v)> [-o out.md]           full markdown design report
   optimize  <in.(blif|v)> [-o out.v]            constant folding + dead sweep
   dot       <in.(blif|v)> [-o out.dot]          Graphviz export
   bench     <name> [-o out.v]                   generate a Table II benchmark
-options: --genlib <file> to use a custom cell library";
+options: --genlib <file> to use a custom cell library
+         --verify-budget / --verify-timeout bound SAT effort (embed, verify)
+exit codes: 0 ok/proven, 1 error, 2 usage,
+            3 refuted, 4 undecided, 5 probably-equivalent";
 
 #[cfg(test)]
 mod tests {
@@ -501,11 +606,119 @@ mod tests {
     fn errors_are_friendly() {
         let e = run("embed", &["nope.v".into()], &mut Vec::new()).unwrap_err();
         assert!(e.0.contains("cannot read"));
+        assert_eq!(e.exit_code(), 1);
         let e2 = run("frobnicate", &[], &mut Vec::new()).unwrap_err();
         assert!(e2.0.contains("unknown command"));
+        assert_eq!(e2.exit_code(), 2);
         let input = tmp("err.blif", BLIF);
         let e3 = run("embed", &[input], &mut Vec::new()).unwrap_err();
         assert!(e3.0.contains("--bits or --seed"));
+        assert_eq!(e3.exit_code(), 2);
+    }
+
+    /// The malformed-input corpus: every entry must produce a formatted
+    /// [`CliError`] with the right exit code — no panics, no unwraps.
+    #[test]
+    fn malformed_input_corpus_yields_clean_errors() {
+        let truncated = tmp("trunc.blif", &BLIF[..BLIF.len() / 2]);
+        let bad_genlib = tmp("bad.genlib", "GATE\nnot a genlib at all\n");
+        let bad_ext = tmp("design.vhdl", "entity e is end;");
+        let good = tmp("corpus.blif", BLIF);
+        let corpus: Vec<(&str, Vec<String>, i32)> = vec![
+            // Runtime errors (exit 1): broken files and inputs.
+            ("stats", vec![truncated.clone()], 1),
+            ("stats", vec!["/nonexistent/x.blif".into()], 1),
+            ("stats", vec![good.clone(), "--genlib".into(), bad_genlib], 1),
+            ("stats", vec![bad_ext], 1),
+            // A --bits string whose length disagrees with the location
+            // count must be a typed error, not an index panic.
+            ("embed", vec![good.clone(), "--bits".into(), "0".repeat(64)], 1),
+            // Usage errors (exit 2): bad flags and arguments.
+            ("embed", vec![good.clone(), "--bits".into(), "01x".into()], 2),
+            ("embed", vec![good.clone(), "--seed".into(), "NaN".into()], 2),
+            ("embed", vec![good.clone(), "--verify".into(), "psychic".into()], 2),
+            ("verify", vec![good.clone()], 2),
+            ("verify", vec![good.clone(), good.clone(), "--verify-budget".into(), "-3".into()], 2),
+            ("verify", vec![good.clone(), good.clone(), "--verify-timeout".into(), "-1".into()], 2),
+            ("extract", vec![good.clone()], 2),
+            ("stats", vec![good.clone(), "--frob".into()], 2),
+            ("stats", vec![good, "--genlib".into()], 2),
+        ];
+        for (command, args, want_code) in corpus {
+            let e = run(command, &args, &mut Vec::new())
+                .expect_err(&format!("{command} {args:?} must fail"));
+            assert!(!e.0.is_empty(), "{command} {args:?}: empty message");
+            assert_eq!(e.exit_code(), want_code, "{command} {args:?}: {}", e.0);
+        }
+    }
+
+    #[test]
+    fn verify_subcommand_reports_verdicts() {
+        let golden = tmp("ver_a.blif", BLIF);
+        // Same function, different association of the AND tree.
+        let same = tmp(
+            "ver_b.blif",
+            "\
+.model tiny2
+.inputs a b c d
+.outputs f
+.names c d y
+1- 1
+-1 1
+.names a y t
+11 1
+.names t b f
+11 1
+.end
+",
+        );
+        // Differs on exactly one row (x y = 10 also asserts f).
+        let different = tmp(
+            "ver_c.blif",
+            "\
+.model tiny3
+.inputs a b c d
+.outputs f
+.names a b x
+11 1
+.names c d y
+1- 1
+-1 1
+.names x y f
+11 1
+10 1
+.end
+",
+        );
+        let mut out = Vec::new();
+        let code = run("verify", &[golden.clone(), same], &mut out).unwrap();
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+        assert!(String::from_utf8_lossy(&out).contains("proven equivalent"));
+
+        let mut out = Vec::new();
+        let code = run("verify", &[golden, different], &mut out).unwrap();
+        assert_eq!(code, 3, "{}", String::from_utf8_lossy(&out));
+        assert!(String::from_utf8_lossy(&out).contains("refuted"));
+    }
+
+    #[test]
+    fn verdict_exit_codes_are_distinct_and_documented() {
+        use std::time::Duration;
+        let verdicts = [
+            (Verdict::Proven, 0),
+            (Verdict::Refuted { counterexample: vec![true] }, 3),
+            (
+                Verdict::Undecided {
+                    conflicts_spent: 1,
+                    elapsed: Duration::from_millis(1),
+                },
+                4,
+            ),
+            (Verdict::ProbablyEquivalent { patterns: 1024 }, 5),
+        ];
+        for (verdict, want) in verdicts {
+            assert_eq!(verdict_exit_code(&verdict), want, "{verdict}");
+        }
     }
 
     #[test]

@@ -7,8 +7,11 @@ fn main() {
         std::process::exit(2);
     };
     let mut stdout = std::io::stdout();
-    if let Err(e) = odcfp_cli::run(command, rest, &mut stdout) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match odcfp_cli::run(command, rest, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
     }
 }

@@ -128,3 +128,89 @@ fn missing_file_reports_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+/// Asserts a clean failure: the requested exit code, a formatted `error:`
+/// message, and no panic / backtrace leaking to the user.
+fn assert_clean_failure(args: &[&str], want_code: i32) {
+    let out = odcfp(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(want_code), "{args:?}: {stderr}");
+    assert!(stderr.contains("error:") || stderr.contains("usage:"), "{args:?}: {stderr}");
+    assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "{args:?}: {stderr}");
+}
+
+#[test]
+fn malformed_input_corpus_fails_cleanly() {
+    let dir = workdir();
+    let truncated = dir.join("corpus_trunc.blif");
+    fs::write(&truncated, &BLIF[..BLIF.len() / 2]).unwrap();
+    let truncated = truncated.to_str().unwrap();
+    let bad_genlib = dir.join("corpus_bad.genlib");
+    fs::write(&bad_genlib, "GATE\nnot a genlib\n").unwrap();
+    let bad_genlib = bad_genlib.to_str().unwrap();
+    let good = dir.join("corpus_good.blif");
+    fs::write(&good, BLIF).unwrap();
+    let good = good.to_str().unwrap();
+
+    assert_clean_failure(&["stats", truncated], 1);
+    assert_clean_failure(&["stats", "/nonexistent/x.blif"], 1);
+    assert_clean_failure(&["stats", good, "--genlib", bad_genlib], 1);
+    assert_clean_failure(&["embed", good, "--bits", "0101"], 1); // length mismatch
+    assert_clean_failure(&["embed", good, "--bits", "01x"], 2);
+    assert_clean_failure(&["embed", good], 2);
+    assert_clean_failure(&["verify", good], 2);
+    assert_clean_failure(&["verify", good, good, "--verify-timeout", "oops"], 2);
+    assert_clean_failure(&["transmogrify"], 2);
+}
+
+#[test]
+fn verify_exit_codes_by_verdict() {
+    let dir = workdir();
+    let golden = dir.join("verdict_a.blif");
+    fs::write(&golden, BLIF).unwrap();
+    let golden = golden.to_str().unwrap();
+    // g gains an extra cover row: differs whenever x=0, c=1.
+    let different = dir.join("verdict_b.blif");
+    fs::write(&different, BLIF.replace(".names x c g\n10 1\n", ".names x c g\n10 1\n01 1\n"))
+        .unwrap();
+    let different = different.to_str().unwrap();
+
+    // Equivalent (identical sources): proven, exit 0.
+    let out = odcfp(&["verify", golden, golden]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("proven equivalent"));
+
+    // Function changed: refuted, exit 3, concrete counterexample shown.
+    let out = odcfp(&["verify", golden, different]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("refuted"));
+
+    // A design too wide for exhaustive proof plus an expired deadline:
+    // the ladder degrades to undecided, exit 4 — never a false claim.
+    let big = dir.join("verdict_c432.v");
+    let big = big.to_str().unwrap();
+    stdout_of(&odcfp(&["bench", "c432", "-o", big]));
+    let out = odcfp(&["verify", big, big, "--verify-timeout", "0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("undecided"));
+}
+
+#[test]
+fn embed_respects_verify_budget_flags() {
+    let dir = workdir();
+    let blif = dir.join("budget.blif");
+    fs::write(&blif, BLIF).unwrap();
+    let blif = blif.to_str().unwrap();
+    // A generous budget verifies fine (small design: exhaustive proof).
+    let out = odcfp(&[
+        "embed", blif, "--seed", "3", "--verify", "sat", "--verify-budget", "100000",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("embedded"));
+}

@@ -2,10 +2,10 @@
 
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_netlist::{NetDriver, NetId, Netlist};
-use odcfp_sat::{check_equivalence, probably_equivalent, EquivResult};
 
 use crate::location::{find_locations, Candidate, FingerprintLocation};
 use crate::modify::{applicable, apply_modification, modification_present, Modification};
+use crate::verify::{verify_equivalent, Verdict, VerifyPolicy};
 use crate::{CapacityReport, FingerprintError};
 
 /// How the default modification is chosen at each location.
@@ -26,10 +26,24 @@ pub enum SelectionPolicy {
 pub enum VerifyLevel {
     /// Structural validation only.
     None,
-    /// 64-way random simulation against the base (fast, probabilistic).
+    /// The simulation rungs of the ladder ([`VerifyPolicy::quick`]):
+    /// random smoke test plus exhaustive proof for small designs.
     Simulation,
-    /// Simulation plus a full SAT miter proof.
+    /// The full ladder ([`VerifyPolicy::strict`]): simulation plus an
+    /// unbounded SAT miter proof.
     Sat,
+}
+
+impl VerifyLevel {
+    /// The verification policy this level stands for (`None` ⇒ no
+    /// verification at all).
+    pub fn policy(self) -> Option<VerifyPolicy> {
+        match self {
+            VerifyLevel::None => None,
+            VerifyLevel::Simulation => Some(VerifyPolicy::quick()),
+            VerifyLevel::Sat => Some(VerifyPolicy::strict()),
+        }
+    }
 }
 
 /// A fingerprinted copy of the base design.
@@ -207,6 +221,52 @@ impl Fingerprinter {
         bits: &[bool],
         verify: VerifyLevel,
     ) -> Result<FingerprintedCopy, FingerprintError> {
+        let netlist = self.apply_bits(bits)?;
+        if let Some(policy) = verify.policy() {
+            check_verdict(verify_equivalent(&self.base, &netlist, &policy)?)?;
+        }
+        Ok(FingerprintedCopy {
+            netlist,
+            bits: bits.to_vec(),
+        })
+    }
+
+    /// Embeds a bit string under an explicit [`VerifyPolicy`], returning
+    /// the copy alongside the verdict the policy's budget earned.
+    ///
+    /// [`Verdict::Refuted`] is promoted to an error (a copy that changes
+    /// the function must never ship); [`Verdict::Undecided`] is returned
+    /// as data so the caller can decide whether the accumulated evidence
+    /// suffices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on length mismatch, failed validation, or a
+    /// refuted equivalence check.
+    pub fn embed_with_policy(
+        &self,
+        bits: &[bool],
+        policy: &VerifyPolicy,
+    ) -> Result<(FingerprintedCopy, Verdict), FingerprintError> {
+        let netlist = self.apply_bits(bits)?;
+        let verdict = verify_equivalent(&self.base, &netlist, policy)?;
+        if let Verdict::Refuted { counterexample } = verdict {
+            return Err(FingerprintError::NotEquivalent {
+                counterexample: Some(counterexample),
+            });
+        }
+        Ok((
+            FingerprintedCopy {
+                netlist,
+                bits: bits.to_vec(),
+            },
+            verdict,
+        ))
+    }
+
+    /// Applies the selected modification at every set bit, returning the
+    /// validated (but unverified) netlist.
+    fn apply_bits(&self, bits: &[bool]) -> Result<Netlist, FingerprintError> {
         if bits.len() != self.locations.len() {
             return Err(FingerprintError::BitLengthMismatch {
                 expected: self.locations.len(),
@@ -220,30 +280,7 @@ impl Fingerprinter {
             }
         }
         netlist.validate()?;
-        match verify {
-            VerifyLevel::None => {}
-            VerifyLevel::Simulation | VerifyLevel::Sat => {
-                if !probably_equivalent(&self.base, &netlist, 16, 0xF1A9)? {
-                    return Err(FingerprintError::NotEquivalent {
-                        counterexample: None,
-                    });
-                }
-                if verify == VerifyLevel::Sat {
-                    match check_equivalence(&self.base, &netlist, None)? {
-                        EquivResult::Equivalent => {}
-                        EquivResult::Counterexample(cex) => {
-                            return Err(FingerprintError::NotEquivalent {
-                                counterexample: Some(cex),
-                            })
-                        }
-                    }
-                }
-            }
-        }
-        Ok(FingerprintedCopy {
-            netlist,
-            bits: bits.to_vec(),
-        })
+        Ok(netlist)
     }
 
     /// Embeds a **configuration vector**: entry `i` selects which of
@@ -300,21 +337,8 @@ impl Fingerprinter {
             apply_modification(&mut netlist, m)?;
         }
         netlist.validate()?;
-        if verify != VerifyLevel::None {
-            if !probably_equivalent(&self.base, &netlist, 16, 0xF1A9)? {
-                return Err(FingerprintError::NotEquivalent {
-                    counterexample: None,
-                });
-            }
-            if verify == VerifyLevel::Sat {
-                if let EquivResult::Counterexample(cex) =
-                    check_equivalence(&self.base, &netlist, None)?
-                {
-                    return Err(FingerprintError::NotEquivalent {
-                        counterexample: Some(cex),
-                    });
-                }
-            }
+        if let Some(policy) = verify.policy() {
+            check_verdict(verify_equivalent(&self.base, &netlist, &policy)?)?;
         }
         Ok(netlist)
     }
@@ -402,6 +426,21 @@ impl Fingerprinter {
                 )
             })
             .collect()
+    }
+}
+
+/// Maps a verdict onto the pass/fail contract of the [`VerifyLevel`] API:
+/// refuted and undecided verdicts become errors (the built-in levels use
+/// unbounded policies, so undecided is defensive only).
+fn check_verdict(verdict: Verdict) -> Result<(), FingerprintError> {
+    match verdict {
+        Verdict::Proven | Verdict::ProbablyEquivalent { .. } => Ok(()),
+        Verdict::Refuted { counterexample } => Err(FingerprintError::NotEquivalent {
+            counterexample: Some(counterexample),
+        }),
+        Verdict::Undecided { .. } => Err(FingerprintError::Verification(
+            odcfp_sat::EquivError::BudgetExhausted,
+        )),
     }
 }
 

@@ -64,12 +64,14 @@ mod capacity;
 pub mod collusion;
 mod embed;
 mod error;
+pub mod faults;
 pub mod heuristics;
 mod location;
 mod modify;
 pub mod robust;
 pub mod sdc;
 pub mod silicon;
+pub mod verify;
 pub mod watermark;
 
 pub use capacity::CapacityReport;
@@ -78,3 +80,4 @@ pub use error::FingerprintError;
 pub use location::{find_locations, Candidate, FingerprintLocation};
 pub use silicon::FlexibleDesign;
 pub use modify::{apply_modification, Modification};
+pub use verify::{verify_equivalent, Verdict, VerifyPolicy};

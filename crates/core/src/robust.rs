@@ -10,12 +10,19 @@
 //!
 //! * [`Code::Repetition`] — each payload bit is embedded `r` times and
 //!   decoded by majority; tolerates `⌊(r-1)/2⌋` flips per payload bit;
-//! * [`Code::Hamming`] — classic Hamming(7,4) blocks; corrects one flip
-//!   per 7-location block at much lower redundancy.
+//! * [`Code::Hamming`] — SECDED extended Hamming(8,4) blocks: 4 payload
+//!   bits per 8 locations, correcting one flip per block and *detecting*
+//!   (not mis-correcting) two.
 //!
 //! Both decoders also report *which* locations appear tampered, answering
-//! the paper's "figure out what they have done".
+//! the paper's "figure out what they have done" — and both report a
+//! [`DecodeStatus`]: a decode that exceeded the code's confidence margin
+//! comes back [`DecodeStatus::Ambiguous`] rather than silently wrong.
+//! (Plain Hamming(7,4) cannot do this — a double error is mathematically
+//! indistinguishable from a single one — which is why the Hamming code
+//! here carries the SECDED overall-parity bit.)
 
+use crate::verify::{verify_equivalent, Verdict, VerifyPolicy};
 use crate::{FingerprintError, Fingerprinter, FingerprintedCopy};
 
 /// The error-correcting code protecting a fingerprint payload.
@@ -24,8 +31,8 @@ pub enum Code {
     /// Repeat every payload bit `r` times (majority decode). `r` must be
     /// odd and ≥ 3.
     Repetition(usize),
-    /// Hamming(7,4): 4 payload bits per 7 locations, single-error
-    /// correction per block.
+    /// Extended Hamming(8,4) with SECDED: 4 payload bits per 8 locations,
+    /// single-error correction and double-error detection per block.
     Hamming,
 }
 
@@ -34,9 +41,24 @@ impl Code {
     pub fn payload_capacity(self, locations: usize) -> usize {
         match self {
             Code::Repetition(r) => locations / r,
-            Code::Hamming => (locations / 7) * 4,
+            Code::Hamming => (locations / 8) * 4,
         }
     }
+}
+
+/// How much trust a decode deserves, worst block/group wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DecodeStatus {
+    /// Every block matched its codeword exactly.
+    Clean,
+    /// Errors were found and corrected within the code's margin; the
+    /// payload is trustworthy and the flips are localized.
+    Corrected,
+    /// At least one block exceeded the code's confidence margin (a
+    /// SECDED double error, or a repetition majority decided by ≤ 1
+    /// vote). The payload is the decoder's best effort and must not be
+    /// trusted without independent evidence.
+    Ambiguous,
 }
 
 /// The outcome of decoding a (possibly tampered) fingerprint.
@@ -47,6 +69,8 @@ pub struct DecodedFingerprint {
     /// Location indices whose extracted bit disagreed with the corrected
     /// codeword — the tamper evidence.
     pub tampered_locations: Vec<usize>,
+    /// Confidence of the decode; check before trusting `payload`.
+    pub status: DecodeStatus,
 }
 
 /// Encodes a payload into a location bit string.
@@ -82,7 +106,7 @@ pub fn encode(code: Code, payload: &[bool], locations: usize) -> Result<Vec<bool
             for block in payload.chunks(4) {
                 let mut d = [false; 4];
                 d[..block.len()].copy_from_slice(block);
-                bits.extend_from_slice(&hamming74_encode(d));
+                bits.extend_from_slice(&hamming84_encode(d));
             }
         }
     }
@@ -100,25 +124,37 @@ pub fn encode(code: Code, payload: &[bool], locations: usize) -> Result<Vec<bool
 /// # Example
 ///
 /// ```
-/// use odcfp_core::robust::{decode, encode, Code};
+/// use odcfp_core::robust::{decode, encode, Code, DecodeStatus};
 ///
 /// let payload = [true, false, true, true];
-/// let mut bits = encode(Code::Hamming, &payload, 7)?;
+/// let mut bits = encode(Code::Hamming, &payload, 8)?;
 /// bits[3] = !bits[3]; // adversary flips one wire
 /// let recovered = decode(Code::Hamming, &bits, 4);
 /// assert_eq!(recovered.payload, payload);
 /// assert_eq!(recovered.tampered_locations, vec![3]);
+/// assert_eq!(recovered.status, DecodeStatus::Corrected);
 /// # Ok::<(), odcfp_core::FingerprintError>(())
 /// ```
 pub fn decode(code: Code, bits: &[bool], payload_len: usize) -> DecodedFingerprint {
     let mut payload = Vec::with_capacity(payload_len);
     let mut tampered = Vec::new();
+    let mut status = DecodeStatus::Clean;
     match code {
         Code::Repetition(r) => {
             for (k, chunk) in bits.chunks(r).take(payload_len).enumerate() {
                 let ones = chunk.iter().filter(|&&b| b).count();
-                let value = ones * 2 > chunk.len();
+                let zeros = chunk.len() - ones;
+                let value = ones > zeros;
                 payload.push(value);
+                let group_status = match ones.abs_diff(zeros) {
+                    // A majority of one vote (or a tie on a truncated
+                    // group) is one flip away from deciding the other
+                    // way: the decode is a guess, and says so.
+                    0 | 1 => DecodeStatus::Ambiguous,
+                    d if d == chunk.len() => DecodeStatus::Clean,
+                    _ => DecodeStatus::Corrected,
+                };
+                status = status.max(group_status);
                 for (j, &b) in chunk.iter().enumerate() {
                     if b != value {
                         tampered.push(k * r + j);
@@ -128,15 +164,23 @@ pub fn decode(code: Code, bits: &[bool], payload_len: usize) -> DecodedFingerpri
         }
         Code::Hamming => {
             let blocks_needed = payload_len.div_ceil(4);
-            for (k, chunk) in bits.chunks(7).take(blocks_needed).enumerate() {
-                let mut block = [false; 7];
+            for (k, chunk) in bits.chunks(8).take(blocks_needed).enumerate() {
+                let mut block = [false; 8];
                 block[..chunk.len()].copy_from_slice(chunk);
-                let (data, flipped) = hamming74_decode(block);
-                if let Some(j) = flipped {
-                    if j < chunk.len() {
-                        tampered.push(k * 7 + j);
+                let (data, outcome) = hamming84_decode(block);
+                let block_status = match outcome {
+                    BlockOutcome::Clean => DecodeStatus::Clean,
+                    BlockOutcome::CorrectedAt(j) => {
+                        if j < chunk.len() {
+                            tampered.push(k * 8 + j);
+                        }
+                        DecodeStatus::Corrected
                     }
-                }
+                    // Two flips: detected but not localizable — the data
+                    // bits are reported raw and flagged.
+                    BlockOutcome::DoubleError => DecodeStatus::Ambiguous,
+                };
+                status = status.max(block_status);
                 payload.extend_from_slice(&data);
             }
             payload.truncate(payload_len);
@@ -145,6 +189,7 @@ pub fn decode(code: Code, bits: &[bool], payload_len: usize) -> DecodedFingerpri
     DecodedFingerprint {
         payload,
         tampered_locations: tampered,
+        status,
     }
 }
 
@@ -162,6 +207,23 @@ pub fn embed_payload(
     fp.embed(&bits)
 }
 
+/// Embeds an error-correction-coded payload under an explicit
+/// [`VerifyPolicy`], returning the copy alongside the earned verdict.
+///
+/// # Errors
+///
+/// Propagates capacity and embedding errors; a refuted equivalence check
+/// is promoted to [`FingerprintError::NotEquivalent`].
+pub fn embed_payload_with_policy(
+    fp: &Fingerprinter,
+    code: Code,
+    payload: &[bool],
+    policy: &VerifyPolicy,
+) -> Result<(FingerprintedCopy, Verdict), FingerprintError> {
+    let bits = encode(code, payload, fp.locations().len())?;
+    fp.embed_with_policy(&bits, policy)
+}
+
 /// Extracts and decodes a payload from a suspect copy.
 pub fn extract_payload(
     fp: &Fingerprinter,
@@ -172,30 +234,76 @@ pub fn extract_payload(
     decode(code, &fp.extract(suspect), payload_len)
 }
 
-/// Hamming(7,4) encoder: bits `[d0,d1,d2,d3]` →
-/// `[p0,p1,d0,p2,d1,d2,d3]` (parity positions 1,2,4 in 1-based indexing).
-fn hamming74_encode(d: [bool; 4]) -> [bool; 7] {
+/// Extracts and decodes a payload *and* checks that the suspect still
+/// computes the base function.
+///
+/// Fingerprint modifications never change the function, so an
+/// inequivalent suspect means the adversary edited more than fingerprint
+/// wires — evidence worth having next to the decoded payload. The verdict
+/// is returned as data (including [`Verdict::Refuted`]): a tampered
+/// suspect is precisely the input this decoder exists for.
+///
+/// # Errors
+///
+/// Returns an error only when the comparison itself is impossible
+/// (invalid netlist, mismatched interface).
+pub fn extract_payload_verified(
+    fp: &Fingerprinter,
+    code: Code,
+    suspect: &odcfp_netlist::Netlist,
+    payload_len: usize,
+    policy: &VerifyPolicy,
+) -> Result<(DecodedFingerprint, Verdict), FingerprintError> {
+    let verdict = verify_equivalent(fp.base(), suspect, policy)?;
+    Ok((extract_payload(fp, code, suspect, payload_len), verdict))
+}
+
+/// What a SECDED block decode concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockOutcome {
+    /// Codeword intact.
+    Clean,
+    /// Exactly one flip, corrected at this 0-based position.
+    CorrectedAt(usize),
+    /// Two flips detected; correction impossible, data reported raw.
+    DoubleError,
+}
+
+/// Extended Hamming(8,4) encoder: bits `[d0,d1,d2,d3]` →
+/// `[p0,p1,d0,p2,d1,d2,d3,P]` — Hamming(7,4) with parity positions
+/// 1,2,4 (1-based) plus an overall even-parity bit `P` for SECDED.
+fn hamming84_encode(d: [bool; 4]) -> [bool; 8] {
     let p0 = d[0] ^ d[1] ^ d[3];
     let p1 = d[0] ^ d[2] ^ d[3];
     let p2 = d[1] ^ d[2] ^ d[3];
-    [p0, p1, d[0], p2, d[1], d[2], d[3]]
+    let c = [p0, p1, d[0], p2, d[1], d[2], d[3]];
+    let overall = c.iter().fold(false, |acc, &b| acc ^ b);
+    [c[0], c[1], c[2], c[3], c[4], c[5], c[6], overall]
 }
 
-/// Hamming(7,4) decoder: returns the corrected data bits and the 0-based
-/// index of a corrected (flipped) position, if any.
-fn hamming74_decode(mut c: [bool; 7]) -> ([bool; 4], Option<usize>) {
+/// Extended Hamming(8,4) SECDED decoder.
+///
+/// Syndrome × overall-parity cases: both clear ⇒ clean; parity violated ⇒
+/// a single flip (at the syndrome position, or the parity bit itself),
+/// corrected; syndrome set with parity intact ⇒ an even number of flips —
+/// detected, reported uncorrected.
+fn hamming84_decode(mut c: [bool; 8]) -> ([bool; 4], BlockOutcome) {
     let s0 = c[0] ^ c[2] ^ c[4] ^ c[6];
     let s1 = c[1] ^ c[2] ^ c[5] ^ c[6];
     let s2 = c[3] ^ c[4] ^ c[5] ^ c[6];
     let syndrome = usize::from(s0) | usize::from(s1) << 1 | usize::from(s2) << 2;
-    let flipped = if syndrome == 0 {
-        None
-    } else {
-        let idx = syndrome - 1; // 1-based position -> 0-based index
-        c[idx] = !c[idx];
-        Some(idx)
+    let parity_violated = c.iter().fold(false, |acc, &b| acc ^ b);
+    let outcome = match (syndrome, parity_violated) {
+        (0, false) => BlockOutcome::Clean,
+        (0, true) => BlockOutcome::CorrectedAt(7), // the parity bit itself
+        (s, true) => {
+            let idx = s - 1; // 1-based position -> 0-based index
+            c[idx] = !c[idx];
+            BlockOutcome::CorrectedAt(idx)
+        }
+        (_, false) => BlockOutcome::DoubleError,
     };
-    ([c[2], c[4], c[5], c[6]], flipped)
+    ([c[2], c[4], c[5], c[6]], outcome)
 }
 
 #[cfg(test)]
@@ -206,19 +314,40 @@ mod tests {
     use odcfp_synth::benchmarks::random::{random_dag, DagParams};
 
     #[test]
-    fn hamming74_roundtrip_and_single_error_correction() {
+    fn hamming84_roundtrip_and_single_error_correction() {
         for d in 0..16usize {
             let data = [d & 1 == 1, d & 2 == 2, d & 4 == 4, d & 8 == 8];
-            let code = hamming74_encode(data);
-            let (back, flipped) = hamming74_decode(code);
+            let code = hamming84_encode(data);
+            let (back, outcome) = hamming84_decode(code);
             assert_eq!(back, data);
-            assert_eq!(flipped, None);
-            for e in 0..7 {
+            assert_eq!(outcome, BlockOutcome::Clean);
+            for e in 0..8 {
                 let mut corrupted = code;
                 corrupted[e] = !corrupted[e];
-                let (fixed, pos) = hamming74_decode(corrupted);
+                let (fixed, outcome) = hamming84_decode(corrupted);
                 assert_eq!(fixed, data, "data {d} error at {e}");
-                assert_eq!(pos, Some(e));
+                assert_eq!(outcome, BlockOutcome::CorrectedAt(e));
+            }
+        }
+    }
+
+    #[test]
+    fn hamming84_detects_every_double_error() {
+        for d in 0..16usize {
+            let data = [d & 1 == 1, d & 2 == 2, d & 4 == 4, d & 8 == 8];
+            let code = hamming84_encode(data);
+            for e1 in 0..8 {
+                for e2 in (e1 + 1)..8 {
+                    let mut corrupted = code;
+                    corrupted[e1] = !corrupted[e1];
+                    corrupted[e2] = !corrupted[e2];
+                    let (_, outcome) = hamming84_decode(corrupted);
+                    assert_eq!(
+                        outcome,
+                        BlockOutcome::DoubleError,
+                        "data {d} flips at {e1},{e2} must be detected, not mis-corrected"
+                    );
+                }
             }
         }
     }
@@ -244,11 +373,49 @@ mod tests {
     #[test]
     fn capacity_checks() {
         assert_eq!(Code::Repetition(3).payload_capacity(10), 3);
-        assert_eq!(Code::Hamming.payload_capacity(21), 12);
+        assert_eq!(Code::Hamming.payload_capacity(24), 12);
+        assert_eq!(Code::Hamming.payload_capacity(23), 8);
         assert!(matches!(
-            encode(Code::Hamming, &[true; 13], 21),
+            encode(Code::Hamming, &[true; 13], 24),
             Err(FingerprintError::BitLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn double_flip_in_a_hamming_block_is_flagged_not_mislead() {
+        let payload = [true, false, true, true, false, true, false, false];
+        let bits = encode(Code::Hamming, &payload, 16).unwrap();
+        // Two flips inside the first block.
+        let mut tampered = bits.clone();
+        tampered[1] = !tampered[1];
+        tampered[5] = !tampered[5];
+        let d = decode(Code::Hamming, &tampered, 8);
+        assert_eq!(d.status, DecodeStatus::Ambiguous);
+        // The untouched second block still decodes its half correctly.
+        assert_eq!(&d.payload[4..], &payload[4..]);
+    }
+
+    #[test]
+    fn repetition_beyond_tolerance_is_flagged_not_mislead() {
+        let payload = [true, false];
+        let bits = encode(Code::Repetition(3), &payload, 6).unwrap();
+        // Two flips in the first 3-bit group: beyond ⌊(3-1)/2⌋ = 1, the
+        // majority now reads the wrong value — the decode must say so.
+        let mut tampered = bits.clone();
+        tampered[0] = !tampered[0];
+        tampered[1] = !tampered[1];
+        let d = decode(Code::Repetition(3), &tampered, 2);
+        assert_eq!(d.status, DecodeStatus::Ambiguous);
+        // Sanity: clean decode is Clean and within-tolerance r=5 decodes
+        // with a confident margin.
+        assert_eq!(decode(Code::Repetition(3), &bits, 2).status, DecodeStatus::Clean);
+        let wide = encode(Code::Repetition(5), &payload, 10).unwrap();
+        let mut one_flip = wide.clone();
+        one_flip[2] = !one_flip[2];
+        let d5 = decode(Code::Repetition(5), &one_flip, 2);
+        assert_eq!(d5.payload, payload);
+        assert_eq!(d5.status, DecodeStatus::Corrected);
+        assert_eq!(d5.tampered_locations, vec![2]);
     }
 
     #[test]
@@ -274,7 +441,7 @@ mod tests {
         );
         let fp = Fingerprinter::new(base).unwrap();
         let n = fp.locations().len();
-        assert!(n >= 14, "need at least two Hamming blocks, got {n}");
+        assert!(n >= 16, "need at least two Hamming blocks, got {n}");
         let payload_len = Code::Hamming.payload_capacity(n).min(8);
         let mut rng = Xoshiro256::seed_from_u64(12);
         let payload: Vec<bool> = (0..payload_len).map(|_| rng.next_bool()).collect();
@@ -284,16 +451,44 @@ mod tests {
         let clean = extract_payload(&fp, Code::Hamming, copy.netlist(), payload_len);
         assert_eq!(clean.payload, payload);
         assert!(clean.tampered_locations.is_empty());
+        assert_eq!(clean.status, DecodeStatus::Clean);
 
         // Adversary flips one location in each of the first two blocks.
         let mut bits = copy.bits().to_vec();
         bits[2] = !bits[2];
-        bits[9] = !bits[9];
+        bits[10] = !bits[10];
         let tampered_copy = fp.embed(&bits).unwrap();
         let recovered =
             extract_payload(&fp, Code::Hamming, tampered_copy.netlist(), payload_len);
         assert_eq!(recovered.payload, payload, "payload survives tampering");
-        assert_eq!(recovered.tampered_locations, vec![2, 9]);
+        assert_eq!(recovered.tampered_locations, vec![2, 10]);
+        assert_eq!(recovered.status, DecodeStatus::Corrected);
+    }
+
+    #[test]
+    fn verified_payload_roundtrip_reports_equivalence() {
+        let base = random_dag(
+            CellLibrary::standard(),
+            DagParams {
+                inputs: 12,
+                gates: 220,
+                outputs: 10,
+                window: 40,
+                seed: 98,
+            },
+        );
+        let fp = Fingerprinter::new(base).unwrap();
+        let payload_len = Code::Hamming.payload_capacity(fp.locations().len()).min(4);
+        let payload: Vec<bool> = (0..payload_len).map(|i| i % 2 == 0).collect();
+        let policy = VerifyPolicy::quick();
+        let (copy, verdict) =
+            embed_payload_with_policy(&fp, Code::Hamming, &payload, &policy).unwrap();
+        assert!(verdict.is_pass(), "embed: {verdict}");
+        let (decoded, verdict) =
+            extract_payload_verified(&fp, Code::Hamming, copy.netlist(), payload_len, &policy)
+                .unwrap();
+        assert_eq!(decoded.payload, payload);
+        assert!(verdict.is_pass(), "extract: {verdict}");
     }
 
     #[test]

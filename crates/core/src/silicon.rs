@@ -19,6 +19,7 @@ use odcfp_logic::PrimitiveFn;
 use odcfp_netlist::{GateId, NetId, Netlist};
 
 use crate::modify::widened_cell;
+use crate::verify::{verify_equivalent, Verdict, VerifyPolicy};
 use crate::{FingerprintError, Fingerprinter, Modification};
 
 /// The single mask-level design that every buyer's IC is fabricated from:
@@ -26,6 +27,9 @@ use crate::{FingerprintError, Fingerprinter, Modification};
 #[derive(Debug, Clone)]
 pub struct FlexibleDesign {
     netlist: Netlist,
+    /// The unfingerprinted base, kept so programmed ICs can be verified
+    /// against the golden function before shipping.
+    base: Netlist,
     /// One fuse net per fingerprint location, in location order.
     fuse_nets: Vec<NetId>,
     /// The gate that combines each location's trigger literal with its
@@ -58,6 +62,7 @@ impl FlexibleDesign {
         netlist.validate()?;
         Ok(FlexibleDesign {
             netlist,
+            base: fp.base().clone(),
             fuse_nets,
             fuse_gates,
         })
@@ -129,6 +134,34 @@ impl FlexibleDesign {
         }
         programmed.validate()?;
         Ok(programmed)
+    }
+
+    /// Solidifies one IC and verifies the result against the base design
+    /// under `policy` — the production sign-off path: fuse programming is
+    /// exactly where manufacturing defects (stuck fuses, bridged wires)
+    /// would silently corrupt a shipped part.
+    ///
+    /// [`Verdict::Refuted`] is promoted to an error; [`Verdict::Undecided`]
+    /// is returned as data for the caller to judge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FingerprintError::BitLengthMismatch`] on a wrong-length
+    /// fuse map, validation errors, or [`FingerprintError::NotEquivalent`]
+    /// when the programmed netlist provably differs from the base.
+    pub fn program_verified(
+        &self,
+        bits: &[bool],
+        policy: &VerifyPolicy,
+    ) -> Result<(Netlist, Verdict), FingerprintError> {
+        let programmed = self.program(bits)?;
+        let verdict = verify_equivalent(&self.base, &programmed, policy)?;
+        if let Verdict::Refuted { counterexample } = verdict {
+            return Err(FingerprintError::NotEquivalent {
+                counterexample: Some(counterexample),
+            });
+        }
+        Ok((programmed, verdict))
     }
 }
 
@@ -294,6 +327,19 @@ mod tests {
             flexible.program(&[]),
             Err(FingerprintError::BitLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn program_verified_signs_off_good_fuse_maps() {
+        let fp = engine(66);
+        let flexible = FlexibleDesign::build(&fp).unwrap();
+        let mut bits = vec![false; fp.locations().len()];
+        bits[0] = true;
+        let (programmed, verdict) = flexible
+            .program_verified(&bits, &VerifyPolicy::strict())
+            .unwrap();
+        assert!(verdict.is_pass(), "got {verdict}");
+        assert_eq!(fp.extract(&programmed).len(), fp.locations().len());
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Budgeted, degrading equivalence verification — defense in depth for
+//! every netlist the pipeline emits.
+//!
+//! Fingerprinting's safety claim ("the modification never changes the
+//! function") is only as strong as the checker that enforces it, and a
+//! checker that falls over on large designs gets disabled in practice.
+//! This module provides a *degradation ladder* instead of a single
+//! all-or-nothing SAT call:
+//!
+//! 1. **Random-simulation smoke test** — 64-way bit-parallel patterns;
+//!    catches gross corruption in microseconds and yields a concrete
+//!    counterexample when it fires.
+//! 2. **Exhaustive simulation** — when the design has few enough primary
+//!    inputs, all `2^n` assignments are simulated, which *is* a proof.
+//! 3. **SAT with escalating conflict budgets** — an incremental
+//!    [`Miter`] is solved under a conflict budget that grows
+//!    geometrically across attempts (learnt clauses carry over), bounded
+//!    by an overall conflict cap and wall-clock deadline.
+//!
+//! Every rung reports honestly: the pipeline never claims more certainty
+//! than it earned. The possible outcomes form the [`Verdict`] enum —
+//! `Proven`, `ProbablyEquivalent`, `Refuted` (with witness), or
+//! `Undecided` (with spent-budget accounting).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use odcfp_logic::rng::Xoshiro256;
+use odcfp_logic::sim;
+use odcfp_netlist::Netlist;
+use odcfp_sat::{EquivError, Miter, MiterOutcome};
+
+use crate::FingerprintError;
+
+/// Resource policy for the staged verification ladder.
+///
+/// The defaults ([`VerifyPolicy::strict`]) always reach a definitive
+/// verdict; [`VerifyPolicy::quick`] stops after simulation;
+/// [`VerifyPolicy::budgeted`] bounds the SAT effort so verification can
+/// be embedded in latency-sensitive flows without being switched off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyPolicy {
+    /// 64-bit pattern words for the random-simulation smoke test
+    /// (`sim_words * 64` vectors). `0` skips the stage.
+    pub sim_words: usize,
+    /// Seed for the random patterns (fixed by default so failures
+    /// reproduce).
+    pub sim_seed: u64,
+    /// Run exhaustive simulation when the primary-input count is at most
+    /// this (clamped to 16 internally; `0` disables the stage).
+    pub exhaustive_max_inputs: usize,
+    /// Conflict budget for the first SAT attempt. `None` means a single
+    /// unbounded attempt (subject only to the deadline).
+    pub sat_initial_conflicts: Option<u64>,
+    /// Geometric growth factor applied to the conflict budget between
+    /// SAT attempts (values < 2 are treated as 2).
+    pub sat_escalation: u32,
+    /// Maximum number of SAT attempts. `0` skips SAT entirely, so the
+    /// ladder tops out at [`Verdict::ProbablyEquivalent`].
+    pub sat_max_attempts: u32,
+    /// Hard cap on total conflicts across all SAT attempts.
+    pub sat_conflict_cap: Option<u64>,
+    /// Wall-clock limit for the whole verification run.
+    pub time_limit: Option<Duration>,
+}
+
+impl VerifyPolicy {
+    /// Full-strength verification: simulation smoke test, exhaustive
+    /// proof for small designs, then unbounded SAT. Always returns
+    /// [`Verdict::Proven`] or [`Verdict::Refuted`].
+    pub fn strict() -> Self {
+        VerifyPolicy {
+            sim_words: 16,
+            sim_seed: 0xF1A9,
+            exhaustive_max_inputs: 12,
+            sat_initial_conflicts: None,
+            sat_escalation: 2,
+            sat_max_attempts: 1,
+            sat_conflict_cap: None,
+            time_limit: None,
+        }
+    }
+
+    /// Simulation-only verification: the smoke test plus the exhaustive
+    /// stage, no SAT. Cheap enough to run on every mint; large designs
+    /// top out at [`Verdict::ProbablyEquivalent`].
+    pub fn quick() -> Self {
+        VerifyPolicy {
+            sat_max_attempts: 0,
+            ..VerifyPolicy::strict()
+        }
+    }
+
+    /// Bounded verification: SAT effort is capped at roughly
+    /// `total_conflicts`, spread over four geometrically growing
+    /// attempts. Exceeding the cap yields [`Verdict::Undecided`] rather
+    /// than blocking.
+    pub fn budgeted(total_conflicts: u64) -> Self {
+        VerifyPolicy {
+            sat_initial_conflicts: Some((total_conflicts / 15).max(64)),
+            sat_escalation: 2,
+            sat_max_attempts: 4,
+            sat_conflict_cap: Some(total_conflicts),
+            ..VerifyPolicy::strict()
+        }
+    }
+
+    /// Adds a wall-clock limit to the policy.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+}
+
+impl Default for VerifyPolicy {
+    fn default() -> Self {
+        VerifyPolicy::strict()
+    }
+}
+
+/// The outcome of a [`verify_equivalent`] run — exactly as much certainty
+/// as the policy's budget bought, never more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Equivalence was proven (UNSAT miter, or exhaustive simulation of
+    /// every input assignment).
+    Proven,
+    /// Every simulated pattern agreed, but no proof was attempted or
+    /// completed; `patterns` counts the vectors that were checked.
+    ProbablyEquivalent {
+        /// Number of input vectors simulated without a mismatch.
+        patterns: u64,
+    },
+    /// The designs differ; `counterexample` is a primary-input
+    /// assignment (in input order) on which the outputs disagree.
+    Refuted {
+        /// Witness input assignment, one bool per primary input.
+        counterexample: Vec<bool>,
+    },
+    /// The budget or deadline ran out before a decision.
+    Undecided {
+        /// Total SAT conflicts spent across all attempts.
+        conflicts_spent: u64,
+        /// Wall-clock time the verification run took.
+        elapsed: Duration,
+    },
+}
+
+impl Verdict {
+    /// `true` for verdicts that justify shipping the candidate
+    /// ([`Verdict::Proven`] or [`Verdict::ProbablyEquivalent`]).
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Proven | Verdict::ProbablyEquivalent { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proven => write!(f, "proven equivalent"),
+            Verdict::ProbablyEquivalent { patterns } => {
+                write!(f, "probably equivalent ({patterns} patterns agreed)")
+            }
+            Verdict::Refuted { counterexample } => {
+                let bits: String = counterexample
+                    .iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect();
+                write!(f, "refuted (counterexample inputs: {bits})")
+            }
+            Verdict::Undecided {
+                conflicts_spent,
+                elapsed,
+            } => write!(
+                f,
+                "undecided ({conflicts_spent} conflicts spent in {elapsed:.2?})"
+            ),
+        }
+    }
+}
+
+/// Runs the staged verification ladder comparing `candidate` against
+/// `golden` under `policy`.
+///
+/// Primary inputs and outputs are matched by position, as everywhere in
+/// this crate (candidates are derived from clones of the golden design).
+///
+/// # Errors
+///
+/// Returns [`FingerprintError::InvalidNetlist`] when either netlist fails
+/// structural validation and [`FingerprintError::Verification`] when the
+/// interfaces don't match. Budget exhaustion is **not** an error — it is
+/// the [`Verdict::Undecided`] outcome, with accounting.
+pub fn verify_equivalent(
+    golden: &Netlist,
+    candidate: &Netlist,
+    policy: &VerifyPolicy,
+) -> Result<Verdict, FingerprintError> {
+    let start = Instant::now();
+    golden.validate()?;
+    candidate.validate()?;
+    let num_inputs = golden.primary_inputs().len();
+    if num_inputs != candidate.primary_inputs().len() {
+        return Err(FingerprintError::Verification(EquivError::InputCountMismatch {
+            left: num_inputs,
+            right: candidate.primary_inputs().len(),
+        }));
+    }
+    if golden.primary_outputs().len() != candidate.primary_outputs().len() {
+        return Err(FingerprintError::Verification(EquivError::OutputCountMismatch {
+            left: golden.primary_outputs().len(),
+            right: candidate.primary_outputs().len(),
+        }));
+    }
+
+    // Closed circuits (no inputs) have exactly one behaviour; compare it.
+    if num_inputs == 0 {
+        return Ok(if golden.eval(&[]) == candidate.eval(&[]) {
+            Verdict::Proven
+        } else {
+            Verdict::Refuted {
+                counterexample: Vec::new(),
+            }
+        });
+    }
+
+    // Stage 1: random-simulation smoke test.
+    let mut patterns_checked = 0u64;
+    if policy.sim_words > 0 {
+        let mut rng = Xoshiro256::seed_from_u64(policy.sim_seed);
+        let patterns: Vec<Vec<u64>> = (0..num_inputs)
+            .map(|_| sim::random_words(&mut rng, policy.sim_words))
+            .collect();
+        if let Some(counterexample) = first_sim_mismatch(golden, candidate, &patterns) {
+            return Ok(Verdict::Refuted { counterexample });
+        }
+        patterns_checked = (policy.sim_words as u64) * 64;
+    }
+
+    // Stage 2: exhaustive simulation — a proof when the input space fits.
+    if num_inputs <= policy.exhaustive_max_inputs.min(16) {
+        let patterns = sim::exhaustive_patterns(num_inputs);
+        // Padding bits beyond 2^n replicate the all-zeros assignment, so
+        // any mismatch here is a genuine counterexample.
+        return Ok(match first_sim_mismatch(golden, candidate, &patterns) {
+            Some(counterexample) => Verdict::Refuted { counterexample },
+            None => Verdict::Proven,
+        });
+    }
+
+    // Stage 3: SAT with geometric budget escalation on one incremental
+    // miter (learnt clauses persist across attempts).
+    if policy.sat_max_attempts == 0 {
+        return Ok(Verdict::ProbablyEquivalent {
+            patterns: patterns_checked,
+        });
+    }
+    let deadline = policy.time_limit.map(|limit| start + limit);
+    let mut miter = Miter::build(golden, candidate).map_err(FingerprintError::Verification)?;
+    let escalation = u64::from(policy.sat_escalation.max(2));
+    let mut attempt_budget = policy.sat_initial_conflicts;
+    for _ in 0..policy.sat_max_attempts {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        // Clip this attempt to whatever remains of the overall cap.
+        let effective = match (attempt_budget, policy.sat_conflict_cap) {
+            (b, None) => b,
+            (b, Some(cap)) => {
+                let left = cap.saturating_sub(miter.conflicts_spent());
+                Some(b.map_or(left, |b| b.min(left)))
+            }
+        };
+        match miter.solve(effective, deadline) {
+            MiterOutcome::Equivalent => return Ok(Verdict::Proven),
+            MiterOutcome::Counterexample(counterexample) => {
+                return Ok(Verdict::Refuted { counterexample })
+            }
+            MiterOutcome::Undecided => {
+                if policy
+                    .sat_conflict_cap
+                    .is_some_and(|cap| miter.conflicts_spent() >= cap)
+                {
+                    break;
+                }
+                attempt_budget = attempt_budget.map(|b| b.saturating_mul(escalation).max(1));
+            }
+        }
+    }
+    Ok(Verdict::Undecided {
+        conflicts_spent: miter.conflicts_spent(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Simulates both netlists on `patterns` and, on the first differing
+/// output bit, decodes the corresponding input assignment.
+fn first_sim_mismatch(
+    left: &Netlist,
+    right: &Netlist,
+    patterns: &[Vec<u64>],
+) -> Option<Vec<bool>> {
+    let vl = left.simulate(patterns);
+    let vr = right.simulate(patterns);
+    for (&ol, &or) in left.primary_outputs().iter().zip(right.primary_outputs()) {
+        for (w, (&a, &b)) in vl[ol.index()].iter().zip(&vr[or.index()]).enumerate() {
+            let diff = a ^ b;
+            if diff != 0 {
+                let bit = diff.trailing_zeros();
+                return Some(
+                    patterns
+                        .iter()
+                        .map(|signal| (signal[w] >> bit) & 1 == 1)
+                        .collect(),
+                );
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odcfp_logic::PrimitiveFn;
+    use odcfp_netlist::CellLibrary;
+    use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+
+    /// XOR chain over `width` inputs in either association order: the two
+    /// are equivalent, but the proof needs real SAT search, and `width`
+    /// above the exhaustive limit forces the ladder onto the SAT rung.
+    fn xor_chain(width: usize, reversed: bool) -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("xors", lib);
+        let mut pis: Vec<_> = (0..width)
+            .map(|i| n.add_primary_input(format!("i{i}")))
+            .collect();
+        if reversed {
+            pis.reverse();
+        }
+        let xor2 = n.library().cell_for(PrimitiveFn::Xor, 2).unwrap();
+        let mut acc = pis[0];
+        for (k, &pi) in pis.iter().enumerate().skip(1) {
+            let g = n.add_gate(format!("x{k}"), xor2, &[acc, pi]);
+            acc = n.gate_output(g);
+        }
+        n.set_primary_output(acc);
+        n
+    }
+
+    #[test]
+    fn small_equivalent_pair_is_proven_by_exhaustion() {
+        let left = xor_chain(6, false);
+        let right = xor_chain(6, true);
+        // No SAT attempts allowed: the proof must come from stage 2.
+        let policy = VerifyPolicy::quick();
+        assert_eq!(
+            verify_equivalent(&left, &right, &policy).unwrap(),
+            Verdict::Proven
+        );
+    }
+
+    #[test]
+    fn large_equivalent_pair_without_sat_is_only_probable() {
+        let left = xor_chain(20, false);
+        let right = xor_chain(20, true);
+        let policy = VerifyPolicy::quick();
+        assert_eq!(
+            verify_equivalent(&left, &right, &policy).unwrap(),
+            Verdict::ProbablyEquivalent { patterns: 16 * 64 }
+        );
+    }
+
+    #[test]
+    fn large_equivalent_pair_with_sat_is_proven() {
+        let left = xor_chain(20, false);
+        let right = xor_chain(20, true);
+        assert_eq!(
+            verify_equivalent(&left, &right, &VerifyPolicy::strict()).unwrap(),
+            Verdict::Proven
+        );
+    }
+
+    #[test]
+    fn refuted_carries_a_real_counterexample() {
+        let left = xor_chain(20, false);
+        let lib = left.library().clone();
+        // Same interface, different function: AND instead of XOR at the top.
+        let mut right = Netlist::new("w", lib);
+        let pis: Vec<_> = (0..20)
+            .map(|i| right.add_primary_input(format!("i{i}")))
+            .collect();
+        let xor2 = right.library().cell_for(PrimitiveFn::Xor, 2).unwrap();
+        let and2 = right.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let mut acc = pis[0];
+        for (k, &pi) in pis.iter().enumerate().skip(1) {
+            let cell = if k == 19 { and2 } else { xor2 };
+            let g = right.add_gate(format!("x{k}"), cell, &[acc, pi]);
+            acc = right.gate_output(g);
+        }
+        right.set_primary_output(acc);
+
+        match verify_equivalent(&left, &right, &VerifyPolicy::strict()).unwrap() {
+            Verdict::Refuted { counterexample } => {
+                assert_eq!(counterexample.len(), 20);
+                assert_ne!(left.eval(&counterexample), right.eval(&counterexample));
+            }
+            other => panic!("expected refuted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn starved_policy_reports_undecided_with_accounting() {
+        let left = xor_chain(20, false);
+        let right = xor_chain(20, true);
+        // Simulation passes, exhaustive is disabled by width, and the SAT
+        // rung gets a conflict cap far too small for a 20-bit XOR proof.
+        let policy = VerifyPolicy {
+            sat_initial_conflicts: Some(1),
+            sat_escalation: 2,
+            sat_max_attempts: 2,
+            sat_conflict_cap: Some(2),
+            ..VerifyPolicy::strict()
+        };
+        match verify_equivalent(&left, &right, &policy).unwrap() {
+            Verdict::Undecided {
+                conflicts_spent,
+                elapsed,
+            } => {
+                assert!(conflicts_spent <= 2 + 1, "cap respected: {conflicts_spent}");
+                assert!(elapsed > Duration::ZERO);
+            }
+            other => panic!("expected undecided, got {other}"),
+        }
+        // The same pair under a real budget is decidable.
+        assert_eq!(
+            verify_equivalent(&left, &right, &VerifyPolicy::strict()).unwrap(),
+            Verdict::Proven
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_undecided() {
+        let left = xor_chain(20, false);
+        let right = xor_chain(20, true);
+        let policy = VerifyPolicy::strict().with_time_limit(Duration::ZERO);
+        assert!(matches!(
+            verify_equivalent(&left, &right, &policy).unwrap(),
+            Verdict::Undecided { .. }
+        ));
+    }
+
+    #[test]
+    fn sim_smoke_test_refutes_grossly_broken_copies() {
+        let left = xor_chain(20, false);
+        let lib = left.library().clone();
+        let mut right = Netlist::new("stuck", lib);
+        for i in 0..20 {
+            right.add_primary_input(format!("i{i}"));
+        }
+        let zero = right.add_constant("zero", false);
+        right.set_primary_output(zero);
+        // Exhaustive and SAT disabled: only the smoke test can catch it.
+        let policy = VerifyPolicy {
+            exhaustive_max_inputs: 0,
+            sat_max_attempts: 0,
+            ..VerifyPolicy::strict()
+        };
+        match verify_equivalent(&left, &right, &policy).unwrap() {
+            Verdict::Refuted { counterexample } => {
+                assert_ne!(left.eval(&counterexample), right.eval(&counterexample));
+            }
+            other => panic!("expected refuted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error_not_a_verdict() {
+        let left = xor_chain(6, false);
+        let right = xor_chain(7, false);
+        assert!(matches!(
+            verify_equivalent(&left, &right, &VerifyPolicy::quick()),
+            Err(FingerprintError::Verification(
+                EquivError::InputCountMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn fingerprinted_random_dag_verifies_under_budget() {
+        let lib = CellLibrary::standard();
+        let base = random_dag(lib, DagParams::small(77));
+        let fp = crate::Fingerprinter::new(base).unwrap();
+        let copy = fp.embed(&vec![true; fp.locations().len()]).unwrap();
+        let verdict =
+            verify_equivalent(fp.base(), copy.netlist(), &VerifyPolicy::budgeted(100_000))
+                .unwrap();
+        assert!(verdict.is_pass(), "got {verdict}");
+    }
+
+    #[test]
+    fn verdict_display_is_human_readable() {
+        assert_eq!(Verdict::Proven.to_string(), "proven equivalent");
+        assert!(Verdict::ProbablyEquivalent { patterns: 1024 }
+            .to_string()
+            .contains("1024 patterns"));
+        assert!(Verdict::Refuted {
+            counterexample: vec![true, false, true]
+        }
+        .to_string()
+        .contains("101"));
+        assert!(Verdict::Undecided {
+            conflicts_spent: 7,
+            elapsed: Duration::from_millis(3)
+        }
+        .to_string()
+        .contains("7 conflicts"));
+    }
+}

@@ -361,7 +361,8 @@ impl fmt::Display for TruthTable {
         let mut s = String::with_capacity(digits);
         for d in (0..digits).rev() {
             let nibble = (self.words[d / 16] >> ((d % 16) * 4)) & 0xF;
-            s.push(char::from_digit(nibble as u32, 16).unwrap());
+            // A masked nibble is always < 16, so the digit always exists.
+            s.push(char::from_digit(nibble as u32, 16).unwrap_or('?'));
         }
         f.write_str(&s)
     }

@@ -1,13 +1,14 @@
 //! Miter-based combinational equivalence checking.
 
 use std::fmt;
+use std::time::Instant;
 
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_logic::sim;
 use odcfp_netlist::Netlist;
 
 use crate::tseitin::encode_netlist;
-use crate::{CnfBuilder, Lit, SolveResult, Solver};
+use crate::{CnfBuilder, Lit, SolveResult, Solver, Var};
 
 /// Why two netlists could not be compared.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,61 +102,162 @@ pub fn check_equivalence(
     right: &Netlist,
     conflict_budget: Option<u64>,
 ) -> Result<EquivResult, EquivError> {
-    if left.primary_inputs().len() != right.primary_inputs().len() {
-        return Err(EquivError::InputCountMismatch {
-            left: left.primary_inputs().len(),
-            right: right.primary_inputs().len(),
-        });
+    let mut miter = Miter::build(left, right)?;
+    match miter.solve(conflict_budget, None) {
+        MiterOutcome::Equivalent => Ok(EquivResult::Equivalent),
+        MiterOutcome::Counterexample(inputs) => Ok(EquivResult::Counterexample(inputs)),
+        MiterOutcome::Undecided => Err(EquivError::BudgetExhausted),
     }
-    if left.primary_outputs().len() != right.primary_outputs().len() {
-        return Err(EquivError::OutputCountMismatch {
-            left: left.primary_outputs().len(),
-            right: right.primary_outputs().len(),
-        });
-    }
+}
 
-    let mut cnf = CnfBuilder::new();
-    let enc_l = encode_netlist(&mut cnf, left);
-    let enc_r = encode_netlist(&mut cnf, right);
-    // Tie the inputs together.
-    for (&pl, &pr) in left.primary_inputs().iter().zip(right.primary_inputs()) {
-        let a = enc_l.var(pl);
-        let b = enc_r.var(pr);
-        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
-        cnf.add_clause([Lit::pos(a), Lit::neg(b)]);
-    }
-    // diff_i <-> (out_l_i XOR out_r_i); assert OR(diff_i).
-    let mut diffs = Vec::new();
-    for (&ol, &or) in left.primary_outputs().iter().zip(right.primary_outputs()) {
-        let d = cnf.new_var();
-        let a = enc_l.var(ol);
-        let b = enc_r.var(or);
-        cnf.add_clause([Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
-        cnf.add_clause([Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
-        cnf.add_clause([Lit::pos(d), Lit::pos(a), Lit::neg(b)]);
-        cnf.add_clause([Lit::pos(d), Lit::neg(a), Lit::pos(b)]);
-        diffs.push(Lit::pos(d));
-    }
-    if diffs.is_empty() {
-        return Ok(EquivResult::Equivalent);
-    }
-    cnf.add_clause(diffs);
+/// The outcome of one [`Miter::solve`] attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiterOutcome {
+    /// The circuits compute identical functions (proved by UNSAT).
+    Equivalent,
+    /// A concrete primary-input assignment on which the outputs differ.
+    Counterexample(Vec<bool>),
+    /// The budget or deadline ran out; call [`Miter::solve`] again with a
+    /// larger budget to continue where the search left off.
+    Undecided,
+}
 
-    let mut solver = Solver::from_cnf(&cnf);
-    if let Some(b) = conflict_budget {
-        solver.set_conflict_budget(b);
-    }
-    match solver.solve() {
-        SolveResult::Unsat => Ok(EquivResult::Equivalent),
-        SolveResult::Sat(model) => {
-            let inputs = left
-                .primary_inputs()
-                .iter()
-                .map(|&pi| model.value(enc_l.var(pi)))
-                .collect();
-            Ok(EquivResult::Counterexample(inputs))
+/// An incremental equivalence miter: built once, solvable repeatedly under
+/// escalating conflict budgets.
+///
+/// Learnt clauses are retained inside the embedded [`Solver`] across
+/// [`Miter::solve`] calls, so a retry with a larger budget resumes from the
+/// accumulated knowledge of earlier attempts rather than starting over.
+/// This is the engine behind budget-escalation verification policies.
+///
+/// # Example
+///
+/// ```
+/// use odcfp_netlist::{CellLibrary, Netlist};
+/// use odcfp_sat::{Miter, MiterOutcome};
+/// use odcfp_logic::PrimitiveFn;
+///
+/// let lib = CellLibrary::standard();
+/// let build = || {
+///     let mut n = Netlist::new("m", lib.clone());
+///     let a = n.add_primary_input("a");
+///     let b = n.add_primary_input("b");
+///     let c = n.library().cell_for(PrimitiveFn::Nand, 2).unwrap();
+///     let g = n.add_gate("g", c, &[a, b]);
+///     n.set_primary_output(n.gate_output(g));
+///     n
+/// };
+/// let (left, right) = (build(), build());
+/// let mut miter = Miter::build(&left, &right)?;
+/// assert_eq!(miter.solve(None, None), MiterOutcome::Equivalent);
+/// # Ok::<(), odcfp_sat::EquivError>(())
+/// ```
+#[derive(Debug)]
+pub struct Miter {
+    solver: Solver,
+    input_vars: Vec<Var>,
+    trivially_equivalent: bool,
+    conflicts_spent: u64,
+}
+
+impl Miter {
+    /// Builds the miter CNF over `left` and `right` (shared inputs by
+    /// position, XOR-compared outputs by position).
+    ///
+    /// Primary inputs and outputs are matched **by position**, which is the
+    /// natural convention here: fingerprinted copies are clones of a base
+    /// netlist, so positions always agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the interfaces don't match.
+    pub fn build(left: &Netlist, right: &Netlist) -> Result<Self, EquivError> {
+        if left.primary_inputs().len() != right.primary_inputs().len() {
+            return Err(EquivError::InputCountMismatch {
+                left: left.primary_inputs().len(),
+                right: right.primary_inputs().len(),
+            });
         }
-        SolveResult::Unknown => Err(EquivError::BudgetExhausted),
+        if left.primary_outputs().len() != right.primary_outputs().len() {
+            return Err(EquivError::OutputCountMismatch {
+                left: left.primary_outputs().len(),
+                right: right.primary_outputs().len(),
+            });
+        }
+
+        let mut cnf = CnfBuilder::new();
+        let enc_l = encode_netlist(&mut cnf, left);
+        let enc_r = encode_netlist(&mut cnf, right);
+        // Tie the inputs together.
+        for (&pl, &pr) in left.primary_inputs().iter().zip(right.primary_inputs()) {
+            let a = enc_l.var(pl);
+            let b = enc_r.var(pr);
+            cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+            cnf.add_clause([Lit::pos(a), Lit::neg(b)]);
+        }
+        // diff_i <-> (out_l_i XOR out_r_i); assert OR(diff_i).
+        let mut diffs = Vec::new();
+        for (&ol, &or) in left.primary_outputs().iter().zip(right.primary_outputs()) {
+            let d = cnf.new_var();
+            let a = enc_l.var(ol);
+            let b = enc_r.var(or);
+            cnf.add_clause([Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
+            cnf.add_clause([Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
+            cnf.add_clause([Lit::pos(d), Lit::pos(a), Lit::neg(b)]);
+            cnf.add_clause([Lit::pos(d), Lit::neg(a), Lit::pos(b)]);
+            diffs.push(Lit::pos(d));
+        }
+        let trivially_equivalent = diffs.is_empty();
+        if !trivially_equivalent {
+            cnf.add_clause(diffs);
+        }
+        let input_vars = left
+            .primary_inputs()
+            .iter()
+            .map(|&pi| enc_l.var(pi))
+            .collect();
+        Ok(Miter {
+            solver: Solver::from_cnf(&cnf),
+            input_vars,
+            trivially_equivalent,
+            conflicts_spent: 0,
+        })
+    }
+
+    /// Attempts to decide the miter under an optional conflict budget and
+    /// wall-clock deadline.
+    ///
+    /// On [`MiterOutcome::Undecided`], the solver state (including learnt
+    /// clauses) is preserved; calling `solve` again continues the search.
+    pub fn solve(
+        &mut self,
+        conflict_budget: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> MiterOutcome {
+        if self.trivially_equivalent {
+            return MiterOutcome::Equivalent;
+        }
+        self.solver.clear_limits();
+        if let Some(b) = conflict_budget {
+            self.solver.set_conflict_budget(b);
+        }
+        if let Some(d) = deadline {
+            self.solver.set_deadline(d);
+        }
+        let result = self.solver.solve();
+        self.conflicts_spent = self.solver.stats().conflicts;
+        match result {
+            SolveResult::Unsat => MiterOutcome::Equivalent,
+            SolveResult::Sat(model) => MiterOutcome::Counterexample(
+                self.input_vars.iter().map(|&v| model.value(v)).collect(),
+            ),
+            SolveResult::Unknown => MiterOutcome::Undecided,
+        }
+    }
+
+    /// Total conflicts spent across all [`Miter::solve`] calls so far.
+    pub fn conflicts_spent(&self) -> u64 {
+        self.conflicts_spent
     }
 }
 
@@ -279,6 +381,75 @@ mod tests {
             probably_equivalent(&base, &tiny, 1, 0),
             Err(EquivError::InputCountMismatch { .. })
         ));
+    }
+
+    /// XOR chain over `width` inputs, associated left-to-right or
+    /// right-to-left; the two orders are equivalent but proving it takes
+    /// real search, which makes the pair a good budget-starvation fixture.
+    fn xor_chain(width: usize, reversed: bool) -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("xors", lib);
+        let mut pis: Vec<_> = (0..width)
+            .map(|i| n.add_primary_input(format!("i{i}")))
+            .collect();
+        if reversed {
+            pis.reverse();
+        }
+        let xor2 = n.library().cell_for(PrimitiveFn::Xor, 2).unwrap();
+        let mut acc = pis[0];
+        for (k, &pi) in pis.iter().enumerate().skip(1) {
+            let g = n.add_gate(format!("x{k}"), xor2, &[acc, pi]);
+            acc = n.gate_output(g);
+        }
+        n.set_primary_output(acc);
+        n
+    }
+
+    #[test]
+    fn miter_resumes_after_starved_budget() {
+        let left = xor_chain(10, false);
+        let right = xor_chain(10, true);
+        let mut miter = Miter::build(&left, &right).unwrap();
+        // A zero conflict budget aborts at the first conflict.
+        assert_eq!(miter.solve(Some(0), None), MiterOutcome::Undecided);
+        let spent_early = miter.conflicts_spent();
+        // Resuming without a budget finishes the proof on the same solver.
+        assert_eq!(miter.solve(None, None), MiterOutcome::Equivalent);
+        assert!(miter.conflicts_spent() >= spent_early);
+    }
+
+    #[test]
+    fn miter_expired_deadline_is_undecided() {
+        let left = xor_chain(10, false);
+        let right = xor_chain(10, true);
+        let mut miter = Miter::build(&left, &right).unwrap();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        assert_eq!(miter.solve(None, Some(past)), MiterOutcome::Undecided);
+        // Limits do not stick: the next call runs to completion.
+        assert_eq!(miter.solve(None, None), MiterOutcome::Equivalent);
+    }
+
+    #[test]
+    fn miter_counterexample_is_concrete() {
+        let base = fig1(false);
+        let lib = base.library().clone();
+        let mut wrong = Netlist::new("wrong", lib);
+        let a = wrong.add_primary_input("A");
+        let b = wrong.add_primary_input("B");
+        let _c = wrong.add_primary_input("C");
+        let _d = wrong.add_primary_input("D");
+        let and2 = wrong.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let x = wrong.add_gate("gx", and2, &[a, b]);
+        wrong.set_primary_output(wrong.gate_output(x));
+
+        let mut miter = Miter::build(&base, &wrong).unwrap();
+        match miter.solve(None, None) {
+            MiterOutcome::Counterexample(inputs) => {
+                assert_eq!(inputs.len(), base.primary_inputs().len());
+                assert_ne!(base.eval(&inputs), wrong.eval(&inputs));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
     }
 
     #[test]

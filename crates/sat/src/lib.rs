@@ -48,6 +48,6 @@ pub mod tseitin;
 
 pub use cnf::CnfBuilder;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
-pub use equiv::{check_equivalence, probably_equivalent, EquivError, EquivResult};
+pub use equiv::{check_equivalence, probably_equivalent, EquivError, EquivResult, Miter, MiterOutcome};
 pub use lit::{Lit, Var};
 pub use solver::{Model, SolveResult, Solver, SolverStats};

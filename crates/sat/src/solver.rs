@@ -1,5 +1,7 @@
 //! The CDCL solver.
 
+use std::time::Instant;
+
 use crate::heap::VarHeap;
 use crate::{CnfBuilder, Lit, Var};
 
@@ -10,7 +12,8 @@ pub enum SolveResult {
     Sat(Model),
     /// The formula is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before a decision was reached.
+    /// The conflict budget or deadline was exhausted before a decision was
+    /// reached.
     Unknown,
 }
 
@@ -87,6 +90,7 @@ pub struct Solver {
     first_learnt: usize,
     stats: SolverStats,
     max_conflicts: Option<u64>,
+    deadline: Option<Instant>,
 }
 
 impl Solver {
@@ -110,6 +114,7 @@ impl Solver {
             first_learnt: 0,
             stats: SolverStats::default(),
             max_conflicts: None,
+            deadline: None,
         }
     }
 
@@ -125,9 +130,24 @@ impl Solver {
     }
 
     /// Limits the search to `conflicts` conflicts; [`SolveResult::Unknown`]
-    /// is returned when exceeded.
+    /// is returned when exceeded. The budget applies per
+    /// [`Solver::solve`]/[`Solver::solve_under`] call.
     pub fn set_conflict_budget(&mut self, conflicts: u64) {
         self.max_conflicts = Some(conflicts);
+    }
+
+    /// Aborts the search with [`SolveResult::Unknown`] once `deadline`
+    /// passes. Checked at conflict points, so a pathological propagation
+    /// may overrun slightly; combine with a conflict budget for hard caps.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Removes any conflict budget and deadline: subsequent calls run to
+    /// completion.
+    pub fn clear_limits(&mut self) {
+        self.max_conflicts = None;
+        self.deadline = None;
     }
 
     /// Search statistics so far.
@@ -470,6 +490,15 @@ impl Solver {
                 self.decay_activities();
                 if let Some(budget) = self.max_conflicts {
                     if self.stats.conflicts - start_conflicts >= budget {
+                        self.backtrack_to(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if let Some(deadline) = self.deadline {
+                    // Amortize the clock read over a batch of conflicts.
+                    if (self.stats.conflicts - start_conflicts).is_multiple_of(64)
+                        && Instant::now() >= deadline
+                    {
                         self.backtrack_to(0);
                         return SolveResult::Unknown;
                     }

@@ -203,24 +203,33 @@ proptest! {
     }
 
     /// Error-correcting fingerprints survive any single flipped location
-    /// per Hamming block.
+    /// per SECDED Hamming(8,4) block — and a second flip in a block is
+    /// flagged as ambiguous, never silently mis-corrected.
     #[test]
     fn hamming_payload_survives_single_flip_per_block(
         seed in 0u64..2000,
         payload_word in any::<u16>(),
-        flip_pos in 0usize..7
+        flip_pos in 0usize..8,
+        second_flip in 0usize..8
     ) {
-        use odcfp_core::robust::{decode, encode, Code};
-        let locations = 21; // three blocks
+        use odcfp_core::robust::{decode, encode, Code, DecodeStatus};
+        let locations = 24; // three blocks
         let payload: Vec<bool> = (0..12).map(|i| (payload_word >> i) & 1 == 1).collect();
         let mut bits = encode(Code::Hamming, &payload, locations).unwrap();
         // Flip one position in every block.
         for block in 0..3 {
-            let at = block * 7 + flip_pos;
+            let at = block * 8 + flip_pos;
             bits[at] = !bits[at];
         }
         let decoded = decode(Code::Hamming, &bits, 12);
         prop_assert_eq!(decoded.payload, payload, "seed {}", seed);
         prop_assert_eq!(decoded.tampered_locations.len(), 3);
+        prop_assert_eq!(decoded.status, DecodeStatus::Corrected);
+        // A second, distinct flip in block 0 exceeds the margin.
+        if second_flip != flip_pos {
+            bits[second_flip] = !bits[second_flip];
+            let double = decode(Code::Hamming, &bits, 12);
+            prop_assert_eq!(double.status, DecodeStatus::Ambiguous);
+        }
     }
 }
