@@ -7,8 +7,10 @@
 //! every gate in the set other than `r` fans out only to gates inside the
 //! set. Changes confined to an FFC are invisible everywhere except through
 //! the root's output — criterion 2's safety property.
-
-use std::collections::HashSet;
+//!
+//! These are the straightforward per-query reference implementations; the
+//! batched, precomputed equivalents live in [`crate::engine`], which the
+//! hot paths use. Property tests assert the two agree.
 
 use odcfp_netlist::{GateId, NetDriver, Netlist};
 
@@ -45,21 +47,24 @@ pub fn ffc_of(netlist: &Netlist, root: GateId) -> Vec<GateId> {
     // Work over the transitive fanin of `root` in reverse topological order:
     // a gate's membership only depends on gates closer to the root.
     let order = netlist.topo_order().expect("cyclic netlist");
-    let fanin = transitive_fanin(netlist, root);
-    let mut members: HashSet<GateId> = HashSet::new();
-    members.insert(root);
+    let mut in_fanin = vec![false; netlist.num_gates()];
+    for g in transitive_fanin(netlist, root) {
+        in_fanin[g.index()] = true;
+    }
+    let mut member = vec![false; netlist.num_gates()];
+    member[root.index()] = true;
     let mut cone: Vec<GateId> = vec![root];
     for &g in order.iter().rev() {
-        if g == root || !fanin.contains(&g) {
+        if g == root || !in_fanin[g.index()] {
             continue;
         }
         let out = netlist.net(netlist.gate(g).output());
         if out.is_primary_output() {
             continue;
         }
-        let all_inside = out.sinks().iter().all(|p| members.contains(&p.gate));
+        let all_inside = out.sinks().iter().all(|p| member[p.gate.index()]);
         if all_inside && out.fanout() > 0 {
-            members.insert(g);
+            member[g.index()] = true;
             cone.push(g);
         }
     }
@@ -67,21 +72,27 @@ pub fn ffc_of(netlist: &Netlist, root: GateId) -> Vec<GateId> {
     cone
 }
 
-/// The set of gates in the transitive fanin of `root`, including `root`.
-pub fn transitive_fanin(netlist: &Netlist, root: GateId) -> HashSet<GateId> {
-    let mut seen: HashSet<GateId> = HashSet::new();
-    let mut stack = vec![root];
-    while let Some(g) = stack.pop() {
-        if !seen.insert(g) {
-            continue;
-        }
+/// The gates in the transitive fanin of `root`, including `root`, ascending
+/// by gate id.
+pub fn transitive_fanin(netlist: &Netlist, root: GateId) -> Vec<GateId> {
+    let mut seen = vec![false; netlist.num_gates()];
+    seen[root.index()] = true;
+    let mut out = vec![root];
+    let mut head = 0;
+    while head < out.len() {
+        let g = out[head];
+        head += 1;
         for &i in netlist.gate(g).inputs() {
             if let NetDriver::Gate(src) = netlist.net(i).driver() {
-                stack.push(src);
+                if !seen[src.index()] {
+                    seen[src.index()] = true;
+                    out.push(src);
+                }
             }
         }
     }
-    seen
+    out.sort_unstable();
+    out
 }
 
 /// True if the gate's output feeds exactly one gate input and is not a

@@ -22,9 +22,11 @@
 
 pub mod area;
 pub mod cones;
+pub mod engine;
 mod metrics;
 pub mod odc;
 pub mod power;
 pub mod sta;
 
+pub use engine::AnalysisEngine;
 pub use metrics::{DesignMetrics, OverheadReport};

@@ -32,13 +32,29 @@ pub struct TriggerCandidate {
 /// Empty when the gate has no controlling value (XOR/XNOR/BUF/INV) or only
 /// one input.
 pub fn trigger_candidates(f: PrimitiveFn, arity: usize, target_pin: usize) -> Vec<TriggerCandidate> {
+    let mut out = Vec::new();
+    trigger_candidates_into(f, arity, target_pin, &mut out);
+    out
+}
+
+/// [`trigger_candidates`] into a caller-owned buffer (cleared first), for
+/// hot loops that probe every pin of every gate.
+pub fn trigger_candidates_into(
+    f: PrimitiveFn,
+    arity: usize,
+    target_pin: usize,
+    out: &mut Vec<TriggerCandidate>,
+) {
     assert!(target_pin < arity, "pin out of range");
-    match f.controlling_value() {
-        Some(value) if arity >= 2 => (0..arity)
-            .filter(|&p| p != target_pin)
-            .map(|pin| TriggerCandidate { pin, value })
-            .collect(),
-        _ => Vec::new(),
+    out.clear();
+    if let Some(value) = f.controlling_value() {
+        if arity >= 2 {
+            out.extend(
+                (0..arity)
+                    .filter(|&p| p != target_pin)
+                    .map(|pin| TriggerCandidate { pin, value }),
+            );
+        }
     }
 }
 
@@ -80,6 +96,25 @@ pub fn simulated_observability(
     num_words: usize,
     seed: u64,
 ) -> f64 {
+    simulated_observability_many(netlist, &[net], num_words, seed)[0]
+}
+
+/// Batched [`simulated_observability`]: one result per entry of `nets`, in
+/// order. The random patterns, baseline simulation, and topological order
+/// are computed once and shared; the per-net flip propagation fans out
+/// across [`engine::configured_threads`](crate::engine::configured_threads)
+/// workers with a deterministic merge, so each entry is bit-identical to
+/// the corresponding standalone call at any thread count.
+///
+/// # Panics
+///
+/// Panics if the netlist is invalid or `num_words == 0`.
+pub fn simulated_observability_many(
+    netlist: &Netlist,
+    nets: &[odcfp_netlist::NetId],
+    num_words: usize,
+    seed: u64,
+) -> Vec<f64> {
     use odcfp_logic::rng::Xoshiro256;
     use odcfp_logic::sim;
 
@@ -89,18 +124,36 @@ pub fn simulated_observability(
         .map(|_| sim::random_words(&mut rng, num_words))
         .collect();
     let baseline = netlist.simulate(&patterns);
+    let order = netlist.topo_order().expect("validated netlist");
 
+    let threads = crate::engine::configured_threads();
+    let chunks = crate::engine::parallel_chunks(nets.len(), threads, |range| {
+        range
+            .map(|i| observability_of_flip(netlist, &order, &baseline, nets[i], num_words))
+            .collect::<Vec<f64>>()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Propagates a flip of `net` through the downstream cone and returns the
+/// fraction of pattern bits on which some primary output differs.
+fn observability_of_flip(
+    netlist: &Netlist,
+    order: &[odcfp_netlist::GateId],
+    baseline: &[Vec<u64>],
+    net: odcfp_netlist::NetId,
+    num_words: usize,
+) -> f64 {
     // Re-simulate the downstream cone with the net's value flipped: walk
     // gates in topological order, recomputing only values that can change.
-    let order = netlist.topo_order().expect("validated netlist");
-    let mut flipped: Vec<Vec<u64>> = baseline.clone();
+    let mut flipped: Vec<Vec<u64>> = baseline.to_vec();
     for word in &mut flipped[net.index()] {
         *word = !*word;
     }
     let mut dirty = vec![false; netlist.num_nets()];
     dirty[net.index()] = true;
     let mut scratch: Vec<u64> = Vec::new();
-    for g in order {
+    for &g in order {
         let gate = netlist.gate(g);
         if !gate.inputs().iter().any(|i| dirty[i.index()]) {
             continue;

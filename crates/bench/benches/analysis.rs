@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use odcfp_analysis::{area, cones, power, sta};
+use odcfp_analysis::{area, cones, power, sta, AnalysisEngine};
 use odcfp_bench::netlist_for;
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_logic::sim;
@@ -33,6 +33,19 @@ fn bench_analysis(c: &mut Criterion) {
             b.iter(|| {
                 for &r in &roots {
                     black_box(cones::ffc_of(&n, r));
+                }
+            })
+        });
+        // Engine counterparts: one dominator-tree build amortizes every
+        // cone query.
+        c.bench_function(format!("engine_build/{name}"), |b| {
+            b.iter(|| black_box(AnalysisEngine::new(black_box(&n)).unwrap()))
+        });
+        let eng = AnalysisEngine::new(&n).unwrap();
+        c.bench_function(format!("engine_ffc_sweep_64/{name}"), |b| {
+            b.iter(|| {
+                for &r in &roots {
+                    black_box(eng.ffc_of(r));
                 }
             })
         });

@@ -4,14 +4,26 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use odcfp_analysis::{engine, AnalysisEngine};
 use odcfp_bench::netlist_for;
-use odcfp_core::{find_locations, Fingerprinter};
+use odcfp_core::{find_locations, find_locations_naive, find_locations_with, Fingerprinter};
 
 fn bench_pipeline(c: &mut Criterion) {
     for name in ["c432", "c880", "c1908"] {
         let base = netlist_for(name);
         c.bench_function(format!("find_locations/{name}"), |b| {
             b.iter(|| black_box(find_locations(black_box(&base))))
+        });
+        c.bench_function(format!("find_locations_naive/{name}"), |b| {
+            b.iter(|| black_box(find_locations_naive(black_box(&base))))
+        });
+        let eng = AnalysisEngine::new(&base).unwrap();
+        c.bench_function(format!("find_locations_engine_1t/{name}"), |b| {
+            b.iter(|| black_box(find_locations_with(black_box(&base), &eng, 1)))
+        });
+        let threads = engine::configured_threads();
+        c.bench_function(format!("find_locations_engine_{threads}t/{name}"), |b| {
+            b.iter(|| black_box(find_locations_with(black_box(&base), &eng, threads)))
         });
         c.bench_function(format!("engine_new/{name}"), |b| {
             b.iter(|| Fingerprinter::new(black_box(base.clone())).unwrap())

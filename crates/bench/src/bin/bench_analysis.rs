@@ -1,0 +1,185 @@
+//! Engine-vs-naive analysis benchmark: regenerates `BENCH_analysis.json`
+//! at the repository root, recording the wall-clock trajectory of location
+//! discovery, FFC sweeps, and the full embed pipeline on the largest
+//! synthesized benchmarks.
+//!
+//! Usage: `cargo run --release -p odcfp-bench --bin bench_analysis
+//! [--fast] [names...]` (default: `c6288 des`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use odcfp_analysis::{cones, engine, AnalysisEngine};
+use odcfp_bench::netlist_for;
+use odcfp_core::{find_locations_naive, find_locations_with, Fingerprinter};
+use odcfp_netlist::Netlist;
+
+/// Minimum wall time of `reps` runs, in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+struct Row {
+    name: String,
+    gates: usize,
+    nets: usize,
+    locations: usize,
+    locate_naive_ms: f64,
+    locate_engine_1t_ms: f64,
+    locate_engine_mt_ms: f64,
+    ffc_naive_ms: f64,
+    ffc_engine_ms: f64,
+    pipeline_engine_ms: f64,
+    pipeline_naive_ms: f64,
+}
+
+fn measure(name: &str, reps: usize, threads: usize) -> Row {
+    let base: Netlist = netlist_for(name);
+    let eng = AnalysisEngine::new(&base).expect("benchmarks are acyclic");
+
+    let locations = find_locations_naive(&base);
+    let locate_naive_ms = time_ms(reps, || find_locations_naive(&base));
+    let locate_engine_1t_ms = time_ms(reps, || find_locations_with(&base, &eng, 1));
+    let locate_engine_mt_ms = time_ms(reps, || find_locations_with(&base, &eng, threads));
+
+    let roots: Vec<_> = base.gates().map(|(id, _)| id).collect();
+    let ffc_naive_ms = time_ms(reps, || {
+        for &r in &roots {
+            std::hint::black_box(cones::ffc_of(&base, r));
+        }
+    });
+    let ffc_engine_ms = time_ms(reps, || {
+        let e = AnalysisEngine::new(&base).expect("acyclic");
+        for &r in &roots {
+            std::hint::black_box(e.ffc_of(r));
+        }
+    });
+
+    // Full pipeline with the engine: analysis + selection + embed-all bits
+    // (includes the simulation equivalence check of `embed`).
+    let pipeline_engine_ms = time_ms(reps, || {
+        let fp = Fingerprinter::new(base.clone()).expect("valid benchmark");
+        fp.embed_all().expect("embedding preserves function")
+    });
+    // The pre-engine pipeline differed only in the location-analysis stage
+    // (the naive scan is kept in-tree as the oracle); reconstruct its wall
+    // time from the shared downstream stages.
+    let pipeline_naive_ms = pipeline_engine_ms - locate_engine_1t_ms + locate_naive_ms;
+
+    Row {
+        name: name.to_owned(),
+        gates: base.num_gates(),
+        nets: base.num_nets(),
+        locations: locations.len(),
+        locate_naive_ms,
+        locate_engine_1t_ms,
+        locate_engine_mt_ms,
+        ffc_naive_ms,
+        ffc_engine_ms,
+        pipeline_engine_ms,
+        pipeline_naive_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let names: Vec<String> = {
+        let named: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+        if !named.is_empty() {
+            named
+        } else if fast {
+            vec!["c880".into()]
+        } else {
+            vec!["c6288".into(), "des".into()]
+        }
+    };
+    let reps = if fast { 1 } else { 3 };
+    let threads = engine::configured_threads();
+
+    let mut rows = Vec::new();
+    for name in &names {
+        eprintln!("measuring {name}...");
+        let r = measure(name, reps, threads);
+        eprintln!(
+            "{name:8} locate: naive {:.1}ms engine {:.1}ms ({:.1}x); \
+             ffc sweep: {:.1}ms vs {:.1}ms; pipeline: {:.1}ms vs {:.1}ms",
+            r.locate_naive_ms,
+            r.locate_engine_1t_ms,
+            r.locate_naive_ms / r.locate_engine_1t_ms,
+            r.ffc_naive_ms,
+            r.ffc_engine_ms,
+            r.pipeline_naive_ms,
+            r.pipeline_engine_ms,
+        );
+        rows.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"odcfp-bench-analysis/1\",\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"benchmarks\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let locate_rate = r.gates as f64 / (r.locate_engine_1t_ms / 1e3);
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!("      \"gates\": {},\n", r.gates));
+        json.push_str(&format!("      \"nets\": {},\n", r.nets));
+        json.push_str(&format!("      \"locations\": {},\n", r.locations));
+        json.push_str("      \"find_locations\": {\n");
+        json.push_str(&format!("        \"naive_ms\": {},\n", json_f(r.locate_naive_ms)));
+        json.push_str(&format!("        \"engine_1t_ms\": {},\n", json_f(r.locate_engine_1t_ms)));
+        json.push_str(&format!("        \"engine_mt_ms\": {},\n", json_f(r.locate_engine_mt_ms)));
+        json.push_str(&format!(
+            "        \"speedup_1t\": {},\n",
+            json_f(r.locate_naive_ms / r.locate_engine_1t_ms)
+        ));
+        json.push_str(&format!(
+            "        \"speedup_mt\": {},\n",
+            json_f(r.locate_naive_ms / r.locate_engine_mt_ms)
+        ));
+        json.push_str(&format!("        \"gates_per_sec_1t\": {}\n", json_f(locate_rate)));
+        json.push_str("      },\n");
+        json.push_str("      \"ffc_sweep_all_gates\": {\n");
+        json.push_str(&format!("        \"naive_ms\": {},\n", json_f(r.ffc_naive_ms)));
+        json.push_str(&format!("        \"engine_ms\": {},\n", json_f(r.ffc_engine_ms)));
+        json.push_str(&format!(
+            "        \"speedup\": {}\n",
+            json_f(r.ffc_naive_ms / r.ffc_engine_ms)
+        ));
+        json.push_str("      },\n");
+        json.push_str("      \"pipeline_embed_all\": {\n");
+        json.push_str(&format!("        \"naive_ms\": {},\n", json_f(r.pipeline_naive_ms)));
+        json.push_str(&format!("        \"engine_ms\": {},\n", json_f(r.pipeline_engine_ms)));
+        json.push_str(&format!(
+            "        \"speedup\": {}\n",
+            json_f(r.pipeline_naive_ms / r.pipeline_engine_ms)
+        ));
+        json.push_str("      }\n");
+        json.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // crates/bench/ -> repository root.
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_analysis.json"]
+        .iter()
+        .collect();
+    std::fs::write(&out, &json).expect("write BENCH_analysis.json");
+    eprintln!("wrote {}", out.display());
+    print!("{json}");
+}

@@ -19,8 +19,10 @@
 //! ```
 //!
 //! Every command accepts `--genlib <file>` to use a custom cell library
-//! instead of the built-in one. BLIF inputs are technology-mapped on the
-//! fly.
+//! instead of the built-in one, and `--threads N` to pin the analysis
+//! worker count (results are bit-identical at any setting; the
+//! `ODCFP_THREADS` environment variable is the lower-precedence
+//! equivalent). BLIF inputs are technology-mapped on the fly.
 //!
 //! # Exit codes
 //!
@@ -117,6 +119,7 @@ struct Options {
     verify_timeout: Option<f64>,
     delay_pct: Option<f64>,
     method: String,
+    threads: Option<usize>,
 }
 
 impl Options {
@@ -146,6 +149,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         verify_timeout: None,
         delay_pct: None,
         method: "reactive".into(),
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -197,6 +201,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--method" => o.method = take("--method")?,
+            "--threads" => {
+                let n: usize = take("--threads")?
+                    .parse()
+                    .map_err(|_| usage("--threads needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--threads needs a positive integer"));
+                }
+                o.threads = Some(n);
+            }
             flag if flag.starts_with('-') => {
                 return Err(usage(format!("unknown flag {flag:?}")))
             }
@@ -277,6 +290,9 @@ fn required_input<'a>(o: &'a Options, what: &str) -> Result<&'a str, CliError> {
 /// Returns a formatted error for any user or I/O problem.
 pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Result<i32, CliError> {
     let o = parse_options(args)?;
+    if o.threads.is_some() {
+        odcfp_analysis::engine::set_thread_override(o.threads);
+    }
     let library = load_library(&o)?;
     match command {
         "stats" => {
@@ -461,6 +477,8 @@ commands:
   dot       <in.(blif|v)> [-o out.dot]          Graphviz export
   bench     <name> [-o out.v]                   generate a Table II benchmark
 options: --genlib <file> to use a custom cell library
+         --threads N to pin the analysis worker count (default: all cores,
+                     or ODCFP_THREADS; results are identical at any setting)
          --verify-budget / --verify-timeout bound SAT effort (embed, verify)
 exit codes: 0 ok/proven, 1 error, 2 usage,
             3 refuted, 4 undecided, 5 probably-equivalent";
@@ -642,6 +660,8 @@ mod tests {
             ("verify", vec![good.clone(), good.clone(), "--verify-timeout".into(), "-1".into()], 2),
             ("extract", vec![good.clone()], 2),
             ("stats", vec![good.clone(), "--frob".into()], 2),
+            ("stats", vec![good.clone(), "--threads".into(), "0".into()], 2),
+            ("stats", vec![good.clone(), "--threads".into(), "many".into()], 2),
             ("stats", vec![good, "--genlib".into()], 2),
         ];
         for (command, args, want_code) in corpus {
@@ -650,6 +670,16 @@ mod tests {
             assert!(!e.0.is_empty(), "{command} {args:?}: empty message");
             assert_eq!(e.exit_code(), want_code, "{command} {args:?}: {}", e.0);
         }
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_results() {
+        let input = tmp("t.blif", BLIF);
+        let sequential = run_ok("locations", &[input.clone(), "--threads".into(), "1".into()]);
+        let parallel = run_ok("locations", &[input, "--threads".into(), "4".into()]);
+        odcfp_analysis::engine::set_thread_override(None);
+        assert_eq!(sequential, parallel);
+        assert!(sequential.contains("locations"));
     }
 
     #[test]

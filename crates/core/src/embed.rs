@@ -54,6 +54,11 @@ pub struct FingerprintedCopy {
 }
 
 impl FingerprintedCopy {
+    /// Assembles a copy from an already-verified netlist and its bits.
+    pub(crate) fn from_parts(netlist: Netlist, bits: Vec<bool>) -> FingerprintedCopy {
+        FingerprintedCopy { netlist, bits }
+    }
+
     /// The fingerprinted netlist.
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
@@ -432,7 +437,7 @@ impl Fingerprinter {
 /// Maps a verdict onto the pass/fail contract of the [`VerifyLevel`] API:
 /// refuted and undecided verdicts become errors (the built-in levels use
 /// unbounded policies, so undecided is defensive only).
-fn check_verdict(verdict: Verdict) -> Result<(), FingerprintError> {
+pub(crate) fn check_verdict(verdict: Verdict) -> Result<(), FingerprintError> {
     match verdict {
         Verdict::Proven | Verdict::ProbablyEquivalent { .. } => Ok(()),
         Verdict::Refuted { counterexample } => Err(FingerprintError::NotEquivalent {

@@ -19,7 +19,7 @@ use odcfp_analysis::{sta, DesignMetrics};
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_netlist::Netlist;
 
-use crate::{FingerprintError, Fingerprinter, FingerprintedCopy, VerifyLevel};
+use crate::{apply_modification, FingerprintError, Fingerprinter, FingerprintedCopy, VerifyLevel};
 
 /// Options for [`reactive_delay_reduction`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,12 +187,19 @@ pub fn proactive_delay_embedding(
         sb.partial_cmp(&sa).expect("finite slack")
     });
 
+    // Grow one netlist through an incremental session instead of rebuilding
+    // the whole embedding for every trial: each candidate is tried on a
+    // clone of the current state and committed only if the constraint still
+    // holds. The selected modifications are conflict-free, so the result is
+    // order-independent and matches the batch rebuild below.
     let mut kept = vec![false; n];
+    let mut session = fp.embed_session()?;
     for i in order {
-        kept[i] = true;
-        let trial = build(fp, &kept, VerifyLevel::None)?;
-        if delay_of(trial.netlist()) > limit {
-            kept[i] = false;
+        let mut trial = session.netlist().clone();
+        apply_modification(&mut trial, &fp.selected_modifications()[i])?;
+        if delay_of(&trial) <= limit {
+            session.set_bit(i)?;
+            kept[i] = true;
         }
     }
 

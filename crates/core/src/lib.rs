@@ -66,6 +66,7 @@ mod embed;
 mod error;
 pub mod faults;
 pub mod heuristics;
+mod incremental;
 mod location;
 mod modify;
 pub mod robust;
@@ -77,7 +78,10 @@ pub mod watermark;
 pub use capacity::CapacityReport;
 pub use embed::{Fingerprinter, FingerprintedCopy, SelectionPolicy, VerifyLevel};
 pub use error::FingerprintError;
-pub use location::{find_locations, Candidate, FingerprintLocation};
+pub use incremental::{EmbedSession, IncrementalLocations};
+pub use location::{
+    find_locations, find_locations_naive, find_locations_with, Candidate, FingerprintLocation,
+};
 pub use silicon::FlexibleDesign;
 pub use modify::{apply_modification, Modification};
 pub use verify::{verify_equivalent, Verdict, VerifyPolicy};

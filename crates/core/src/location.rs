@@ -1,7 +1,8 @@
 //! Fingerprint-location discovery (Definition 1 of the paper).
 
 use odcfp_analysis::cones;
-use odcfp_analysis::odc::trigger_candidates;
+use odcfp_analysis::engine::{self, AnalysisEngine};
+use odcfp_analysis::odc::{trigger_candidates, trigger_candidates_into, TriggerCandidate};
 use odcfp_logic::PrimitiveFn;
 use odcfp_netlist::{GateId, NetDriver, NetId, Netlist};
 
@@ -66,6 +67,155 @@ impl FingerprintLocation {
 ///
 /// Panics if the netlist is cyclic (validate first).
 pub fn find_locations(netlist: &Netlist) -> Vec<FingerprintLocation> {
+    let eng = AnalysisEngine::new(netlist).expect("cyclic netlist");
+    find_locations_with(netlist, &eng, engine::configured_threads())
+}
+
+/// [`find_locations`] against a prebuilt engine, fanned out over `threads`
+/// scoped workers. Gates are probed in id order and worker results are
+/// merged in chunk order, so the output is bit-identical to the sequential
+/// (and to the [`find_locations_naive`]) result at any thread count.
+///
+/// # Panics
+///
+/// Panics if `engine` was built from a different netlist snapshot.
+pub fn find_locations_with(
+    netlist: &Netlist,
+    engine: &AnalysisEngine,
+    threads: usize,
+) -> Vec<FingerprintLocation> {
+    assert_eq!(
+        engine.csr().num_gates(),
+        netlist.num_gates(),
+        "engine built from a different netlist"
+    );
+    let chunks = engine::parallel_chunks(netlist.num_gates(), threads, |range| {
+        let mut probe = LocationProbe::default();
+        range
+            .filter_map(|i| probe.location_of(netlist, engine, GateId::from_index(i)))
+            .collect::<Vec<FingerprintLocation>>()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Reusable scratch buffers for probing one gate at a time, so a sweep over
+/// the whole netlist performs no per-probe allocations. One probe per
+/// worker thread.
+#[derive(Debug, Default)]
+pub(crate) struct LocationProbe {
+    cone: Vec<GateId>,
+    targets: Vec<GateId>,
+    triggers: Vec<TriggerCandidate>,
+    reroutes: Vec<Modification>,
+}
+
+impl LocationProbe {
+    /// Probes a single gate against Definition 1, returning its location
+    /// (if any) with candidates in the canonical discovery order: pins
+    /// ascending, triggers in [`trigger_candidates`] order, targets in cone
+    /// topological order, direct insertion before the Fig. 5 reroutes.
+    pub(crate) fn location_of(
+        &mut self,
+        netlist: &Netlist,
+        engine: &AnalysisEngine,
+        p_id: GateId,
+    ) -> Option<FingerprintLocation> {
+        let p_gate = netlist.gate(p_id);
+        let p_fn = netlist.gate_fn(p_id);
+        let arity = p_gate.inputs().len();
+        // Criterion 4 precondition: P can make other inputs unobservable.
+        if !p_fn.has_nonzero_odc(arity) {
+            return None;
+        }
+        let mut candidates = Vec::new();
+        for (ffc_pin, &y_net) in p_gate.inputs().iter().enumerate() {
+            // Criteria 1 + 2: the pin is driven by a gate that feeds only P.
+            let root = match netlist.net(y_net).driver() {
+                NetDriver::Gate(g) => g,
+                _ => continue,
+            };
+            if !engine.feeds_only(root, p_id) {
+                continue;
+            }
+            // Criterion 4: trigger pins with their controlling values.
+            trigger_candidates_into(p_fn, arity, ffc_pin, &mut self.triggers);
+            if self.triggers.is_empty() {
+                continue;
+            }
+            // Criterion 3: eligible target gates inside the cone.
+            engine.ffc_of_into(root, &mut self.cone);
+            self.targets.clear();
+            self.targets.extend(self.cone.iter().copied().filter(|&g| {
+                let f = netlist.gate_fn(g);
+                (f.has_nonzero_odc(netlist.gate(g).inputs().len()) || f.is_single_input())
+                    && widened_cell(netlist, g, 1).is_some()
+            }));
+            for trig in &self.triggers {
+                let trigger_net = p_gate.inputs()[trig.pin];
+                // The value of the trigger when Y is observable.
+                let non_controlling = !trig.value;
+                for &target in &self.targets {
+                    let plane_neutral = netlist
+                        .gate_fn(target)
+                        .widened()
+                        .neutral_input_value()
+                        .expect("widened functions always have a neutral value");
+                    let complement = non_controlling != plane_neutral;
+                    let insert = Modification::InsertTrigger {
+                        target,
+                        trigger: trigger_net,
+                        complement,
+                    };
+                    if applicable(netlist, &insert) {
+                        candidates.push(Candidate {
+                            ffc_pin,
+                            ffc_root: root,
+                            trigger_pin: trig.pin,
+                            modification: insert,
+                        });
+                    }
+                    // Fig. 5 reroutes via the trigger-generating gate.
+                    reroute_options_into(
+                        netlist,
+                        trigger_net,
+                        non_controlling,
+                        target,
+                        plane_neutral,
+                        &mut self.reroutes,
+                    );
+                    for reroute in self.reroutes.drain(..) {
+                        if applicable(netlist, &reroute) {
+                            candidates.push(Candidate {
+                                ffc_pin,
+                                ffc_root: root,
+                                trigger_pin: trig.pin,
+                                modification: reroute,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(FingerprintLocation {
+                primary_gate: p_id,
+                candidates,
+            })
+        }
+    }
+}
+
+/// The pre-engine reference implementation of [`find_locations`]: per-root
+/// DFS cone queries via [`cones`], sequential, one allocation set per
+/// probe. Kept as the oracle for equivalence property tests and as the
+/// baseline side of the engine-vs-naive benchmarks.
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic (validate first).
+pub fn find_locations_naive(netlist: &Netlist) -> Vec<FingerprintLocation> {
     let mut locations = Vec::new();
     for (p_id, p_gate) in netlist.gates() {
         let p_fn = netlist.gate_fn(p_id);
@@ -124,13 +274,16 @@ pub fn find_locations(netlist: &Netlist) -> Vec<FingerprintLocation> {
                         });
                     }
                     // Fig. 5 reroutes via the trigger-generating gate.
-                    for reroute in reroute_options(
+                    let mut reroutes = Vec::new();
+                    reroute_options_into(
                         netlist,
                         trigger_net,
                         non_controlling,
                         target,
                         plane_neutral,
-                    ) {
+                        &mut reroutes,
+                    );
+                    for reroute in reroutes {
                         if applicable(netlist, &reroute) {
                             candidates.push(Candidate {
                                 ffc_pin,
@@ -165,26 +318,28 @@ fn pinned_input_value(f: PrimitiveFn, out: bool) -> Option<bool> {
 }
 
 /// Enumerates the Fig. 5 early-reroute modifications for one
-/// (trigger, target) pair: subsets of size 1 and 2 of the trigger gate's
-/// inputs (`n(n+1)/2` options for an n-input trigger gate).
-fn reroute_options(
+/// (trigger, target) pair into `out` (cleared first): subsets of size 1 and
+/// 2 of the trigger gate's inputs (`n(n+1)/2` options for an n-input
+/// trigger gate).
+fn reroute_options_into(
     netlist: &Netlist,
     trigger_net: NetId,
     non_controlling: bool,
     target: GateId,
     plane_neutral: bool,
-) -> Vec<Modification> {
+    out: &mut Vec<Modification>,
+) {
+    out.clear();
     let trigger_gate = match netlist.net(trigger_net).driver() {
         NetDriver::Gate(g) => g,
-        _ => return Vec::new(),
+        _ => return,
     };
     let t_fn = netlist.gate_fn(trigger_gate);
     let Some(pinned) = pinned_input_value(t_fn, non_controlling) else {
-        return Vec::new();
+        return;
     };
     let complement = pinned != plane_neutral;
     let inputs = netlist.gate(trigger_gate).inputs();
-    let mut out = Vec::new();
     for i in 0..inputs.len() {
         out.push(Modification::RerouteEarly {
             target,
@@ -202,7 +357,6 @@ fn reroute_options(
             });
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -389,5 +543,16 @@ mod tests {
     fn deterministic_discovery_order() {
         let n = fig1();
         assert_eq!(find_locations(&n), find_locations(&n));
+        // Stability across worker counts: the engine path must produce the
+        // same list at any thread count, and match the naive oracle.
+        let eng = AnalysisEngine::new(&n).unwrap();
+        let naive = find_locations_naive(&n);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                find_locations_with(&n, &eng, threads),
+                naive,
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -25,6 +25,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use odcfp_analysis::engine;
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_logic::sim;
 use odcfp_netlist::Netlist;
@@ -300,23 +301,48 @@ fn first_sim_mismatch(
     right: &Netlist,
     patterns: &[Vec<u64>],
 ) -> Option<Vec<bool>> {
-    let vl = left.simulate(patterns);
-    let vr = right.simulate(patterns);
-    for (&ol, &or) in left.primary_outputs().iter().zip(right.primary_outputs()) {
-        for (w, (&a, &b)) in vl[ol.index()].iter().zip(&vr[or.index()]).enumerate() {
-            let diff = a ^ b;
-            if diff != 0 {
-                let bit = diff.trailing_zeros();
-                return Some(
-                    patterns
-                        .iter()
-                        .map(|signal| (signal[w] >> bit) & 1 == 1)
-                        .collect(),
-                );
+    let num_words = patterns.first().map_or(0, Vec::len);
+    // Word chunks fan out across workers; each chunk's sequential scan is
+    // outputs-major, so its hit is the chunk's lexicographic minimum over
+    // `(output, word)`, and the global minimum across chunks reproduces the
+    // sequential scan's answer at any thread count. Short pattern sets stay
+    // sequential — slicing costs more than it saves.
+    let threads = if num_words < 64 {
+        1
+    } else {
+        engine::configured_threads()
+    };
+    let hits = engine::parallel_chunks(num_words, threads, |range| {
+        let slice: Vec<Vec<u64>> = patterns
+            .iter()
+            .map(|signal| signal[range.clone()].to_vec())
+            .collect();
+        let vl = left.simulate(&slice);
+        let vr = right.simulate(&slice);
+        let mut hit: Option<(usize, usize, u32)> = None;
+        'outputs: for (o, (&ol, &or)) in left
+            .primary_outputs()
+            .iter()
+            .zip(right.primary_outputs())
+            .enumerate()
+        {
+            for (w, (&a, &b)) in vl[ol.index()].iter().zip(&vr[or.index()]).enumerate() {
+                let diff = a ^ b;
+                if diff != 0 {
+                    hit = Some((o, range.start + w, diff.trailing_zeros()));
+                    break 'outputs;
+                }
             }
         }
-    }
-    None
+        hit
+    });
+    let (_, w, bit) = hits.into_iter().flatten().min()?;
+    Some(
+        patterns
+            .iter()
+            .map(|signal| (signal[w] >> bit) & 1 == 1)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -472,6 +498,43 @@ mod tests {
             }
             other => panic!("expected refuted, got {other}"),
         }
+    }
+
+    #[test]
+    fn simulation_witness_is_identical_at_any_thread_count() {
+        // Inequivalent pair: the top gate differs (AND vs XOR).
+        let left = xor_chain(20, false);
+        let lib = left.library().clone();
+        let mut right = Netlist::new("w", lib);
+        let pis: Vec<_> = (0..20)
+            .map(|i| right.add_primary_input(format!("i{i}")))
+            .collect();
+        let xor2 = right.library().cell_for(PrimitiveFn::Xor, 2).unwrap();
+        let and2 = right.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let mut acc = pis[0];
+        for (k, &pi) in pis.iter().enumerate().skip(1) {
+            let cell = if k == 19 { and2 } else { xor2 };
+            let g = right.add_gate(format!("x{k}"), cell, &[acc, pi]);
+            acc = right.gate_output(g);
+        }
+        right.set_primary_output(acc);
+
+        // Enough words that the chunked scan actually engages, sim only.
+        let policy = VerifyPolicy {
+            sim_words: 256,
+            exhaustive_max_inputs: 0,
+            sat_max_attempts: 0,
+            ..VerifyPolicy::strict()
+        };
+        let mut witnesses = Vec::new();
+        for threads in [1usize, 2, 8] {
+            engine::set_thread_override(Some(threads));
+            witnesses.push(verify_equivalent(&left, &right, &policy).unwrap());
+        }
+        engine::set_thread_override(None);
+        assert!(matches!(witnesses[0], Verdict::Refuted { .. }));
+        assert_eq!(witnesses[0], witnesses[1]);
+        assert_eq!(witnesses[0], witnesses[2]);
     }
 
     #[test]

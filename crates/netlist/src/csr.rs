@@ -1,0 +1,297 @@
+//! A compressed-sparse-row (CSR) adjacency view of a [`Netlist`].
+//!
+//! The analysis hot loops (fanout-free cones, location discovery,
+//! dirty-region invalidation) are graph walks over the gate graph. Walking
+//! through [`Netlist`] accessors means chasing `Vec<PinRef>` sink lists and
+//! net indirections per step; this view flattens both directions into four
+//! arrays built in one pass, so a traversal touches contiguous memory and
+//! performs no hashing. The view is immutable and positional: it snapshots
+//! the netlist it was built from and must be rebuilt (or patched by the
+//! incremental analysis layer) after any mutation.
+
+use crate::{GateId, NetDriver, Netlist, NetlistError};
+
+/// Flat fanin/fanout adjacency arrays plus the topological order, built
+/// once per netlist.
+///
+/// Row `g` of the fanin CSR lists the *gate* drivers of gate `g`'s input
+/// pins in pin order (primary-input and constant drivers are skipped); row
+/// `g` of the fanout CSR lists the sink gates of `g`'s output net in sink
+/// order, with one entry per sink *pin* (a net feeding two pins of one gate
+/// contributes two entries).
+#[derive(Debug, Clone)]
+pub struct CsrView {
+    fanin_offsets: Vec<u32>,
+    fanin: Vec<GateId>,
+    fanout_offsets: Vec<u32>,
+    fanout: Vec<GateId>,
+    /// Net-level fanout of each gate's output: gate sink pins plus one if
+    /// the net is a primary output.
+    fanout_counts: Vec<u32>,
+    /// Whether each gate's output net is (also) a primary output.
+    drives_po: Vec<bool>,
+    topo: Vec<GateId>,
+    /// Position of each gate in `topo`, indexed by `GateId::index`.
+    topo_pos: Vec<u32>,
+}
+
+impl CsrView {
+    /// Builds the view from a netlist in `O(gates + pins)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the gate graph is
+    /// cyclic — every downstream analysis needs the topological order.
+    pub fn build(netlist: &Netlist) -> Result<CsrView, NetlistError> {
+        let n = netlist.num_gates();
+        let topo = netlist.topo_order()?;
+        let mut topo_pos = vec![0u32; n];
+        for (pos, &g) in topo.iter().enumerate() {
+            topo_pos[g.index()] = pos as u32;
+        }
+
+        let mut fanin_offsets = Vec::with_capacity(n + 1);
+        let mut fanin = Vec::new();
+        let mut fanout_counts = vec![0u32; n];
+        let mut drives_po = vec![false; n];
+        fanin_offsets.push(0);
+        for (g, gate) in netlist.gates() {
+            for &i in gate.inputs() {
+                if let NetDriver::Gate(src) = netlist.net(i).driver() {
+                    fanin.push(src);
+                }
+            }
+            fanin_offsets.push(fanin.len() as u32);
+            let out = netlist.net(gate.output());
+            fanout_counts[g.index()] =
+                (out.sinks().len() + usize::from(out.is_primary_output())) as u32;
+            drives_po[g.index()] = out.is_primary_output();
+        }
+
+        let mut fanout_offsets = Vec::with_capacity(n + 1);
+        let mut fanout = Vec::new();
+        fanout_offsets.push(0);
+        for (_, gate) in netlist.gates() {
+            for p in netlist.net(gate.output()).sinks() {
+                fanout.push(p.gate);
+            }
+            fanout_offsets.push(fanout.len() as u32);
+        }
+
+        Ok(CsrView {
+            fanin_offsets,
+            fanin,
+            fanout_offsets,
+            fanout,
+            fanout_counts,
+            drives_po,
+            topo,
+            topo_pos,
+        })
+    }
+
+    /// The number of gates the view covers.
+    pub fn num_gates(&self) -> usize {
+        self.fanout_counts.len()
+    }
+
+    /// The gate drivers of `g`'s input pins, in pin order (primary inputs
+    /// and constants omitted).
+    pub fn fanins(&self, g: GateId) -> &[GateId] {
+        let lo = self.fanin_offsets[g.index()] as usize;
+        let hi = self.fanin_offsets[g.index() + 1] as usize;
+        &self.fanin[lo..hi]
+    }
+
+    /// The sink gates of `g`'s output net, one entry per sink pin.
+    pub fn fanouts(&self, g: GateId) -> &[GateId] {
+        let lo = self.fanout_offsets[g.index()] as usize;
+        let hi = self.fanout_offsets[g.index() + 1] as usize;
+        &self.fanout[lo..hi]
+    }
+
+    /// Net-level fanout of `g`'s output (sink pins + primary output).
+    pub fn fanout_count(&self, g: GateId) -> u32 {
+        self.fanout_counts[g.index()]
+    }
+
+    /// Whether `g`'s output net is a primary output.
+    pub fn drives_po(&self, g: GateId) -> bool {
+        self.drives_po[g.index()]
+    }
+
+    /// True if `g`'s output feeds exactly one gate pin — `primary`'s — and
+    /// is not a primary output (Definition 1, criterion 2).
+    pub fn feeds_only(&self, g: GateId, primary: GateId) -> bool {
+        !self.drives_po(g) && self.fanouts(g) == [primary]
+    }
+
+    /// The gates in topological order (inputs before outputs).
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// The position of `g` in [`CsrView::topo_order`].
+    pub fn topo_pos(&self, g: GateId) -> u32 {
+        self.topo_pos[g.index()]
+    }
+}
+
+/// Reusable epoch-stamped visited marks for graph traversals.
+///
+/// `clear()` bumps an epoch counter instead of zeroing the array, so a
+/// traversal over a small region costs only that region regardless of how
+/// many times the scratch has been used. One `Scratch` serves one thread;
+/// parallel workers each carry their own.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    /// A scratch sized for `n` items.
+    pub fn new(n: usize) -> Scratch {
+        Scratch {
+            marks: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Invalidates all marks (O(1) except after epoch wrap-around) and
+    /// ensures capacity for `n` items.
+    pub fn clear(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.marks.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks item `i`; returns `true` if it was not yet marked this epoch.
+    pub fn mark(&mut self, i: usize) -> bool {
+        if self.marks[i] == self.epoch {
+            false
+        } else {
+            self.marks[i] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether item `i` is marked this epoch.
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.marks[i] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellLibrary;
+    use odcfp_logic::PrimitiveFn;
+
+    fn fig1() -> (Netlist, [GateId; 3]) {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("fig1", lib);
+        let a = n.add_primary_input("A");
+        let b = n.add_primary_input("B");
+        let c = n.add_primary_input("C");
+        let d = n.add_primary_input("D");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let or2 = n.library().cell_for(PrimitiveFn::Or, 2).unwrap();
+        let x = n.add_gate("gx", and2, &[a, b]);
+        let y = n.add_gate("gy", or2, &[c, d]);
+        let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
+        n.set_primary_output(n.gate_output(f));
+        (n, [x, y, f])
+    }
+
+    #[test]
+    fn adjacency_matches_netlist() {
+        let (n, [x, y, f]) = fig1();
+        let csr = CsrView::build(&n).unwrap();
+        assert_eq!(csr.num_gates(), 3);
+        assert_eq!(csr.fanins(x), &[] as &[GateId]);
+        assert_eq!(csr.fanins(f), &[x, y]);
+        assert_eq!(csr.fanouts(x), &[f]);
+        assert_eq!(csr.fanouts(f), &[] as &[GateId]);
+        assert_eq!(csr.fanout_count(x), 1);
+        assert_eq!(csr.fanout_count(f), 1, "PO counts as fanout");
+        assert!(csr.drives_po(f));
+        assert!(!csr.drives_po(x));
+    }
+
+    #[test]
+    fn feeds_only_matches_definition() {
+        let (n, [x, y, f]) = fig1();
+        let csr = CsrView::build(&n).unwrap();
+        assert!(csr.feeds_only(x, f));
+        assert!(csr.feeds_only(y, f));
+        assert!(!csr.feeds_only(x, y));
+        assert!(!csr.feeds_only(f, x), "PO gate never feeds-only");
+    }
+
+    #[test]
+    fn topo_positions_are_consistent() {
+        let (n, _) = fig1();
+        let csr = CsrView::build(&n).unwrap();
+        for (pos, &g) in csr.topo_order().iter().enumerate() {
+            assert_eq!(csr.topo_pos(g) as usize, pos);
+        }
+        for (g, _) in n.gates() {
+            for &src in csr.fanins(g) {
+                assert!(csr.topo_pos(src) < csr.topo_pos(g));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected() {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("cyc", lib);
+        let a = n.add_primary_input("a");
+        let fwd = n.add_net("fwd");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let g1 = n.add_gate("g1", and2, &[a, fwd]);
+        n.add_gate_driving("g2", and2, &[n.gate_output(g1), a], fwd);
+        assert!(matches!(
+            CsrView::build(&n),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn scratch_epochs_do_not_leak_marks() {
+        let mut s = Scratch::new(4);
+        assert!(s.mark(1));
+        assert!(!s.mark(1));
+        assert!(s.is_marked(1));
+        s.clear(4);
+        assert!(!s.is_marked(1));
+        assert!(s.mark(1));
+        // Growing keeps earlier marks meaningful within the epoch.
+        s.clear(8);
+        assert!(s.mark(7));
+        assert!(!s.mark(7));
+    }
+
+    #[test]
+    fn duplicate_pins_appear_per_pin() {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("dup", lib);
+        let a = n.add_primary_input("a");
+        let inv = n.library().cell_for(PrimitiveFn::Inv, 1).unwrap();
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let g1 = n.add_gate("g1", inv, &[a]);
+        let g2 = n.add_gate("g2", and2, &[n.gate_output(g1), n.gate_output(g1)]);
+        n.set_primary_output(n.gate_output(g2));
+        let csr = CsrView::build(&n).unwrap();
+        assert_eq!(csr.fanouts(g1), &[g2, g2]);
+        assert_eq!(csr.fanins(g2), &[g1, g1]);
+        assert_eq!(csr.fanout_count(g1), 2);
+        assert!(!csr.feeds_only(g1, g2), "two sink pins is not feeds-only");
+    }
+}

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 pub mod dot;
 mod error;
 pub mod genlib;
@@ -49,6 +50,7 @@ mod library;
 mod netlist;
 mod stats;
 
+pub use csr::{CsrView, Scratch};
 pub use error::NetlistError;
 pub use ids::{CellId, GateId, NetId, PinRef};
 pub use library::{Cell, CellLibrary};

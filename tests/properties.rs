@@ -14,8 +14,9 @@
 
 use proptest::prelude::*;
 
+use odcfp_analysis::{cones, odc, AnalysisEngine};
 use odcfp_core::collusion::analyze_collusion;
-use odcfp_core::Fingerprinter;
+use odcfp_core::{find_locations_naive, find_locations_with, Fingerprinter};
 use odcfp_logic::{Cube, Sop};
 use odcfp_netlist::{CellLibrary, Netlist};
 use odcfp_sat::{probably_equivalent, CnfBuilder, Lit, SolveResult, Solver, Var};
@@ -141,6 +142,53 @@ proptest! {
         for i in 0..16usize {
             let bits: Vec<bool> = (0..4).map(|v| (i >> v) & 1 == 1).collect();
             prop_assert_eq!(mapped.eval(&bits)[0], sop.eval(&bits), "row {}", i);
+        }
+    }
+
+    /// The parallel analysis engine finds exactly the locations of the
+    /// naive reference scan, in the same order, at any worker count.
+    #[test]
+    fn engine_locations_match_naive_at_any_thread_count(seed in 0u64..5000) {
+        let n = small_dag(seed);
+        let naive = find_locations_naive(&n);
+        let eng = AnalysisEngine::new(&n).unwrap();
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &find_locations_with(&n, &eng, threads),
+                &naive,
+                "threads = {}",
+                threads
+            );
+        }
+    }
+
+    /// The engine's one-sweep dominator construction reproduces the naive
+    /// per-root FFC walk and fanin/fanout-exclusivity helpers everywhere.
+    #[test]
+    fn engine_cones_match_naive(seed in 0u64..5000) {
+        let n = small_dag(seed);
+        let eng = AnalysisEngine::new(&n).unwrap();
+        for (root, _) in n.gates() {
+            prop_assert_eq!(eng.ffc_of(root), cones::ffc_of(&n, root), "ffc of {:?}", root);
+            let mut scratch = odcfp_netlist::Scratch::default();
+            prop_assert_eq!(
+                eng.transitive_fanin(root, &mut scratch),
+                cones::transitive_fanin(&n, root),
+                "tfi of {:?}",
+                root
+            );
+        }
+    }
+
+    /// Batched observability equals the per-net calls it replaces.
+    #[test]
+    fn batched_observability_matches_per_net(seed in 0u64..2000) {
+        let n = small_dag(seed);
+        let nets: Vec<_> = n.nets().map(|(id, _)| id).collect();
+        let batched = odc::simulated_observability_many(&n, &nets, 4, seed);
+        for (i, &net) in nets.iter().enumerate() {
+            let single = odc::simulated_observability(&n, net, 4, seed);
+            prop_assert_eq!(batched[i], single, "net {:?}", net);
         }
     }
 
