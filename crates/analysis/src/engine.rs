@@ -37,6 +37,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use odcfp_netlist::{CsrView, GateId, Netlist, NetlistError, Scratch};
 
+use crate::cancel::CancelToken;
+
 /// Encoding of the dominator tree's virtual root in `idom`/NCA space.
 const VIRTUAL_ROOT: u32 = u32::MAX;
 
@@ -113,6 +115,79 @@ where
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
+    })
+}
+
+/// Work-unit granularity of [`parallel_chunks_cancellable`]: the longest
+/// stretch of indices a worker processes between two token polls.
+const CANCEL_GRANULE: usize = 256;
+
+/// [`parallel_chunks`] with cooperative cancellation: each worker splits
+/// its chunk into sub-ranges of at most [`CANCEL_GRANULE`] indices,
+/// polling `token` between sub-ranges, and the per-sub-range results come
+/// back concatenated **in index order**.
+///
+/// Returns `None` when the token fired before the sweep completed —
+/// partial results are discarded, because a partial merge would violate
+/// the determinism contract. The merge requirements on `f` are the same
+/// as for [`parallel_chunks`]; note `f` is now called on finer ranges, so
+/// any left fold over adjacent ranges must still be associative.
+///
+/// # Panics
+///
+/// Re-raises any panic from a worker thread.
+pub fn parallel_chunks_cancellable<R, F>(
+    len: usize,
+    threads: usize,
+    token: &CancelToken,
+    f: F,
+) -> Option<Vec<R>>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let run = |range: std::ops::Range<usize>| -> Option<Vec<R>> {
+        let mut out = Vec::new();
+        let mut lo = range.start;
+        while lo < range.end {
+            if token.is_cancelled() {
+                return None;
+            }
+            let hi = (lo + CANCEL_GRANULE).min(range.end);
+            out.push(f(lo..hi));
+            lo = hi;
+        }
+        Some(out)
+    };
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 {
+        if token.is_cancelled() {
+            return None;
+        }
+        return run(0..len);
+    }
+    let chunk = len.div_ceil(threads);
+    let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+        .map(|t| (t * chunk).min(len)..((t + 1) * chunk).min(len))
+        .collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let run = &run;
+                s.spawn(move || run(r))
+            })
+            .collect();
+        let mut merged = Vec::new();
+        let mut cancelled = false;
+        for h in handles {
+            match h.join() {
+                Ok(Some(part)) => merged.extend(part),
+                Ok(None) => cancelled = true,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        (!cancelled).then_some(merged)
     })
 }
 
@@ -418,6 +493,56 @@ mod tests {
             assert_eq!(flat, (0..10).collect::<Vec<_>>(), "threads={threads}");
         }
         assert_eq!(parallel_chunks(0, 4, |r| r.len()), vec![0]);
+    }
+
+    #[test]
+    fn cancellable_chunks_complete_when_token_is_quiet() {
+        let token = CancelToken::new();
+        for threads in [1, 2, 3, 8] {
+            let chunks =
+                parallel_chunks_cancellable(1000, threads, &token, |r| r.collect::<Vec<usize>>())
+                    .expect("quiet token must complete");
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..1000).collect::<Vec<_>>(), "threads={threads}");
+        }
+        // Zero-length sweeps produce zero work units.
+        assert_eq!(
+            parallel_chunks_cancellable(0, 4, &token, |r| r.len()),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn fired_token_stops_the_sweep() {
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            assert_eq!(
+                parallel_chunks_cancellable(100_000, threads, &token, |r| r.len()),
+                None,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_sweep_cancel_returns_none() {
+        use std::sync::atomic::AtomicUsize;
+        let token = CancelToken::new();
+        let calls = AtomicUsize::new(0);
+        // Fire the token from inside the work function after a few
+        // granules: the sweep must abandon the rest and report None.
+        let result = parallel_chunks_cancellable(100_000, 2, &token, |r| {
+            if calls.fetch_add(1, Ordering::Relaxed) == 3 {
+                token.cancel();
+            }
+            r.len()
+        });
+        assert_eq!(result, None);
+        assert!(
+            (calls.load(Ordering::Relaxed) * super::CANCEL_GRANULE) < 100_000,
+            "cancellation should cut the sweep short"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod cancel;
 pub mod cones;
 pub mod engine;
 mod metrics;
@@ -28,5 +29,6 @@ pub mod odc;
 pub mod power;
 pub mod sta;
 
+pub use cancel::CancelToken;
 pub use engine::AnalysisEngine;
 pub use metrics::{DesignMetrics, OverheadReport};

@@ -16,6 +16,8 @@
 //! odcfp dot        <in.(blif|v)> -o <out.dot>    Graphviz export
 //! odcfp bench      <name>                        generate a Table II benchmark
 //!                  -o <out.v>
+//! odcfp campaign   <manifest> --out-dir <dir>    journaled batch embed+verify
+//!                  [--resume] [--max-jobs N]
 //! ```
 //!
 //! Every command accepts `--genlib <file>` to use a custom cell library
@@ -29,18 +31,26 @@
 //! `run` reports the process exit code for the outcome: `0` success (and
 //! `verify`'s *proven equivalent*), `1` runtime error, `2` usage error,
 //! `3` *refuted*, `4` *undecided* (budget or deadline exhausted), `5`
-//! *probably equivalent* (simulation only, no proof).
+//! *probably equivalent* (simulation only, no proof), `6` campaign
+//! completed with quarantined jobs.
+//!
+//! A broken stdout pipe (`odcfp ... | head`) is not an error: the run is
+//! cut short and the process exits `0`, like a well-behaved Unix filter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use odcfp_analysis::DesignMetrics;
+use odcfp_core::campaign::{
+    self, CampaignEnv, CampaignError, CampaignOptions, CircuitSource, JobEvent, Manifest,
+    ManifestCircuit,
+};
 use odcfp_core::heuristics::{
     proactive_delay_embedding, reactive_delay_reduction, ReactiveOptions,
 };
@@ -57,6 +67,13 @@ impl CliError {
     /// The process exit code this failure maps to.
     pub fn exit_code(&self) -> i32 {
         self.1
+    }
+
+    /// `true` for the benign "stdout reader went away" condition
+    /// (`odcfp ... | head`). The caller should exit `0` without printing
+    /// an error.
+    pub fn is_broken_pipe(&self) -> bool {
+        self.1 == 0
     }
 }
 
@@ -78,8 +95,20 @@ macro_rules! from_error {
     };
 }
 
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        // EPIPE on stdout is the reader closing early (`| head`), not a
+        // failure: surface it with exit code 0 so `run` unwinds cleanly
+        // and the process exits like any Unix filter would.
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            CliError("broken pipe".into(), 0)
+        } else {
+            CliError(e.to_string(), 1)
+        }
+    }
+}
+
 from_error!(
-    std::io::Error,
     odcfp_blif::ParseBlifError,
     odcfp_verilog::ParseVerilogError,
     odcfp_synth::MapError,
@@ -120,6 +149,9 @@ struct Options {
     delay_pct: Option<f64>,
     method: String,
     threads: Option<usize>,
+    out_dir: Option<String>,
+    resume: bool,
+    max_jobs: Option<usize>,
 }
 
 impl Options {
@@ -150,6 +182,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         delay_pct: None,
         method: "reactive".into(),
         threads: None,
+        out_dir: None,
+        resume: false,
+        max_jobs: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -201,6 +236,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--method" => o.method = take("--method")?,
+            "--out-dir" => o.out_dir = Some(take("--out-dir")?),
+            "--resume" => o.resume = true,
+            "--max-jobs" => {
+                let n: usize = take("--max-jobs")?
+                    .parse()
+                    .map_err(|_| usage("--max-jobs needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--max-jobs needs a positive integer"));
+                }
+                o.max_jobs = Some(n);
+            }
             "--threads" => {
                 let n: usize = take("--threads")?
                     .parse()
@@ -455,8 +501,85 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             write_output(&o, &write_verilog(&design), out)?;
             Ok(0)
         }
+        "campaign" => run_campaign(&o, library, out),
         other => Err(usage(format!("unknown command {other:?}\n{USAGE}"))),
     }
+}
+
+/// The `campaign` subcommand: a journaled, crash-safe batch run (see
+/// `odcfp_core::campaign` and DESIGN.md §10).
+fn run_campaign(
+    o: &Options,
+    library: Arc<CellLibrary>,
+    out: &mut impl std::io::Write,
+) -> Result<i32, CliError> {
+    let manifest_path = required_input(o, "campaign manifest")?;
+    let out_dir = o
+        .out_dir
+        .as_deref()
+        .ok_or_else(|| usage("campaign needs --out-dir <dir>"))?;
+    let text = fs::read_to_string(manifest_path)
+        .map_err(|e| fail(format!("cannot read {manifest_path}: {e}")))?;
+    let manifest = Manifest::parse(&text).map_err(|e| fail(e.to_string()))?;
+
+    // `path:` sources resolve relative to the manifest file, so a
+    // manifest can live next to its designs and be invoked from anywhere.
+    let manifest_dir = Path::new(manifest_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let load = move |c: &ManifestCircuit| -> Result<Netlist, String> {
+        let CircuitSource::Path(p) = &c.source else {
+            return Err("internal: loader called for a probe source".into());
+        };
+        let resolved = if Path::new(p).is_absolute() {
+            PathBuf::from(p)
+        } else {
+            manifest_dir.join(p)
+        };
+        load_design(&resolved.to_string_lossy(), Arc::clone(&library)).map_err(|e| e.to_string())
+    };
+    let emit = |n: &Netlist| write_verilog(n);
+    let env = CampaignEnv {
+        load: &load,
+        emit: &emit,
+    };
+    let options = CampaignOptions {
+        resume: o.resume,
+        stop_after: o.max_jobs,
+    };
+    let mut on_event = |e: &JobEvent| match e {
+        JobEvent::Started { job, attempt } if *attempt > 1 => {
+            eprintln!("job {job}: retry (attempt {attempt})");
+        }
+        JobEvent::Started { .. } => {}
+        JobEvent::Completed { job, verdict, millis } => {
+            eprintln!("job {job}: {verdict} ({millis} ms)");
+        }
+        JobEvent::Skipped { job } => eprintln!("job {job}: already complete (resumed)"),
+        JobEvent::SkippedPoisoned { job } => {
+            eprintln!("job {job}: quarantined by a previous run");
+        }
+        JobEvent::StaleArtifact { job } => {
+            eprintln!("job {job}: artifact missing or corrupt — re-minting");
+        }
+        JobEvent::AttemptFailed { job, attempt, error } => {
+            eprintln!("job {job}: attempt {attempt} failed: {error}");
+        }
+        JobEvent::Poisoned { job, diagnostic } => {
+            eprintln!("job {job}: QUARANTINED: {diagnostic}");
+        }
+    };
+    let summary = campaign::run(&manifest, Path::new(out_dir), &env, &options, &mut on_event)
+        .map_err(|e| match e {
+            // Journal/manifest misuse is a usage problem, not a crash.
+            CampaignError::JournalExists(_) | CampaignError::ManifestMismatch { .. } => {
+                usage(e.to_string())
+            }
+            e => fail(e.to_string()),
+        })?;
+    write!(out, "{summary}")?;
+    Ok(if summary.poisoned.is_empty() { 0 } else { 6 })
 }
 
 /// The usage banner.
@@ -476,12 +599,15 @@ commands:
   optimize  <in.(blif|v)> [-o out.v]            constant folding + dead sweep
   dot       <in.(blif|v)> [-o out.dot]          Graphviz export
   bench     <name> [-o out.v]                   generate a Table II benchmark
+  campaign  <manifest> --out-dir <dir>          journaled batch embed+verify
+            [--resume] [--max-jobs N]           (crash-safe; resumable)
 options: --genlib <file> to use a custom cell library
          --threads N to pin the analysis worker count (default: all cores,
                      or ODCFP_THREADS; results are identical at any setting)
          --verify-budget / --verify-timeout bound SAT effort (embed, verify)
 exit codes: 0 ok/proven, 1 error, 2 usage,
-            3 refuted, 4 undecided, 5 probably-equivalent";
+            3 refuted, 4 undecided, 5 probably-equivalent,
+            6 campaign completed with quarantined jobs";
 
 #[cfg(test)]
 mod tests {

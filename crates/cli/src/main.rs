@@ -1,5 +1,7 @@
 //! The `odcfp` binary entry point.
 
+use std::io::Write as _;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -10,7 +12,11 @@ fn main() {
     match odcfp_cli::run(command, rest, &mut stdout) {
         Ok(code) => std::process::exit(code),
         Err(e) => {
-            eprintln!("error: {e}");
+            // A closed stdout (`odcfp ... | head`) is a clean exit, and
+            // stderr may be gone too — never panic while reporting.
+            if !e.is_broken_pipe() {
+                let _ = writeln!(std::io::stderr(), "error: {e}");
+            }
             std::process::exit(e.exit_code());
         }
     }

@@ -164,6 +164,75 @@ fn malformed_input_corpus_fails_cleanly() {
     assert_clean_failure(&["transmogrify"], 2);
 }
 
+/// The adversarial fixture corpus, driven through the binary: every
+/// entry must exit 1 with a formatted `error:` line — the API-level twin
+/// lives in `tests/malformed_corpus.rs`.
+#[test]
+fn adversarial_fixture_corpus_fails_cleanly_via_cli() {
+    const GOOD_V: &str =
+        "module m (a, y);\ninput a;\noutput y;\nINV u1 (.A(a), .Y(y));\nendmodule\n";
+    let fixtures: Vec<(&str, String)> = vec![
+        (
+            "cut.blif", // truncated mid-cube
+            ".model t\n.inputs a b\n.outputs y\n.names a b y\n11".into(),
+        ),
+        (
+            "cycle.blif", // combinational cycle through x/y
+            ".model c\n.inputs a\n.outputs y\n.names a x y\n11 1\n.names y x\n1 1\n.end\n".into(),
+        ),
+        (
+            "dupmodel.blif",
+            ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n\
+             .model m\n.inputs b\n.outputs z\n.names b z\n1 1\n.end\n"
+                .into(),
+        ),
+        (
+            "nul.blif", // NUL byte inside a cover row
+            ".model n\n.inputs a\n.outputs y\n.names a y\n1\u{0} 1\n.end\n".into(),
+        ),
+        (
+            "latch.blif",
+            ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n".into(),
+        ),
+        (
+            "undriven.blif",
+            ".model u\n.inputs a\n.outputs y z\n.names a y\n1 1\n.end\n".into(),
+        ),
+        (
+            "longline.blif", // multi-megabyte single line (100 MB twin in the API corpus)
+            format!(
+                ".model big\n.inputs a\n.outputs y\n.names a y\n{} 1\n.end\n",
+                "1".repeat(4 * 1024 * 1024)
+            ),
+        ),
+        (
+            "comment.v", // unterminated block comment
+            "module m (a, y); input a; output y; /* oops".into(),
+        ),
+        (
+            "twomods.v", // concatenated modules must not half-parse
+            format!("{GOOD_V}module m2 (b, z);\ninput b;\noutput z;\nINV u2 (.A(b), .Y(z));\nendmodule\n"),
+        ),
+        (
+            "cutinst.v", // truncated mid-instance
+            "module m (a, y); input a; output y; INV u1 (.A(a), .Y".into(),
+        ),
+        (
+            "twodrivers.v",
+            "module m (a, y); input a; output y; INV u1 (.A(a), .Y(y)); \
+             INV u2 (.A(a), .Y(y)); endmodule"
+                .into(),
+        ),
+    ];
+    let dir = workdir().join("adversarial");
+    fs::create_dir_all(&dir).expect("corpus dir");
+    for (name, src) in fixtures {
+        let path = dir.join(name);
+        fs::write(&path, src).expect("fixture write");
+        assert_clean_failure(&["stats", path.to_str().expect("utf8")], 1);
+    }
+}
+
 #[test]
 fn verify_exit_codes_by_verdict() {
     let dir = workdir();
@@ -199,6 +268,168 @@ fn verify_exit_codes_by_verdict() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("undecided"));
+}
+
+#[test]
+fn broken_stdout_pipe_exits_cleanly() {
+    use std::io::Read;
+    use std::process::Stdio;
+    // c6288 renders to ~230 KB — far past the OS pipe buffer, so the
+    // child's stdout writes hit EPIPE once we close our end early.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_odcfp"))
+        .args(["bench", "c6288"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let mut head = [0u8; 512];
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_exact(&mut head)
+        .expect("read a prefix");
+    // Dropping the handle above closed the read end; the child must wind
+    // down like `odcfp ... | head`: exit 0, no error, no panic.
+    let out = child.wait_with_output().expect("wait");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("error:"), "{stderr}");
+}
+
+/// Writes the standard campaign fixture into `dir`: a mapped design plus
+/// a manifest, returning the manifest path.
+fn campaign_fixture(dir: &std::path::Path, manifest: &str) -> String {
+    fs::create_dir_all(dir).expect("fixture dir");
+    let blif = dir.join("design.blif");
+    fs::write(&blif, BLIF).expect("blif");
+    let base_v = dir.join("design.v");
+    stdout_of(&odcfp(&["map", blif.to_str().expect("utf8"), "-o", base_v.to_str().expect("utf8")]));
+    let path = dir.join("campaign.manifest");
+    fs::write(&path, manifest).expect("manifest");
+    path.to_str().expect("utf8").to_owned()
+}
+
+#[test]
+fn campaign_end_to_end_with_resume_and_quarantine() {
+    let dir = workdir().join("campaign-e2e");
+    let _ = fs::remove_dir_all(&dir);
+    let manifest = campaign_fixture(
+        &dir,
+        "circuit good path:design.v\ncircuit bomb probe:panic\nbuyers 2\nseed 9\nretries 0\n",
+    );
+    let out_dir = dir.join("out");
+    let out_dir = out_dir.to_str().expect("utf8");
+
+    // A campaign with a poisoned circuit completes its healthy jobs and
+    // exits with the dedicated code 6.
+    let out = odcfp(&["campaign", &manifest, "--out-dir", out_dir]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(6), "{stderr}");
+    assert!(stdout.contains("4 jobs"), "{stdout}");
+    assert!(stdout.contains("2 completed"), "{stdout}");
+    assert!(stdout.contains("poisoned bomb#0"), "{stdout}");
+    assert!(stderr.contains("QUARANTINED"), "{stderr}");
+    for buyer in 0..2 {
+        assert!(dir.join(format!("out/artifacts/good_b{buyer}.v")).exists());
+    }
+
+    // Re-running without --resume must refuse to clobber the journal.
+    let out = odcfp(&["campaign", &manifest, "--out-dir", out_dir]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume"));
+
+    // Resume skips completed jobs and keeps the quarantine.
+    let out = odcfp(&["campaign", &manifest, "--out-dir", out_dir, "--resume"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(6), "{stderr}");
+    assert!(stderr.contains("already complete (resumed)"), "{stderr}");
+    assert!(stderr.contains("quarantined by a previous run"), "{stderr}");
+}
+
+/// The crash-safety drill: SIGKILL a campaign mid-run, resume it, and
+/// require the final state to be bit-identical to an uninterrupted run —
+/// with the jobs finished before the kill *not* re-executed.
+#[test]
+fn campaign_kill_and_resume_matches_uninterrupted_run() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    // The spin probe (800 ms deadline) sits mid-list so the kill lands
+    // while a job is provably in-flight; fast jobs bracket it.
+    const MANIFEST: &str = "\
+circuit early path:design.v
+circuit slow probe:spin
+circuit late path:design.v
+buyers 2
+seed 1234
+deadline-ms 800
+retries 0
+";
+    let dir = workdir().join("campaign-kill");
+    let _ = fs::remove_dir_all(&dir);
+    let manifest = campaign_fixture(&dir, MANIFEST);
+
+    // Reference: the same campaign, uninterrupted.
+    let ref_out = dir.join("ref");
+    let ref_run = odcfp(&["campaign", &manifest, "--out-dir", ref_out.to_str().expect("utf8")]);
+    assert_eq!(ref_run.status.code(), Some(6)); // spin jobs quarantine
+
+    // Victim: kill once the first job has completed (the spin probe is
+    // then running or about to).
+    let victim_out = dir.join("victim");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_odcfp"))
+        .args(["campaign", &manifest, "--out-dir", victim_out.to_str().expect("utf8")])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn victim");
+    let mut lines = BufReader::new(child.stderr.take().expect("stderr piped")).lines();
+    let first = loop {
+        let line = lines.next().expect("stderr open").expect("stderr line");
+        if line.contains(" ms)") {
+            break line;
+        }
+    };
+    assert!(first.contains("job early#0"), "unexpected first completion: {first}");
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Resume and require convergence with the reference run.
+    let resumed = odcfp(&[
+        "campaign", &manifest, "--out-dir", victim_out.to_str().expect("utf8"), "--resume",
+    ]);
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert_eq!(resumed.status.code(), Some(6), "{stderr}");
+    assert!(
+        stderr.contains("already complete (resumed)"),
+        "pre-kill jobs must not re-execute: {stderr}"
+    );
+
+    // Same summary (same totals, verdicts, quarantine set)...
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout)
+            .lines()
+            .filter(|l| !l.contains("poisoned slow#")) // diagnostics embed timings
+            .map(|l| l.split(" (").next().expect("prefix").to_owned())
+            .collect::<Vec<_>>(),
+        String::from_utf8_lossy(&ref_run.stdout)
+            .lines()
+            .filter(|l| !l.contains("poisoned slow#"))
+            .map(|l| l.split(" (").next().expect("prefix").to_owned())
+            .collect::<Vec<_>>(),
+    );
+    // ...and bit-identical artifacts.
+    for name in ["early_b0.v", "early_b1.v", "late_b0.v", "late_b1.v"] {
+        assert_eq!(
+            fs::read(ref_out.join("artifacts").join(name)).expect("ref artifact"),
+            fs::read(victim_out.join("artifacts").join(name)).expect("resumed artifact"),
+            "{name}"
+        );
+    }
 }
 
 #[test]

@@ -1,5 +1,6 @@
 //! The fingerprinting engine: selection, embedding, extraction.
 
+use odcfp_analysis::cancel::CancelToken;
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_netlist::{NetDriver, NetId, Netlist};
 
@@ -253,8 +254,30 @@ impl Fingerprinter {
         bits: &[bool],
         policy: &VerifyPolicy,
     ) -> Result<(FingerprintedCopy, Verdict), FingerprintError> {
+        self.embed_with_policy_cancellable(bits, policy, &CancelToken::new())
+    }
+
+    /// [`Fingerprinter::embed_with_policy`] under a cooperative
+    /// [`CancelToken`] — the minting entry point batch runners use, so a
+    /// per-job deadline or an operator abort stops the verification
+    /// workers instead of merely being noticed afterwards.
+    ///
+    /// A fired token surfaces as [`Verdict::Undecided`]; the copy is
+    /// still returned (it passed structural validation), and the caller
+    /// decides whether an unverified copy is usable.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fingerprinter::embed_with_policy`].
+    pub fn embed_with_policy_cancellable(
+        &self,
+        bits: &[bool],
+        policy: &VerifyPolicy,
+        token: &CancelToken,
+    ) -> Result<(FingerprintedCopy, Verdict), FingerprintError> {
         let netlist = self.apply_bits(bits)?;
-        let verdict = verify_equivalent(&self.base, &netlist, policy)?;
+        let verdict =
+            crate::verify::verify_equivalent_cancellable(&self.base, &netlist, policy, token)?;
         if let Verdict::Refuted { counterexample } = verdict {
             return Err(FingerprintError::NotEquivalent {
                 counterexample: Some(counterexample),

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 mod capacity;
 pub mod collusion;
 mod embed;
@@ -78,10 +79,13 @@ pub mod watermark;
 pub use capacity::CapacityReport;
 pub use embed::{Fingerprinter, FingerprintedCopy, SelectionPolicy, VerifyLevel};
 pub use error::FingerprintError;
+pub use odcfp_analysis::cancel::CancelToken;
 pub use incremental::{EmbedSession, IncrementalLocations};
 pub use location::{
     find_locations, find_locations_naive, find_locations_with, Candidate, FingerprintLocation,
 };
 pub use silicon::FlexibleDesign;
 pub use modify::{apply_modification, Modification};
-pub use verify::{verify_equivalent, Verdict, VerifyPolicy};
+pub use verify::{
+    verify_equivalent, verify_equivalent_cancellable, Verdict, VerifyPolicy,
+};

@@ -25,6 +25,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use odcfp_analysis::cancel::CancelToken;
 use odcfp_analysis::engine;
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_logic::sim;
@@ -197,6 +198,30 @@ pub fn verify_equivalent(
     candidate: &Netlist,
     policy: &VerifyPolicy,
 ) -> Result<Verdict, FingerprintError> {
+    verify_equivalent_cancellable(golden, candidate, policy, &CancelToken::new())
+}
+
+/// [`verify_equivalent`] under a cooperative [`CancelToken`].
+///
+/// Every rung of the ladder observes the token *and* the policy's
+/// `time_limit` (composed via [`CancelToken::bounded_by`]): the random
+/// and exhaustive simulation stages poll between bounded pattern
+/// batches, and the SAT stage arms the solver's conflict-point interrupt
+/// in addition to its deadline. A fired token yields
+/// [`Verdict::Undecided`] with whatever accounting was accrued — exactly
+/// the degradation contract budget exhaustion already follows — so
+/// callers cannot tell cancellation apart from a slow proof by verdict
+/// alone; batch runners check the token they handed in.
+///
+/// # Errors
+///
+/// As [`verify_equivalent`].
+pub fn verify_equivalent_cancellable(
+    golden: &Netlist,
+    candidate: &Netlist,
+    policy: &VerifyPolicy,
+    token: &CancelToken,
+) -> Result<Verdict, FingerprintError> {
     let start = Instant::now();
     golden.validate()?;
     candidate.validate()?;
@@ -213,6 +238,14 @@ pub fn verify_equivalent(
             right: candidate.primary_outputs().len(),
         }));
     }
+
+    // Compose the caller's token with the policy's wall-clock limit; all
+    // three stages observe the combined handle.
+    let token = token.bounded_by(policy.time_limit.map(|limit| start + limit));
+    let undecided = |conflicts_spent: u64| Verdict::Undecided {
+        conflicts_spent,
+        elapsed: start.elapsed(),
+    };
 
     // Closed circuits (no inputs) have exactly one behaviour; compare it.
     if num_inputs == 0 {
@@ -232,10 +265,13 @@ pub fn verify_equivalent(
         let patterns: Vec<Vec<u64>> = (0..num_inputs)
             .map(|_| sim::random_words(&mut rng, policy.sim_words))
             .collect();
-        if let Some(counterexample) = first_sim_mismatch(golden, candidate, &patterns) {
-            return Ok(Verdict::Refuted { counterexample });
+        match sim_scan(golden, candidate, &patterns, &token) {
+            SimScan::Mismatch(counterexample) => {
+                return Ok(Verdict::Refuted { counterexample })
+            }
+            SimScan::Clean => patterns_checked = (policy.sim_words as u64) * 64,
+            SimScan::Cancelled => return Ok(undecided(0)),
         }
-        patterns_checked = (policy.sim_words as u64) * 64;
     }
 
     // Stage 2: exhaustive simulation — a proof when the input space fits.
@@ -243,9 +279,10 @@ pub fn verify_equivalent(
         let patterns = sim::exhaustive_patterns(num_inputs);
         // Padding bits beyond 2^n replicate the all-zeros assignment, so
         // any mismatch here is a genuine counterexample.
-        return Ok(match first_sim_mismatch(golden, candidate, &patterns) {
-            Some(counterexample) => Verdict::Refuted { counterexample },
-            None => Verdict::Proven,
+        return Ok(match sim_scan(golden, candidate, &patterns, &token) {
+            SimScan::Mismatch(counterexample) => Verdict::Refuted { counterexample },
+            SimScan::Clean => Verdict::Proven,
+            SimScan::Cancelled => undecided(0),
         });
     }
 
@@ -256,12 +293,15 @@ pub fn verify_equivalent(
             patterns: patterns_checked,
         });
     }
-    let deadline = policy.time_limit.map(|limit| start + limit);
+    let deadline = token.deadline();
     let mut miter = Miter::build(golden, candidate).map_err(FingerprintError::Verification)?;
+    // An explicit cancel() must stop the solver at its next conflict
+    // point, not only between attempts.
+    miter.set_interrupt(token.flag());
     let escalation = u64::from(policy.sat_escalation.max(2));
     let mut attempt_budget = policy.sat_initial_conflicts;
     for _ in 0..policy.sat_max_attempts {
-        if deadline.is_some_and(|d| Instant::now() >= d) {
+        if token.is_cancelled() {
             break;
         }
         // Clip this attempt to whatever remains of the overall cap.
@@ -294,25 +334,40 @@ pub fn verify_equivalent(
     })
 }
 
+/// The outcome of one cancellable simulation sweep.
+enum SimScan {
+    /// A differing output bit was found; the decoded input assignment.
+    Mismatch(Vec<bool>),
+    /// Every pattern agreed.
+    Clean,
+    /// The token fired (deadline or explicit cancel) before the sweep
+    /// finished; partial agreement proves nothing, so the result is
+    /// discarded.
+    Cancelled,
+}
+
 /// Simulates both netlists on `patterns` and, on the first differing
-/// output bit, decodes the corresponding input assignment.
-fn first_sim_mismatch(
+/// output bit, decodes the corresponding input assignment. Polls `token`
+/// between bounded word batches.
+fn sim_scan(
     left: &Netlist,
     right: &Netlist,
     patterns: &[Vec<u64>],
-) -> Option<Vec<bool>> {
+    token: &CancelToken,
+) -> SimScan {
     let num_words = patterns.first().map_or(0, Vec::len);
     // Word chunks fan out across workers; each chunk's sequential scan is
     // outputs-major, so its hit is the chunk's lexicographic minimum over
     // `(output, word)`, and the global minimum across chunks reproduces the
-    // sequential scan's answer at any thread count. Short pattern sets stay
-    // sequential — slicing costs more than it saves.
+    // sequential scan's answer at any thread count (batch boundaries only
+    // refine the partition; min-merge is associative). Short pattern sets
+    // stay sequential — slicing costs more than it saves.
     let threads = if num_words < 64 {
         1
     } else {
         engine::configured_threads()
     };
-    let hits = engine::parallel_chunks(num_words, threads, |range| {
+    let hits = engine::parallel_chunks_cancellable(num_words, threads, token, |range| {
         let slice: Vec<Vec<u64>> = patterns
             .iter()
             .map(|signal| signal[range.clone()].to_vec())
@@ -336,13 +391,18 @@ fn first_sim_mismatch(
         }
         hit
     });
-    let (_, w, bit) = hits.into_iter().flatten().min()?;
-    Some(
-        patterns
-            .iter()
-            .map(|signal| (signal[w] >> bit) & 1 == 1)
-            .collect(),
-    )
+    let Some(hits) = hits else {
+        return SimScan::Cancelled;
+    };
+    match hits.into_iter().flatten().min() {
+        Some((_, w, bit)) => SimScan::Mismatch(
+            patterns
+                .iter()
+                .map(|signal| (signal[w] >> bit) & 1 == 1)
+                .collect(),
+        ),
+        None => SimScan::Clean,
+    }
 }
 
 #[cfg(test)]
@@ -474,6 +534,85 @@ mod tests {
             verify_equivalent(&left, &right, &policy).unwrap(),
             Verdict::Undecided { .. }
         ));
+    }
+
+    /// Regression (deadline granularity): a near-zero deadline must stop
+    /// the *random-simulation* stage, not just the SAT rung. With SAT
+    /// disabled, the old ladder ran the full sweep and reported
+    /// `ProbablyEquivalent` no matter the time limit.
+    #[test]
+    fn random_sim_stage_observes_the_deadline() {
+        let left = xor_chain(20, false);
+        let right = xor_chain(20, true);
+        let policy = VerifyPolicy {
+            sim_words: 4096,
+            sat_max_attempts: 0,
+            ..VerifyPolicy::strict()
+        }
+        .with_time_limit(Duration::ZERO);
+        match verify_equivalent(&left, &right, &policy).unwrap() {
+            Verdict::Undecided {
+                conflicts_spent, ..
+            } => assert_eq!(conflicts_spent, 0, "no SAT ran"),
+            other => panic!("expected undecided under a zero deadline, got {other}"),
+        }
+    }
+
+    /// Regression (deadline granularity): the *exhaustive* stage must
+    /// observe the deadline too — previously it would run all 2^n
+    /// assignments and claim `Proven` under an already-expired limit.
+    #[test]
+    fn exhaustive_stage_observes_the_deadline() {
+        let left = xor_chain(10, false);
+        let right = xor_chain(10, true);
+        // Skip stage 1 so the exhaustive stage is the one on the clock.
+        let policy = VerifyPolicy {
+            sim_words: 0,
+            sat_max_attempts: 0,
+            ..VerifyPolicy::strict()
+        }
+        .with_time_limit(Duration::ZERO);
+        assert!(matches!(
+            verify_equivalent(&left, &right, &policy).unwrap(),
+            Verdict::Undecided { .. }
+        ));
+        // The same pair with time is proven by exhaustion.
+        let policy = VerifyPolicy {
+            sim_words: 0,
+            sat_max_attempts: 0,
+            ..VerifyPolicy::strict()
+        };
+        assert_eq!(
+            verify_equivalent(&left, &right, &policy).unwrap(),
+            Verdict::Proven
+        );
+    }
+
+    /// An explicitly fired token degrades every rung to `Undecided`, even
+    /// under the unbounded strict policy.
+    #[test]
+    fn fired_token_short_circuits_the_whole_ladder() {
+        let left = xor_chain(20, false);
+        let right = xor_chain(20, true);
+        let token = CancelToken::new();
+        token.cancel();
+        match verify_equivalent_cancellable(&left, &right, &VerifyPolicy::strict(), &token)
+            .unwrap()
+        {
+            Verdict::Undecided { .. } => {}
+            other => panic!("expected undecided after cancel, got {other}"),
+        }
+        // A quiet token changes nothing.
+        assert_eq!(
+            verify_equivalent_cancellable(
+                &left,
+                &right,
+                &VerifyPolicy::strict(),
+                &CancelToken::new()
+            )
+            .unwrap(),
+            Verdict::Proven
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod csr;
+pub mod digest;
 pub mod dot;
 mod error;
 pub mod genlib;
@@ -51,6 +52,7 @@ mod netlist;
 mod stats;
 
 pub use csr::{CsrView, Scratch};
+pub use digest::{Digest, Digester};
 pub use error::NetlistError;
 pub use ids::{CellId, GateId, NetId, PinRef};
 pub use library::{Cell, CellLibrary};

@@ -259,6 +259,14 @@ impl Miter {
     pub fn conflicts_spent(&self) -> u64 {
         self.conflicts_spent
     }
+
+    /// Arms a cooperative interrupt on the embedded solver: when `flag`
+    /// reads `true` at a conflict point, the running [`Miter::solve`]
+    /// aborts with [`MiterOutcome::Undecided`]. Stays armed across solve
+    /// attempts — batch runners set it once from their job cancel flag.
+    pub fn set_interrupt(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.solver.set_interrupt(flag);
+    }
 }
 
 /// Fast probabilistic pre-check: simulates both netlists on `num_words * 64`

@@ -1,5 +1,7 @@
 //! The CDCL solver.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::heap::VarHeap;
@@ -91,6 +93,7 @@ pub struct Solver {
     stats: SolverStats,
     max_conflicts: Option<u64>,
     deadline: Option<Instant>,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Solver {
@@ -115,6 +118,7 @@ impl Solver {
             stats: SolverStats::default(),
             max_conflicts: None,
             deadline: None,
+            interrupt: None,
         }
     }
 
@@ -144,10 +148,26 @@ impl Solver {
     }
 
     /// Removes any conflict budget and deadline: subsequent calls run to
-    /// completion.
+    /// completion. An armed [interrupt flag](Solver::set_interrupt) is
+    /// *not* cleared — it models external cancellation, not a per-call
+    /// budget.
     pub fn clear_limits(&mut self) {
         self.max_conflicts = None;
         self.deadline = None;
+    }
+
+    /// Arms a cooperative interrupt: when `flag` reads `true` at a
+    /// conflict point, the search aborts with [`SolveResult::Unknown`].
+    /// The flag is shared (typically the cancel flag of a batch job) and
+    /// stays armed across [`Solver::solve`] calls until
+    /// [`Solver::clear_interrupt`].
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Disarms the cooperative interrupt flag.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
     }
 
     /// Search statistics so far.
@@ -494,11 +514,16 @@ impl Solver {
                         return SolveResult::Unknown;
                     }
                 }
-                if let Some(deadline) = self.deadline {
-                    // Amortize the clock read over a batch of conflicts.
-                    if (self.stats.conflicts - start_conflicts).is_multiple_of(64)
-                        && Instant::now() >= deadline
-                    {
+                // Amortize clock reads and interrupt polls over a batch
+                // of conflicts.
+                if (self.stats.conflicts - start_conflicts).is_multiple_of(64) {
+                    let deadline_hit =
+                        self.deadline.is_some_and(|d| Instant::now() >= d);
+                    let interrupted = self
+                        .interrupt
+                        .as_ref()
+                        .is_some_and(|f| f.load(Ordering::Acquire));
+                    if deadline_hit || interrupted {
                         self.backtrack_to(0);
                         return SolveResult::Unknown;
                     }

@@ -432,6 +432,18 @@ pub fn parse_verilog(
         }
     }
 
+    // The grammar is one flat module: anything after `endmodule` (a
+    // second module, stray text) is rejected rather than silently
+    // dropped, so concatenated or corrupted files cannot half-parse.
+    if let Some(tok) = p.peek() {
+        return Err(ParseVerilogError {
+            line: p.line(),
+            kind: ParseVerilogErrorKind::Unsupported(format!(
+                "trailing input after endmodule (starting with {tok})"
+            )),
+        });
+    }
+
     for name in pending_outputs {
         let id = nets[&name];
         netlist.set_primary_output(id);
@@ -602,6 +614,23 @@ endmodule
         assert_eq!(n.num_gates(), 2);
         assert_eq!(n.eval(&[true, true]), vec![false]);
         assert_eq!(n.eval(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn trailing_input_after_endmodule_is_rejected() {
+        let one = "module m (a, y);\ninput a;\noutput y;\nINV u1 (.A(a), .Y(y));\nendmodule\n";
+        assert!(parse_verilog(one, lib()).is_ok());
+        for trailing in [
+            // A second module (concatenated files) must not half-parse.
+            "module m2 (b, z);\ninput b;\noutput z;\nINV u2 (.A(b), .Y(z));\nendmodule\n",
+            "garbage\n",
+        ] {
+            let e = parse_verilog(&format!("{one}{trailing}"), lib()).unwrap_err();
+            assert!(
+                e.to_string().contains("trailing input after endmodule"),
+                "{e}"
+            );
+        }
     }
 
     #[test]
