@@ -1,0 +1,294 @@
+//! Verification fast-path benchmark: regenerates `BENCH_verify.json` at
+//! the repository root, comparing the cold whole-circuit miter baseline
+//! against the sweep-based fast path and the incremental per-buyer
+//! [`VerifySession`] on campaign-style sweeps of N = 1 / 8 / 64
+//! fingerprinted buyer variants.
+//!
+//! Usage: `cargo run --release -p odcfp-bench --bin bench_verify
+//! [--fast] [--guard] [names...]`
+//!
+//! - default: `c6288 des` (c6288's cold miter is intractable, so its
+//!   baseline is conflict-capped and sampled — reported honestly via
+//!   `cold_capped` / `cold_sampled_buyers`; `des` is the uncapped
+//!   acceptance circuit).
+//! - `--fast`: `c880` only, one buyer tier — the CI smoke configuration.
+//! - `--guard`: c6288 regression guard — exits non-zero if the fast path
+//!   is slower than even the conflict-capped cold baseline.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use odcfp_bench::netlist_for;
+use odcfp_core::{verify_equivalent_report, Fingerprinter, Verdict, VerifyPolicy, VerifySession};
+use odcfp_netlist::Netlist;
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn verdict_name(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Proven => "proven",
+        Verdict::Refuted { .. } => "refuted",
+        Verdict::ProbablyEquivalent { .. } => "probably_equivalent",
+        Verdict::Undecided { .. } => "undecided",
+    }
+}
+
+/// Cold baseline policy: simulation stages identical to strict, but the
+/// SAT rung is a whole-circuit miter. `cap` bounds the conflicts per
+/// buyer for circuits whose cold miter is intractable (c6288).
+fn cold_policy(cap: Option<u64>) -> VerifyPolicy {
+    VerifyPolicy {
+        use_fast_path: false,
+        sat_initial_conflicts: cap,
+        sat_conflict_cap: cap,
+        ..VerifyPolicy::strict()
+    }
+}
+
+/// Deterministic per-buyer fingerprint bits (xorshift64*; no clocks or
+/// OS randomness so reruns are bit-identical).
+fn buyer_bits(buyer: u64, n: usize) -> Vec<bool> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (buyer + 1).wrapping_mul(0x0DCF_5EED);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        })
+        .collect()
+}
+
+struct Row {
+    name: String,
+    gates: usize,
+    buyers: usize,
+    cold_cap: Option<u64>,
+    cold_sampled: usize,
+    cold_per_buyer_ms: f64,
+    /// Measured (or, when sampled, extrapolated) cold total per tier.
+    cold_total_ms: Vec<(usize, f64)>,
+    fast_total_ms: Vec<(usize, f64)>,
+    fast_marginal_ms: f64,
+    verdicts: Vec<&'static str>,
+    verdicts_match: bool,
+    cold_decided: usize,
+}
+
+fn bench_circuit(name: &str, tiers: &[usize], cold_cap: Option<u64>, cold_sample: usize) -> Row {
+    let base: Netlist = netlist_for(name);
+    let fp = Fingerprinter::new(base.clone()).expect("valid benchmark");
+    let n_loc = fp.locations().len();
+    let n_buyers = *tiers.iter().max().expect("at least one tier");
+
+    eprintln!("{name}: embedding {n_buyers} buyer variants ({n_loc} locations)...");
+    let buyers: Vec<Netlist> = (0..n_buyers as u64)
+        .map(|b| {
+            let copy = fp.embed(&buyer_bits(b, n_loc)).expect("embed preserves function");
+            copy.netlist().clone()
+        })
+        .collect();
+
+    // Cold baseline: independent whole-circuit miters, one per buyer. No
+    // state is shared, so per-buyer costs add; sampling the first
+    // `cold_sample` buyers and extrapolating is exact in expectation and
+    // reported as such.
+    let sampled = cold_sample.min(n_buyers);
+    let policy = cold_policy(cold_cap);
+    let mut cold_verdicts = Vec::new();
+    let t0 = Instant::now();
+    for buyer in buyers.iter().take(sampled) {
+        let report =
+            verify_equivalent_report(&base, std::hint::black_box(buyer), &policy).expect("verify");
+        cold_verdicts.push(verdict_name(&report.verdict));
+    }
+    let cold_sampled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_per_buyer_ms = cold_sampled_ms / sampled as f64;
+    let cold_total_ms: Vec<(usize, f64)> = tiers
+        .iter()
+        .map(|&n| (n, cold_per_buyer_ms * n as f64))
+        .collect();
+
+    // Fast path: one fresh session per tier, verifying the first N
+    // buyers through the shared strash/sweep/incremental-miter state.
+    let fast_policy = VerifyPolicy::strict();
+    let mut fast_total_ms = Vec::new();
+    let mut fast_verdicts = Vec::new();
+    for &n in tiers {
+        let t0 = Instant::now();
+        let mut session = VerifySession::new(&base).expect("valid benchmark");
+        let mut verdicts = Vec::new();
+        for buyer in buyers.iter().take(n) {
+            let report = session
+                .verify(std::hint::black_box(buyer), &fast_policy)
+                .expect("verify");
+            verdicts.push(verdict_name(&report.verdict));
+        }
+        fast_total_ms.push((n, t0.elapsed().as_secs_f64() * 1e3));
+        if n == n_buyers {
+            fast_verdicts = verdicts;
+        }
+    }
+
+    let t1 = fast_total_ms
+        .iter()
+        .find(|(n, _)| *n == 1)
+        .map_or(f64::NAN, |&(_, ms)| ms);
+    let tmax = fast_total_ms.last().map_or(f64::NAN, |&(_, ms)| ms);
+    let fast_marginal_ms = if n_buyers > 1 {
+        (tmax - t1) / (n_buyers - 1) as f64
+    } else {
+        tmax
+    };
+
+    // Verdict agreement over the cold-measured prefix. A capped cold run
+    // may return `undecided`; those are excluded from the match (the cap
+    // is the baseline giving up, not a disagreement) but counted.
+    let decided: Vec<(usize, &'static str)> = cold_verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v != "undecided")
+        .map(|(i, v)| (i, *v))
+        .collect();
+    let verdicts_match = decided.iter().all(|&(i, v)| fast_verdicts[i] == v);
+
+    Row {
+        name: name.to_owned(),
+        gates: base.num_gates(),
+        buyers: n_buyers,
+        cold_cap,
+        cold_sampled: sampled,
+        cold_per_buyer_ms,
+        cold_total_ms,
+        fast_total_ms,
+        fast_marginal_ms,
+        verdicts: fast_verdicts,
+        verdicts_match,
+        cold_decided: decided.len(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let guard = args.iter().any(|a| a == "--guard");
+
+    if guard {
+        // CI regression guard: on c6288 the fast path must beat even a
+        // conflict-capped cold baseline (the uncapped one is intractable).
+        let row = bench_circuit("c6288", &[8], Some(2_000), 8);
+        let cold = row.cold_total_ms.last().expect("tier").1;
+        let fast_ms = row.fast_total_ms.last().expect("tier").1;
+        eprintln!(
+            "guard c6288: fast {fast_ms:.1}ms vs capped-cold {cold:.1}ms ({:.1}x)",
+            cold / fast_ms
+        );
+        assert!(
+            row.verdicts.iter().all(|v| *v == "proven"),
+            "fast path failed to prove a fingerprinted copy: {:?}",
+            row.verdicts
+        );
+        if fast_ms >= cold {
+            eprintln!("REGRESSION: fast-path verify is slower than the capped cold miter");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let names: Vec<String> = {
+        let named: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+        if !named.is_empty() {
+            named
+        } else if fast {
+            vec!["c880".into()]
+        } else {
+            vec!["c6288".into(), "des".into()]
+        }
+    };
+    let tiers: &[usize] = if fast { &[1, 8] } else { &[1, 8, 64] };
+
+    let mut rows = Vec::new();
+    for name in &names {
+        // c6288's cold miter is a multiplier equivalence check — known
+        // intractable for CNF SAT — so its baseline is capped + sampled.
+        let (cap, sample) = if name == "c6288" { (Some(2_000), 8) } else { (None, 64) };
+        let row = bench_circuit(name, tiers, cap, sample);
+        let (n, cold) = *row.cold_total_ms.last().expect("tier");
+        let fast_ms = row.fast_total_ms.last().expect("tier").1;
+        eprintln!(
+            "{name:8} N={n}: cold {cold:.1}ms{} fast {fast_ms:.1}ms ({:.1}x), \
+             marginal {:.2}ms/buyer, verdicts_match={}",
+            if row.cold_cap.is_some() { " (capped)" } else { "" },
+            cold / fast_ms,
+            row.fast_marginal_ms,
+            row.verdicts_match,
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"odcfp-bench-verify/1\",\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!("      \"gates\": {},\n", r.gates));
+        json.push_str(&format!("      \"buyers\": {},\n", r.buyers));
+        json.push_str(&format!(
+            "      \"cold_capped\": {},\n",
+            r.cold_cap.is_some()
+        ));
+        if let Some(cap) = r.cold_cap {
+            json.push_str(&format!("      \"cold_conflict_cap\": {cap},\n"));
+        }
+        json.push_str(&format!(
+            "      \"cold_sampled_buyers\": {},\n",
+            r.cold_sampled
+        ));
+        json.push_str(&format!(
+            "      \"cold_per_buyer_ms\": {},\n",
+            json_f(r.cold_per_buyer_ms)
+        ));
+        json.push_str("      \"sweeps\": [\n");
+        for (j, (&(n, cold), &(_, fast_ms))) in
+            r.cold_total_ms.iter().zip(&r.fast_total_ms).enumerate()
+        {
+            json.push_str(&format!(
+                "        {{ \"buyers\": {n}, \"cold_ms\": {}, \"fast_ms\": {}, \"speedup\": {} }}{}\n",
+                json_f(cold),
+                json_f(fast_ms),
+                json_f(cold / fast_ms),
+                if j + 1 == r.cold_total_ms.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("      ],\n");
+        json.push_str(&format!(
+            "      \"fast_marginal_ms_per_buyer\": {},\n",
+            json_f(r.fast_marginal_ms)
+        ));
+        json.push_str(&format!(
+            "      \"verdicts\": [{}],\n",
+            r.verdicts
+                .iter()
+                .map(|v| format!("\"{v}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        json.push_str(&format!("      \"cold_decided\": {},\n", r.cold_decided));
+        json.push_str(&format!("      \"verdicts_match\": {}\n", r.verdicts_match));
+        json.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_verify.json"]
+        .iter()
+        .collect();
+    std::fs::write(&out, &json).expect("write BENCH_verify.json");
+    eprintln!("wrote {}", out.display());
+    print!("{json}");
+}

@@ -10,7 +10,7 @@
 //!                  (--seed N | --bits 0101..) [--verify none|sim|sat]
 //! odcfp extract    <base.(blif|v)> <suspect.v>   recover a fingerprint
 //! odcfp verify     <golden.(blif|v)> <candidate.(blif|v)>
-//!                  [--verify-budget N] [--verify-timeout SECS]
+//!                  [--verify-budget N] [--verify-timeout SECS] [--stats]
 //! odcfp constrain  <in.(blif|v)> -o <out.v>      delay-constrained embedding
 //!                  --delay-pct P [--method reactive|proactive]
 //! odcfp dot        <in.(blif|v)> -o <out.dot>    Graphviz export
@@ -54,7 +54,9 @@ use odcfp_core::campaign::{
 use odcfp_core::heuristics::{
     proactive_delay_embedding, reactive_delay_reduction, ReactiveOptions,
 };
-use odcfp_core::{verify_equivalent, Fingerprinter, Verdict, VerifyLevel, VerifyPolicy};
+use odcfp_core::{
+    verify_equivalent_report, Fingerprinter, Verdict, VerifyLevel, VerifyPolicy, VerifyStats,
+};
 use odcfp_netlist::{genlib, CellLibrary, Netlist};
 use odcfp_verilog::{parse_verilog, write_verilog};
 
@@ -146,6 +148,7 @@ struct Options {
     verify: VerifyLevel,
     verify_budget: Option<u64>,
     verify_timeout: Option<f64>,
+    stats: bool,
     delay_pct: Option<f64>,
     method: String,
     threads: Option<usize>,
@@ -179,6 +182,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         verify: VerifyLevel::Simulation,
         verify_budget: None,
         verify_timeout: None,
+        stats: false,
         delay_pct: None,
         method: "reactive".into(),
         threads: None,
@@ -228,6 +232,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 }
                 o.verify_timeout = Some(secs);
             }
+            "--stats" => o.stats = true,
             "--delay-pct" => {
                 o.delay_pct = Some(
                     take("--delay-pct")?
@@ -422,10 +427,16 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             }
             let golden = load_design(&o.positional[0], library.clone())?;
             let candidate = load_design(&o.positional[1], library)?;
-            let verdict =
-                verify_equivalent(&golden, &candidate, &o.verify_policy(VerifyPolicy::strict()))?;
-            writeln!(out, "{verdict}")?;
-            Ok(verdict_exit_code(&verdict))
+            let report = verify_equivalent_report(
+                &golden,
+                &candidate,
+                &o.verify_policy(VerifyPolicy::strict()),
+            )?;
+            writeln!(out, "{}", report.verdict)?;
+            if o.stats {
+                write_verify_stats(out, &report.stats)?;
+            }
+            Ok(verdict_exit_code(&report.verdict))
         }
         "constrain" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
@@ -582,6 +593,31 @@ fn run_campaign(
     Ok(if summary.poisoned.is_empty() { 0 } else { 6 })
 }
 
+/// Prints the `--stats` effort-accounting block after a verify verdict.
+fn write_verify_stats(
+    out: &mut impl std::io::Write,
+    stats: &VerifyStats,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "stats: path={} patterns={} strash-proven={} cut-points={} conflicts={} elapsed={:.2?}",
+        if stats.used_fast_path { "fast" } else { "cold" },
+        stats.patterns_simulated,
+        stats.strash_proven_outputs,
+        stats.cut_points_proven,
+        stats.sat_conflicts,
+        stats.elapsed,
+    )?;
+    if let Some(s) = &stats.solver {
+        writeln!(
+            out,
+            "solver: conflicts={} decisions={} propagations={} restarts={} learnt={}",
+            s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt_clauses,
+        )?;
+    }
+    Ok(())
+}
+
 /// The usage banner.
 pub const USAGE: &str = "\
 usage: odcfp <command> [options]
@@ -592,7 +628,7 @@ commands:
   embed     <in.(blif|v)> (--seed N | --bits S) [-o out.v] [--verify none|sim|sat]
   extract   <base.(blif|v)> <suspect.v>         recover a fingerprint
   verify    <golden.(blif|v)> <candidate.(blif|v)>   equivalence check
-            [--verify-budget N] [--verify-timeout SECS]
+            [--verify-budget N] [--verify-timeout SECS] [--stats]
   constrain <in.(blif|v)> --delay-pct P         delay-constrained embedding
             [--method reactive|proactive] [-o out.v]
   report    <in.(blif|v)> [-o out.md]           full markdown design report
@@ -605,6 +641,7 @@ options: --genlib <file> to use a custom cell library
          --threads N to pin the analysis worker count (default: all cores,
                      or ODCFP_THREADS; results are identical at any setting)
          --verify-budget / --verify-timeout bound SAT effort (embed, verify)
+         --stats prints verification effort accounting (verify)
 exit codes: 0 ok/proven, 1 error, 2 usage,
             3 refuted, 4 undecided, 5 probably-equivalent,
             6 campaign completed with quarantined jobs";
@@ -855,6 +892,29 @@ mod tests {
         let code = run("verify", &[golden, different], &mut out).unwrap();
         assert_eq!(code, 3, "{}", String::from_utf8_lossy(&out));
         assert!(String::from_utf8_lossy(&out).contains("refuted"));
+    }
+
+    #[test]
+    fn verify_stats_flag_prints_effort_accounting() {
+        let golden = tmp("vstats_a.blif", BLIF);
+        let copy = tmp("vstats_b.blif", BLIF);
+        let mut out = Vec::new();
+        let code = run(
+            "verify",
+            &[golden.clone(), copy.clone(), "--stats".into()],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("proven equivalent"), "{text}");
+        assert!(text.contains("stats: path="), "{text}");
+        assert!(text.contains("patterns="), "{text}");
+        // Without the flag, the accounting block is absent.
+        let mut out = Vec::new();
+        run("verify", &[golden, copy], &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(!text.contains("stats:"), "{text}");
     }
 
     #[test]

@@ -45,7 +45,7 @@ use odcfp_analysis::cancel::CancelToken;
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_netlist::{Digest, Netlist};
 
-use crate::verify::Verdict;
+use crate::verify::{Verdict, VerifySession};
 use crate::Fingerprinter;
 
 pub use journal::{JobState, Journal, JournalState, Record, JOURNAL_FILE};
@@ -310,6 +310,13 @@ pub fn run(
     // Fingerprinters are expensive (location analysis over the whole
     // netlist); build each circuit's once and share it across buyers.
     let mut fingerprinters: HashMap<usize, Arc<Fingerprinter>> = HashMap::new();
+    // One persistent verification session per circuit: the sweep
+    // engine's strash store and learnt clauses amortize across buyers,
+    // so buyer N+1's check is usually a structural lookup, not a fresh
+    // SAT problem. Dropped for a circuit whenever one of its attempts
+    // fails (see `run_job`): a panicked or deadline-killed check may
+    // leave the engines mid-query, and verdict safety beats reuse.
+    let mut sessions: HashMap<usize, VerifySession> = HashMap::new();
 
     for job in &jobs {
         // Resume: honour terminal journal states.
@@ -354,6 +361,7 @@ pub fn run(
             env,
             &mut journal,
             &mut fingerprinters,
+            &mut sessions,
             &mut summary,
             on_event,
         )?;
@@ -372,6 +380,7 @@ fn run_job(
     env: &CampaignEnv<'_>,
     journal: &mut Journal,
     fingerprinters: &mut HashMap<usize, Arc<Fingerprinter>>,
+    sessions: &mut HashMap<usize, VerifySession>,
     summary: &mut CampaignSummary,
     on_event: &mut dyn FnMut(&JobEvent),
 ) -> Result<(), CampaignError> {
@@ -397,9 +406,10 @@ fn run_job(
         // The unwind boundary: a panicking loader, fingerprinter, or
         // emitter fails this *attempt*, never the campaign. The
         // fingerprinter cache is only written on success, so a panic
-        // cannot leave a half-built entry behind.
+        // cannot leave a half-built entry behind; the verify session is
+        // dropped below on any failure since it is mutated mid-attempt.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            attempt_job(manifest, job, env, fingerprinters, &token)
+            attempt_job(manifest, job, env, fingerprinters, sessions, &token)
         }))
         .unwrap_or_else(|payload| Err(format!("panicked: {}", panic_text(payload))));
 
@@ -439,6 +449,11 @@ fn run_job(
                 return Ok(());
             }
             Err(error) => {
+                // A failed attempt may have left the shared verify
+                // session mid-query (panic, deadline inside the
+                // solver); rebuild it from scratch next time rather
+                // than trust its internal state.
+                sessions.remove(&job.circuit);
                 journal
                     .append(&Record::JobFailed {
                         job: job.id.clone(),
@@ -485,6 +500,7 @@ fn attempt_job(
     job: &JobSpec,
     env: &CampaignEnv<'_>,
     fingerprinters: &mut HashMap<usize, Arc<Fingerprinter>>,
+    sessions: &mut HashMap<usize, VerifySession>,
     token: &CancelToken,
 ) -> Result<AttemptSuccess, String> {
     let circuit = &manifest.circuits[job.circuit];
@@ -524,8 +540,22 @@ fn attempt_job(
             let mut rng = Xoshiro256::seed_from_u64(manifest.buyer_seed(job.buyer));
             let bits: Vec<bool> = (0..fp.locations().len()).map(|_| rng.next_bool()).collect();
             let policy = manifest.verify.policy();
+            // Verify through the circuit's persistent session: the base
+            // is strashed once and each buyer's copy usually proves at
+            // the first cut point above its modifications. Verdicts are
+            // buyer-order-independent — the manifest policies are
+            // definitive (see DESIGN.md §11) — so reuse cannot change
+            // what the journal records, only how fast.
+            let session = match sessions.get_mut(&job.circuit) {
+                Some(session) => session,
+                None => {
+                    let session = VerifySession::new(fp.base())
+                        .map_err(|e| format!("building verify session: {e}"))?;
+                    sessions.entry(job.circuit).or_insert(session)
+                }
+            };
             let (copy, verdict) = fp
-                .embed_with_policy_cancellable(&bits, &policy, token)
+                .embed_with_session_cancellable(session, &bits, &policy, token)
                 .map_err(|e| format!("embedding: {e}"))?;
             if token.is_cancelled() {
                 return Err("deadline exceeded during embed/verify".to_owned());

@@ -6,7 +6,7 @@ use odcfp_netlist::{NetDriver, NetId, Netlist};
 
 use crate::location::{find_locations, Candidate, FingerprintLocation};
 use crate::modify::{applicable, apply_modification, modification_present, Modification};
-use crate::verify::{verify_equivalent, Verdict, VerifyPolicy};
+use crate::verify::{verify_equivalent, Verdict, VerifyPolicy, VerifySession};
 use crate::{CapacityReport, FingerprintError};
 
 /// How the default modification is chosen at each location.
@@ -289,6 +289,40 @@ impl Fingerprinter {
                 bits: bits.to_vec(),
             },
             verdict,
+        ))
+    }
+
+    /// [`Fingerprinter::embed_with_policy_cancellable`] through a
+    /// persistent [`VerifySession`] — the campaign fast path.
+    ///
+    /// The session must have been built from this engine's base netlist
+    /// (e.g. `VerifySession::new(fp.base())`); reusing it across copies
+    /// lets the sweep engine's strash store, learnt clauses, and
+    /// counterexample-enriched signatures amortize over every buyer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fingerprinter::embed_with_policy`].
+    pub fn embed_with_session_cancellable(
+        &self,
+        session: &mut VerifySession,
+        bits: &[bool],
+        policy: &VerifyPolicy,
+        token: &CancelToken,
+    ) -> Result<(FingerprintedCopy, Verdict), FingerprintError> {
+        let netlist = self.apply_bits(bits)?;
+        let report = session.verify_cancellable(&netlist, policy, token)?;
+        if let Verdict::Refuted { counterexample } = report.verdict {
+            return Err(FingerprintError::NotEquivalent {
+                counterexample: Some(counterexample),
+            });
+        }
+        Ok((
+            FingerprintedCopy {
+                netlist,
+                bits: bits.to_vec(),
+            },
+            report.verdict,
         ))
     }
 

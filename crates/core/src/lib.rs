@@ -87,5 +87,7 @@ pub use location::{
 pub use silicon::FlexibleDesign;
 pub use modify::{apply_modification, Modification};
 pub use verify::{
-    verify_equivalent, verify_equivalent_cancellable, Verdict, VerifyPolicy,
+    verify_equivalent, verify_equivalent_cancellable, verify_equivalent_report,
+    verify_equivalent_report_cancellable, Verdict, VerifyPolicy, VerifyReport, VerifySession,
+    VerifyStats,
 };

@@ -12,15 +12,29 @@
 //!    counterexample when it fires.
 //! 2. **Exhaustive simulation** — when the design has few enough primary
 //!    inputs, all `2^n` assignments are simulated, which *is* a proof.
-//! 3. **SAT with escalating conflict budgets** — an incremental
-//!    [`Miter`] is solved under a conflict budget that grows
-//!    geometrically across attempts (learnt clauses carry over), bounded
-//!    by an overall conflict cap and wall-clock deadline.
+//! 3. **SAT** — by default through the structural-hashing sweep engine
+//!    ([`SweepEngine`]): both netlists hash-cons into one shared node
+//!    store, outputs with structurally identical cones are proven without
+//!    any SAT call, and only the changed region plus its fanout is ever
+//!    encoded, with signature-matched interior cut points validated
+//!    innermost-first. [`VerifyPolicy::use_fast_path`] `= false` pins the
+//!    cold baseline instead: a whole-circuit [`Miter`] solved under a
+//!    conflict budget that grows geometrically across attempts (learnt
+//!    clauses carry over), bounded by an overall conflict cap and
+//!    wall-clock deadline.
 //!
 //! Every rung reports honestly: the pipeline never claims more certainty
 //! than it earned. The possible outcomes form the [`Verdict`] enum —
 //! `Proven`, `ProbablyEquivalent`, `Refuted` (with witness), or
-//! `Undecided` (with spent-budget accounting).
+//! `Undecided` (with spent-budget accounting). The report-returning
+//! entry points ([`verify_equivalent_report`]) pair the verdict with
+//! [`VerifyStats`] accounting (patterns simulated, outputs proven
+//! structurally, SAT effort).
+//!
+//! For campaigns checking many copies of one base design,
+//! [`VerifySession`] keeps the sweep engine and a [`SharedMiter`] (base
+//! encoded once, per-variant activation literals) alive across checks,
+//! so each buyer pays only the marginal cost of its own delta.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -30,7 +44,9 @@ use odcfp_analysis::engine;
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_logic::sim;
 use odcfp_netlist::Netlist;
-use odcfp_sat::{EquivError, Miter, MiterOutcome};
+use odcfp_sat::{
+    EquivError, Miter, MiterOutcome, SharedMiter, SolverStats, SweepEngine, SweepOptions,
+};
 
 use crate::FingerprintError;
 
@@ -64,6 +80,12 @@ pub struct VerifyPolicy {
     pub sat_conflict_cap: Option<u64>,
     /// Wall-clock limit for the whole verification run.
     pub time_limit: Option<Duration>,
+    /// Route the SAT rung through the structural-hashing sweep engine
+    /// (strash + cone-of-influence reduction + cut-point sweeping)
+    /// instead of a cold whole-circuit miter. The verdicts are identical
+    /// either way — the flag exists so benchmarks and differential tests
+    /// can pin the cold baseline.
+    pub use_fast_path: bool,
 }
 
 impl VerifyPolicy {
@@ -80,6 +102,7 @@ impl VerifyPolicy {
             sat_max_attempts: 1,
             sat_conflict_cap: None,
             time_limit: None,
+            use_fast_path: true,
         }
     }
 
@@ -181,6 +204,38 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// Effort accounting for one verification run — what each rung of the
+/// ladder actually did, alongside the [`Verdict`] in a [`VerifyReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Input vectors simulated across the random and exhaustive stages.
+    pub patterns_simulated: u64,
+    /// Primary-output pairs the sweep engine proved by structural hashing
+    /// alone, with no SAT call (fast path only).
+    pub strash_proven_outputs: usize,
+    /// Interior cut-point pairs proven equal and merged (fast path only).
+    pub cut_points_proven: usize,
+    /// SAT conflicts this run spent.
+    pub sat_conflicts: u64,
+    /// Statistics of the SAT engine that ran, when one did. For
+    /// [`VerifySession`] these are cumulative over the session's life —
+    /// the persistent solver is the point.
+    pub solver: Option<SolverStats>,
+    /// Whether the SAT rung went through the sweep engine.
+    pub used_fast_path: bool,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// A [`Verdict`] paired with the [`VerifyStats`] effort accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// The equivalence verdict.
+    pub verdict: Verdict,
+    /// What it cost to reach.
+    pub stats: VerifyStats,
+}
+
 /// Runs the staged verification ladder comparing `candidate` against
 /// `golden` under `policy`.
 ///
@@ -199,6 +254,20 @@ pub fn verify_equivalent(
     policy: &VerifyPolicy,
 ) -> Result<Verdict, FingerprintError> {
     verify_equivalent_cancellable(golden, candidate, policy, &CancelToken::new())
+}
+
+/// [`verify_equivalent`] returning the full [`VerifyReport`] (verdict plus
+/// effort accounting).
+///
+/// # Errors
+///
+/// As [`verify_equivalent`].
+pub fn verify_equivalent_report(
+    golden: &Netlist,
+    candidate: &Netlist,
+    policy: &VerifyPolicy,
+) -> Result<VerifyReport, FingerprintError> {
+    verify_equivalent_report_cancellable(golden, candidate, policy, &CancelToken::new())
 }
 
 /// [`verify_equivalent`] under a cooperative [`CancelToken`].
@@ -222,13 +291,48 @@ pub fn verify_equivalent_cancellable(
     policy: &VerifyPolicy,
     token: &CancelToken,
 ) -> Result<Verdict, FingerprintError> {
+    Ok(verify_equivalent_report_cancellable(golden, candidate, policy, token)?.verdict)
+}
+
+/// [`verify_equivalent_report`] under a cooperative [`CancelToken`] —
+/// the full-fidelity entry point the other three delegate to.
+///
+/// # Errors
+///
+/// As [`verify_equivalent`].
+pub fn verify_equivalent_report_cancellable(
+    golden: &Netlist,
+    candidate: &Netlist,
+    policy: &VerifyPolicy,
+    token: &CancelToken,
+) -> Result<VerifyReport, FingerprintError> {
     let start = Instant::now();
     golden.validate()?;
     candidate.validate()?;
-    let num_inputs = golden.primary_inputs().len();
-    if num_inputs != candidate.primary_inputs().len() {
+    check_interfaces(golden, candidate)?;
+
+    // Compose the caller's token with the policy's wall-clock limit; all
+    // three stages observe the combined handle.
+    let token = token.bounded_by(policy.time_limit.map(|limit| start + limit));
+    let mut stats = VerifyStats::default();
+    if let Some(verdict) = sim_stages(golden, candidate, policy, &token, &mut stats, start) {
+        stats.elapsed = start.elapsed();
+        return Ok(VerifyReport { verdict, stats });
+    }
+    let verdict = if policy.use_fast_path {
+        sat_stage_sweep(golden, candidate, policy, &token, &mut stats, start)?
+    } else {
+        sat_stage_cold(golden, candidate, policy, &token, &mut stats, start)?
+    };
+    stats.elapsed = start.elapsed();
+    Ok(VerifyReport { verdict, stats })
+}
+
+/// Positional interface comparison shared by every entry point.
+fn check_interfaces(golden: &Netlist, candidate: &Netlist) -> Result<(), FingerprintError> {
+    if golden.primary_inputs().len() != candidate.primary_inputs().len() {
         return Err(FingerprintError::Verification(EquivError::InputCountMismatch {
-            left: num_inputs,
+            left: golden.primary_inputs().len(),
             right: candidate.primary_inputs().len(),
         }));
     }
@@ -238,18 +342,29 @@ pub fn verify_equivalent_cancellable(
             right: candidate.primary_outputs().len(),
         }));
     }
+    Ok(())
+}
 
-    // Compose the caller's token with the policy's wall-clock limit; all
-    // three stages observe the combined handle.
-    let token = token.bounded_by(policy.time_limit.map(|limit| start + limit));
-    let undecided = |conflicts_spent: u64| Verdict::Undecided {
-        conflicts_spent,
+/// Stages 1 and 2 of the ladder (plus the closed-circuit and no-SAT
+/// short-circuits). `Some(verdict)` ends the run; `None` hands over to
+/// the SAT rung.
+fn sim_stages(
+    golden: &Netlist,
+    candidate: &Netlist,
+    policy: &VerifyPolicy,
+    token: &CancelToken,
+    stats: &mut VerifyStats,
+    start: Instant,
+) -> Option<Verdict> {
+    let num_inputs = golden.primary_inputs().len();
+    let undecided = || Verdict::Undecided {
+        conflicts_spent: 0,
         elapsed: start.elapsed(),
     };
 
     // Closed circuits (no inputs) have exactly one behaviour; compare it.
     if num_inputs == 0 {
-        return Ok(if golden.eval(&[]) == candidate.eval(&[]) {
+        return Some(if golden.eval(&[]) == candidate.eval(&[]) {
             Verdict::Proven
         } else {
             Verdict::Refuted {
@@ -259,18 +374,17 @@ pub fn verify_equivalent_cancellable(
     }
 
     // Stage 1: random-simulation smoke test.
-    let mut patterns_checked = 0u64;
     if policy.sim_words > 0 {
         let mut rng = Xoshiro256::seed_from_u64(policy.sim_seed);
         let patterns: Vec<Vec<u64>> = (0..num_inputs)
             .map(|_| sim::random_words(&mut rng, policy.sim_words))
             .collect();
-        match sim_scan(golden, candidate, &patterns, &token) {
+        match sim_scan(golden, candidate, &patterns, token) {
             SimScan::Mismatch(counterexample) => {
-                return Ok(Verdict::Refuted { counterexample })
+                return Some(Verdict::Refuted { counterexample })
             }
-            SimScan::Clean => patterns_checked = (policy.sim_words as u64) * 64,
-            SimScan::Cancelled => return Ok(undecided(0)),
+            SimScan::Clean => stats.patterns_simulated = (policy.sim_words as u64) * 64,
+            SimScan::Cancelled => return Some(undecided()),
         }
     }
 
@@ -279,20 +393,84 @@ pub fn verify_equivalent_cancellable(
         let patterns = sim::exhaustive_patterns(num_inputs);
         // Padding bits beyond 2^n replicate the all-zeros assignment, so
         // any mismatch here is a genuine counterexample.
-        return Ok(match sim_scan(golden, candidate, &patterns, &token) {
+        return Some(match sim_scan(golden, candidate, &patterns, token) {
             SimScan::Mismatch(counterexample) => Verdict::Refuted { counterexample },
-            SimScan::Clean => Verdict::Proven,
-            SimScan::Cancelled => undecided(0),
+            SimScan::Clean => {
+                stats.patterns_simulated += 1 << num_inputs;
+                Verdict::Proven
+            }
+            SimScan::Cancelled => undecided(),
         });
     }
 
-    // Stage 3: SAT with geometric budget escalation on one incremental
-    // miter (learnt clauses persist across attempts).
     if policy.sat_max_attempts == 0 {
-        return Ok(Verdict::ProbablyEquivalent {
-            patterns: patterns_checked,
+        return Some(Verdict::ProbablyEquivalent {
+            patterns: stats.patterns_simulated,
         });
     }
+    None
+}
+
+/// The total conflict allowance the policy grants the SAT rung: the
+/// explicit cap when set, otherwise the sum of the geometric attempt
+/// budgets the cold ladder would spend. `None` means unbounded.
+fn total_sat_budget(policy: &VerifyPolicy) -> Option<u64> {
+    if let Some(cap) = policy.sat_conflict_cap {
+        return Some(cap);
+    }
+    let initial = policy.sat_initial_conflicts?;
+    let escalation = u64::from(policy.sat_escalation.max(2));
+    let mut total = 0u64;
+    let mut attempt = initial.max(1);
+    for _ in 0..policy.sat_max_attempts {
+        total = total.saturating_add(attempt);
+        attempt = attempt.saturating_mul(escalation);
+    }
+    Some(total)
+}
+
+/// Stage 3, fast path: one-shot SAT sweeping (strash + cone-local cut
+/// points) on a fresh engine. Campaigns reuse the engine across copies
+/// through [`VerifySession`] instead.
+fn sat_stage_sweep(
+    golden: &Netlist,
+    candidate: &Netlist,
+    policy: &VerifyPolicy,
+    token: &CancelToken,
+    stats: &mut VerifyStats,
+    start: Instant,
+) -> Result<Verdict, FingerprintError> {
+    let mut engine = SweepEngine::new(golden, SweepOptions::default());
+    engine.set_interrupt(token.flag());
+    let report = engine
+        .check(candidate, total_sat_budget(policy), token.deadline())
+        .map_err(FingerprintError::Verification)?;
+    stats.used_fast_path = true;
+    stats.strash_proven_outputs = report.strash_proven;
+    stats.cut_points_proven = report.cut_points_proven;
+    stats.sat_conflicts = report.conflicts;
+    stats.solver = Some(engine.solver_stats());
+    Ok(match report.outcome {
+        MiterOutcome::Equivalent => Verdict::Proven,
+        MiterOutcome::Counterexample(counterexample) => Verdict::Refuted { counterexample },
+        MiterOutcome::Undecided => Verdict::Undecided {
+            conflicts_spent: report.conflicts,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+/// Stage 3, cold baseline: SAT with geometric budget escalation on one
+/// incremental whole-circuit miter (learnt clauses persist across
+/// attempts).
+fn sat_stage_cold(
+    golden: &Netlist,
+    candidate: &Netlist,
+    policy: &VerifyPolicy,
+    token: &CancelToken,
+    stats: &mut VerifyStats,
+    start: Instant,
+) -> Result<Verdict, FingerprintError> {
     let deadline = token.deadline();
     let mut miter = Miter::build(golden, candidate).map_err(FingerprintError::Verification)?;
     // An explicit cancel() must stop the solver at its next conflict
@@ -300,6 +478,7 @@ pub fn verify_equivalent_cancellable(
     miter.set_interrupt(token.flag());
     let escalation = u64::from(policy.sat_escalation.max(2));
     let mut attempt_budget = policy.sat_initial_conflicts;
+    let mut verdict = None;
     for _ in 0..policy.sat_max_attempts {
         if token.is_cancelled() {
             break;
@@ -313,9 +492,13 @@ pub fn verify_equivalent_cancellable(
             }
         };
         match miter.solve(effective, deadline) {
-            MiterOutcome::Equivalent => return Ok(Verdict::Proven),
+            MiterOutcome::Equivalent => {
+                verdict = Some(Verdict::Proven);
+                break;
+            }
             MiterOutcome::Counterexample(counterexample) => {
-                return Ok(Verdict::Refuted { counterexample })
+                verdict = Some(Verdict::Refuted { counterexample });
+                break;
             }
             MiterOutcome::Undecided => {
                 if policy
@@ -328,10 +511,12 @@ pub fn verify_equivalent_cancellable(
             }
         }
     }
-    Ok(Verdict::Undecided {
+    stats.sat_conflicts = miter.conflicts_spent();
+    stats.solver = Some(miter.stats());
+    Ok(verdict.unwrap_or(Verdict::Undecided {
         conflicts_spent: miter.conflicts_spent(),
         elapsed: start.elapsed(),
-    })
+    }))
 }
 
 /// The outcome of one cancellable simulation sweep.
@@ -402,6 +587,168 @@ fn sim_scan(
                 .collect(),
         ),
         None => SimScan::Clean,
+    }
+}
+
+/// A persistent verification context for checking many fingerprinted
+/// copies against one golden netlist.
+///
+/// A campaign verifies dozens of buyer copies of the *same* base
+/// circuit; building the proof machinery from scratch per copy throws
+/// away everything the previous copy taught the solver. A session keeps
+/// two incremental engines alive across calls:
+///
+/// * a [`SweepEngine`] whose strash store, signature pool (including
+///   counterexample patterns learned from earlier copies), proven
+///   equivalence classes, and learnt clauses all persist — a second
+///   copy touching the same region usually proves structurally with
+///   zero SAT;
+/// * a [`SharedMiter`] fallback that Tseitin-encodes the base once and
+///   checks each copy's delta under a per-variant activation literal,
+///   used when the sweep leaves outputs undecided within budget.
+///
+/// Both engines are built lazily on first use, so a session whose
+/// copies all fall to simulation costs nothing extra.
+///
+/// Sessions always take the fast path; the cold baseline for benchmarks
+/// is the free function with [`VerifyPolicy::use_fast_path`] unset.
+/// Verdict-wise the two agree: definitive outcomes (`Proven`/`Refuted`)
+/// are canonical, and reuse only changes how fast they are reached (see
+/// DESIGN.md §11 for the determinism argument).
+///
+/// `stats.solver` in returned reports is cumulative over the session's
+/// sweep engine, not per-call.
+#[derive(Debug)]
+pub struct VerifySession {
+    golden: Netlist,
+    sweep: Option<SweepEngine>,
+    shared: Option<SharedMiter>,
+}
+
+impl VerifySession {
+    /// Creates a session bound to `golden`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `golden` fails validation.
+    pub fn new(golden: &Netlist) -> Result<Self, FingerprintError> {
+        golden.validate()?;
+        Ok(Self {
+            golden: golden.clone(),
+            sweep: None,
+            shared: None,
+        })
+    }
+
+    /// The golden netlist this session verifies against.
+    pub fn golden(&self) -> &Netlist {
+        &self.golden
+    }
+
+    /// Verifies `candidate` against the session's golden netlist.
+    ///
+    /// # Errors
+    ///
+    /// As [`verify_equivalent`].
+    pub fn verify(
+        &mut self,
+        candidate: &Netlist,
+        policy: &VerifyPolicy,
+    ) -> Result<VerifyReport, FingerprintError> {
+        self.verify_cancellable(candidate, policy, &CancelToken::new())
+    }
+
+    /// [`VerifySession::verify`] under a cooperative [`CancelToken`].
+    ///
+    /// # Errors
+    ///
+    /// As [`verify_equivalent`].
+    pub fn verify_cancellable(
+        &mut self,
+        candidate: &Netlist,
+        policy: &VerifyPolicy,
+        token: &CancelToken,
+    ) -> Result<VerifyReport, FingerprintError> {
+        let start = Instant::now();
+        candidate.validate()?;
+        check_interfaces(&self.golden, candidate)?;
+        let token = token.bounded_by(policy.time_limit.map(|limit| start + limit));
+        let mut stats = VerifyStats::default();
+        if let Some(verdict) =
+            sim_stages(&self.golden, candidate, policy, &token, &mut stats, start)
+        {
+            stats.elapsed = start.elapsed();
+            return Ok(VerifyReport { verdict, stats });
+        }
+
+        let budget = total_sat_budget(policy);
+        let golden = &self.golden;
+        let engine = self
+            .sweep
+            .get_or_insert_with(|| SweepEngine::new(golden, SweepOptions::default()));
+        engine.set_interrupt(token.flag());
+        let report = engine
+            .check(candidate, budget, token.deadline())
+            .map_err(FingerprintError::Verification)?;
+        stats.used_fast_path = true;
+        stats.strash_proven_outputs = report.strash_proven;
+        stats.cut_points_proven = report.cut_points_proven;
+        stats.sat_conflicts = report.conflicts;
+        stats.solver = Some(engine.solver_stats());
+
+        let verdict = match report.outcome {
+            MiterOutcome::Equivalent => Verdict::Proven,
+            MiterOutcome::Counterexample(counterexample) => Verdict::Refuted { counterexample },
+            MiterOutcome::Undecided => {
+                // The sweep ran out of budget (or cut points); hand the
+                // leftover conflict allowance to the shared miter, which
+                // attacks the whole circuit rather than cone-by-cone.
+                let remaining = budget.map(|b| b.saturating_sub(report.conflicts));
+                self.shared_fallback(candidate, remaining, &token, &mut stats, start)?
+            }
+        };
+        stats.elapsed = start.elapsed();
+        Ok(VerifyReport { verdict, stats })
+    }
+
+    /// Checks `candidate` as a retired-on-exit variant of the session's
+    /// persistent [`SharedMiter`].
+    fn shared_fallback(
+        &mut self,
+        candidate: &Netlist,
+        remaining: Option<u64>,
+        token: &CancelToken,
+        stats: &mut VerifyStats,
+        start: Instant,
+    ) -> Result<Verdict, FingerprintError> {
+        let undecided = |stats: &VerifyStats| Verdict::Undecided {
+            conflicts_spent: stats.sat_conflicts,
+            elapsed: start.elapsed(),
+        };
+        if token.is_cancelled() || remaining == Some(0) {
+            return Ok(undecided(stats));
+        }
+        let golden = &self.golden;
+        let shared = match &mut self.shared {
+            Some(shared) => shared,
+            None => self.shared.insert(SharedMiter::build(golden)),
+        };
+        shared.set_interrupt(token.flag());
+        let before = shared.stats().conflicts;
+        let id = shared
+            .add_variant(candidate)
+            .map_err(FingerprintError::Verification)?;
+        let outcome = shared.check(id, remaining, token.deadline());
+        // Retire unconditionally: a variant is checked exactly once per
+        // call, and keeping refuted/undecided deltas active would slow
+        // every later query.
+        shared.retire(id);
+        stats.sat_conflicts += shared.stats().conflicts.saturating_sub(before);
+        Ok(match outcome {
+            MiterOutcome::Equivalent => Verdict::Proven,
+            MiterOutcome::Counterexample(counterexample) => Verdict::Refuted { counterexample },
+            MiterOutcome::Undecided => undecided(stats),
+        })
     }
 }
 
@@ -698,6 +1045,183 @@ mod tests {
             verify_equivalent(fp.base(), copy.netlist(), &VerifyPolicy::budgeted(100_000))
                 .unwrap();
         assert!(verdict.is_pass(), "got {verdict}");
+    }
+
+    /// The miter-free (`use_fast_path = false`) and sweeping rungs must
+    /// return the same verdicts — the fast path is an optimization, not
+    /// a different decision procedure.
+    #[test]
+    fn fast_and_cold_sat_rungs_agree() {
+        let left = xor_chain(20, false);
+        let equivalent = xor_chain(20, true);
+        let lib = left.library().clone();
+        let mut broken = Netlist::new("w", lib);
+        let pis: Vec<_> = (0..20)
+            .map(|i| broken.add_primary_input(format!("i{i}")))
+            .collect();
+        let xor2 = broken.library().cell_for(PrimitiveFn::Xor, 2).unwrap();
+        let and2 = broken.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let mut acc = pis[0];
+        for (k, &pi) in pis.iter().enumerate().skip(1) {
+            let cell = if k == 19 { and2 } else { xor2 };
+            let g = broken.add_gate(format!("x{k}"), cell, &[acc, pi]);
+            acc = broken.gate_output(g);
+        }
+        broken.set_primary_output(acc);
+
+        // Skip simulation so the SAT rung alone decides both cases.
+        let base = VerifyPolicy {
+            sim_words: 0,
+            exhaustive_max_inputs: 0,
+            ..VerifyPolicy::strict()
+        };
+        let cold = VerifyPolicy {
+            use_fast_path: false,
+            ..base.clone()
+        };
+        assert_eq!(
+            verify_equivalent(&left, &equivalent, &base).unwrap(),
+            verify_equivalent(&left, &equivalent, &cold).unwrap(),
+        );
+        let fast = verify_equivalent(&left, &broken, &base).unwrap();
+        assert!(matches!(fast, Verdict::Refuted { .. }));
+        let Verdict::Refuted { counterexample } = fast else {
+            unreachable!()
+        };
+        assert_ne!(left.eval(&counterexample), broken.eval(&counterexample));
+        assert!(matches!(
+            verify_equivalent(&left, &broken, &cold).unwrap(),
+            Verdict::Refuted { .. }
+        ));
+    }
+
+    #[test]
+    fn report_accounts_for_the_fast_path() {
+        let lib = CellLibrary::standard();
+        let base = random_dag(lib, DagParams::small(78));
+        let fp = crate::Fingerprinter::new(base).unwrap();
+        let copy = fp.embed(&vec![true; fp.locations().len()]).unwrap();
+        // Force the SAT rung so the sweep actually runs.
+        let policy = VerifyPolicy {
+            sim_words: 1,
+            exhaustive_max_inputs: 0,
+            ..VerifyPolicy::strict()
+        };
+        let report = verify_equivalent_report(fp.base(), copy.netlist(), &policy).unwrap();
+        assert_eq!(report.verdict, Verdict::Proven);
+        assert!(report.stats.used_fast_path);
+        assert!(report.stats.solver.is_some());
+        assert_eq!(report.stats.patterns_simulated, 64);
+        assert!(report.stats.elapsed > Duration::ZERO);
+        // A cold run proves the same thing without touching the sweep.
+        let cold = VerifyPolicy {
+            use_fast_path: false,
+            ..policy
+        };
+        let report = verify_equivalent_report(fp.base(), copy.netlist(), &cold).unwrap();
+        assert_eq!(report.verdict, Verdict::Proven);
+        assert!(!report.stats.used_fast_path);
+        assert_eq!(report.stats.strash_proven_outputs, 0);
+    }
+
+    #[test]
+    fn session_verifies_many_copies_and_matches_one_shot_verdicts() {
+        let lib = CellLibrary::standard();
+        let base = random_dag(lib, DagParams::small(79));
+        let fp = crate::Fingerprinter::new(base).unwrap();
+        let n = fp.locations().len();
+        assert!(n >= 2);
+        let policy = VerifyPolicy {
+            sim_words: 1,
+            exhaustive_max_inputs: 0,
+            ..VerifyPolicy::strict()
+        };
+        let mut session = VerifySession::new(fp.base()).unwrap();
+        for pattern in [0usize, 1, 3, usize::MAX] {
+            let bits: Vec<bool> = (0..n).map(|i| (pattern >> i.min(63)) & 1 == 1).collect();
+            let copy = fp.embed(&bits).unwrap();
+            let report = session.verify(copy.netlist(), &policy).unwrap();
+            assert_eq!(
+                report.verdict,
+                verify_equivalent(fp.base(), copy.netlist(), &policy).unwrap(),
+                "pattern {pattern:b}"
+            );
+            assert_eq!(report.verdict, Verdict::Proven);
+            assert!(report.stats.used_fast_path);
+        }
+        // The unmodified base is pure strash: zero conflicts spent.
+        let report = session.verify(fp.base(), &policy).unwrap();
+        assert_eq!(report.verdict, Verdict::Proven);
+        assert_eq!(report.stats.sat_conflicts, 0);
+    }
+
+    #[test]
+    fn session_refutes_with_a_genuine_counterexample() {
+        let left = xor_chain(20, false);
+        let lib = left.library().clone();
+        let mut broken = Netlist::new("stuck", lib);
+        for i in 0..20 {
+            broken.add_primary_input(format!("i{i}"));
+        }
+        let zero = broken.add_constant("zero", false);
+        broken.set_primary_output(zero);
+        let policy = VerifyPolicy {
+            sim_words: 0,
+            exhaustive_max_inputs: 0,
+            ..VerifyPolicy::strict()
+        };
+        let mut session = VerifySession::new(&left).unwrap();
+        match session.verify(&broken, &policy).unwrap().verdict {
+            Verdict::Refuted { counterexample } => {
+                assert_eq!(counterexample.len(), 20);
+                assert_ne!(left.eval(&counterexample), broken.eval(&counterexample));
+            }
+            other => panic!("expected refuted, got {other}"),
+        }
+        // The session survives a refutation and still proves the good pair.
+        let good = xor_chain(20, true);
+        assert_eq!(
+            session.verify(&good, &policy).unwrap().verdict,
+            Verdict::Proven
+        );
+    }
+
+    #[test]
+    fn starved_session_is_honestly_undecided_and_recovers() {
+        let left = xor_chain(20, false);
+        let right = xor_chain(20, true);
+        let mut session = VerifySession::new(&left).unwrap();
+        let starved = VerifyPolicy {
+            sim_words: 0,
+            exhaustive_max_inputs: 0,
+            sat_conflict_cap: Some(1),
+            ..VerifyPolicy::strict()
+        };
+        assert!(matches!(
+            session.verify(&right, &starved).unwrap().verdict,
+            Verdict::Undecided { .. }
+        ));
+        let generous = VerifyPolicy {
+            sim_words: 0,
+            exhaustive_max_inputs: 0,
+            ..VerifyPolicy::strict()
+        };
+        assert_eq!(
+            session.verify(&right, &generous).unwrap().verdict,
+            Verdict::Proven
+        );
+    }
+
+    #[test]
+    fn session_rejects_interface_mismatches() {
+        let left = xor_chain(6, false);
+        let mut session = VerifySession::new(&left).unwrap();
+        assert!(matches!(
+            session.verify(&xor_chain(7, false), &VerifyPolicy::quick()),
+            Err(FingerprintError::Verification(
+                EquivError::InputCountMismatch { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -96,6 +96,47 @@ impl PrimitiveFn {
         }
     }
 
+    /// Evaluates the function 256 assignments at a time: the 4-lane block
+    /// counterpart of [`PrimitiveFn::eval_words`]. Lanes are independent,
+    /// so the loop body is branch-free and auto-vectorizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a legal arity for the function.
+    pub fn eval_blocks(self, inputs: &[crate::sim::Block]) -> crate::sim::Block {
+        use crate::sim::{Block, BLOCK_LANES};
+        assert!(
+            inputs.len() >= self.min_arity(),
+            "{self} needs at least {} inputs",
+            self.min_arity()
+        );
+        fn fold(inputs: &[Block], init: u64, f: impl Fn(u64, u64) -> u64) -> Block {
+            let mut acc = [init; BLOCK_LANES];
+            for inp in inputs {
+                for lane in 0..BLOCK_LANES {
+                    acc[lane] = f(acc[lane], inp[lane]);
+                }
+            }
+            acc
+        }
+        match self {
+            PrimitiveFn::Buf => {
+                assert_eq!(inputs.len(), 1, "Buf takes exactly one input");
+                inputs[0]
+            }
+            PrimitiveFn::Inv => {
+                assert_eq!(inputs.len(), 1, "Inv takes exactly one input");
+                inputs[0].map(|w| !w)
+            }
+            PrimitiveFn::And => fold(inputs, u64::MAX, |a, b| a & b),
+            PrimitiveFn::Or => fold(inputs, 0, |a, b| a | b),
+            PrimitiveFn::Nand => fold(inputs, u64::MAX, |a, b| a & b).map(|w| !w),
+            PrimitiveFn::Nor => fold(inputs, 0, |a, b| a | b).map(|w| !w),
+            PrimitiveFn::Xor => fold(inputs, 0, |a, b| a ^ b),
+            PrimitiveFn::Xnor => fold(inputs, 0, |a, b| a ^ b).map(|w| !w),
+        }
+    }
+
     /// Evaluates the function on Boolean inputs.
     ///
     /// # Panics

@@ -7,6 +7,30 @@
 
 use crate::rng::Xoshiro256;
 
+/// Number of 64-bit lanes in a simulation [`Block`].
+pub const BLOCK_LANES: usize = 4;
+
+/// A 256-bit simulation block: four independent pattern words evaluated
+/// together, so the inner gate-evaluation loop amortizes per-gate dispatch
+/// over 256 patterns and the compiler can keep the lanes in vector
+/// registers.
+pub type Block = [u64; BLOCK_LANES];
+
+/// The all-zeros block.
+pub const ZERO_BLOCK: Block = [0; BLOCK_LANES];
+
+/// Gathers lanes `word..word + BLOCK_LANES` of `stream` into a block,
+/// zero-padding past the end of the stream.
+pub fn gather_block(stream: &[u64], word: usize) -> Block {
+    let mut b = ZERO_BLOCK;
+    for (lane, slot) in b.iter_mut().enumerate() {
+        if let Some(&w) = stream.get(word + lane) {
+            *slot = w;
+        }
+    }
+    b
+}
+
 /// Fills `words` with uniformly random pattern bits.
 pub fn fill_random(rng: &mut Xoshiro256, words: &mut [u64]) {
     for w in words.iter_mut() {

@@ -1,8 +1,9 @@
 //! The netlist arena itself.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use odcfp_logic::sim::{gather_block, Block, BLOCK_LANES};
 use odcfp_logic::PrimitiveFn;
 
 use crate::{CellId, CellLibrary, GateId, NetId, NetlistError, NetlistStats, PinRef};
@@ -102,6 +103,9 @@ pub struct Netlist {
     gates: Vec<Gate>,
     primary_inputs: Vec<NetId>,
     primary_outputs: Vec<NetId>,
+    /// Memoized topological gate order; recomputed lazily after any
+    /// structural mutation (see [`Netlist::cached_topo`]).
+    topo_cache: OnceLock<Vec<GateId>>,
 }
 
 impl Netlist {
@@ -114,7 +118,14 @@ impl Netlist {
             gates: Vec::new(),
             primary_inputs: Vec::new(),
             primary_outputs: Vec::new(),
+            topo_cache: OnceLock::new(),
         }
+    }
+
+    /// Drops the memoized topological order; called by every structural
+    /// mutator that can change gate dependencies.
+    fn invalidate_topo(&mut self) {
+        self.topo_cache = OnceLock::new();
     }
 
     /// The design name.
@@ -201,6 +212,7 @@ impl Netlist {
             matches!(self.nets[output.index()].driver, NetDriver::None),
             "net {output} already driven"
         );
+        self.invalidate_topo();
         let id = GateId::from_index(self.gates.len());
         for (pin, &n) in inputs.iter().enumerate() {
             self.nets[n.index()].sinks.push(PinRef { gate: id, pin });
@@ -246,6 +258,7 @@ impl Netlist {
             "cell {} has arity {arity}",
             self.library.cell(new_cell).name()
         );
+        self.invalidate_topo();
         let old_inputs = self.gates[gate.index()].inputs.clone();
         for (pin, &n) in old_inputs.iter().enumerate() {
             let sinks = &mut self.nets[n.index()].sinks;
@@ -350,6 +363,31 @@ impl Netlist {
     /// Returns [`NetlistError::CombinationalCycle`] if the gate graph is
     /// cyclic.
     pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        self.cached_topo().map(<[GateId]>::to_vec)
+    }
+
+    /// Gates in topological order, borrowed from a per-netlist memo.
+    ///
+    /// The first call after a structural mutation runs Kahn's algorithm;
+    /// subsequent calls are free. Simulation, depth computation, validation,
+    /// and the SAT encoders all share this order, so hot loops (per-buyer
+    /// verification, per-pattern simulation) no longer re-sort the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the gate graph is
+    /// cyclic. Errors are not memoized.
+    pub fn cached_topo(&self) -> Result<&[GateId], NetlistError> {
+        if let Some(order) = self.topo_cache.get() {
+            return Ok(order);
+        }
+        let order = self.compute_topo_order()?;
+        // A racing thread may have initialized the cache first; both
+        // computed the same order, so either value is fine.
+        Ok(self.topo_cache.get_or_init(|| order))
+    }
+
+    fn compute_topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
         let n = self.gates.len();
         let mut indegree = vec![0usize; n];
         for (gi, g) in self.gates.iter().enumerate() {
@@ -396,9 +434,9 @@ impl Netlist {
     ///
     /// Returns an error if the netlist is cyclic.
     pub fn gate_depths(&self) -> Result<Vec<usize>, NetlistError> {
-        let order = self.topo_order()?;
+        let order = self.cached_topo()?;
         let mut depth = vec![0usize; self.gates.len()];
-        for g in order {
+        for &g in order {
             let d = self.gates[g.index()]
                 .inputs
                 .iter()
@@ -465,7 +503,7 @@ impl Netlist {
                 return Err(NetlistError::DanglingOutput { net: po });
             }
         }
-        self.topo_order()?;
+        self.cached_topo()?;
         Ok(())
     }
 
@@ -502,14 +540,31 @@ impl Netlist {
                 values[ni].fill(u64::MAX);
             }
         }
-        let order = self.topo_order().expect("cyclic netlist");
+        let order = self.cached_topo().expect("cyclic netlist");
+        // 256-bit inner kernel: gather each input's lanes into a reused
+        // block buffer and evaluate four words per gate dispatch; a scalar
+        // loop mops up the sub-block tail.
+        let full_blocks = num_words / BLOCK_LANES;
+        let tail_start = full_blocks * BLOCK_LANES;
+        let mut in_blocks: Vec<Block> = Vec::new();
         let mut in_words: Vec<u64> = Vec::new();
-        for g in order {
+        for &g in order {
             let gate = &self.gates[g.index()];
             let f = self.library.cell(gate.cell).function();
             let out = gate.output.index();
+            for blk in 0..full_blocks {
+                let word = blk * BLOCK_LANES;
+                in_blocks.clear();
+                in_blocks.extend(
+                    gate.inputs
+                        .iter()
+                        .map(|i| gather_block(&values[i.index()], word)),
+                );
+                let res = f.eval_blocks(&in_blocks);
+                values[out][word..word + BLOCK_LANES].copy_from_slice(&res);
+            }
             #[allow(clippy::needless_range_loop)] // values is indexed by two axes
-            for w in 0..num_words {
+            for w in tail_start..num_words {
                 in_words.clear();
                 in_words.extend(gate.inputs.iter().map(|i| values[i.index()][w]));
                 values[out][w] = f.eval_words(&in_words);

@@ -7,16 +7,36 @@ use crate::{Lit, Var};
 /// Trivially satisfied clauses (containing `l` and `!l`) are dropped and
 /// duplicate literals within a clause are merged at insertion, so the
 /// [`crate::Solver`] only ever sees clean clauses.
-#[derive(Debug, Clone, Default)]
+///
+/// Clauses are stored in a single flat literal arena indexed by an offset
+/// table rather than one heap allocation per clause: large miters build
+/// hundreds of thousands of short clauses, and the arena keeps insertion
+/// allocation-free in the steady state and the literals cache-contiguous
+/// when [`crate::Solver::from_cnf`] walks them.
+#[derive(Debug, Clone)]
 pub struct CnfBuilder {
     num_vars: usize,
-    clauses: Vec<Vec<Lit>>,
+    /// All literals of all clauses, concatenated.
+    lits: Vec<Lit>,
+    /// Clause `i` spans `lits[offsets[i] as usize..offsets[i + 1] as usize]`.
+    /// Always non-empty; the last entry equals `lits.len()`.
+    offsets: Vec<u32>,
+}
+
+impl Default for CnfBuilder {
+    fn default() -> Self {
+        CnfBuilder::new()
+    }
 }
 
 impl CnfBuilder {
     /// Creates an empty formula.
     pub fn new() -> Self {
-        CnfBuilder::default()
+        CnfBuilder {
+            num_vars: 0,
+            lits: Vec::new(),
+            offsets: vec![0],
+        }
     }
 
     /// Allocates a fresh variable.
@@ -38,22 +58,40 @@ impl CnfBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if a literal references an unallocated variable.
+    /// Panics if a literal references an unallocated variable, or if the
+    /// arena exceeds `u32::MAX` literals.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
-        let mut clause: Vec<Lit> = lits.into_iter().collect();
-        for l in &clause {
+        let start = self.lits.len();
+        debug_assert_eq!(start as u32, *self.offsets.last().unwrap_or(&0));
+        self.lits.extend(lits);
+        for l in &self.lits[start..] {
             assert!(
                 l.var().index() < self.num_vars,
                 "literal {l} references an unallocated variable"
             );
         }
-        clause.sort_unstable();
-        clause.dedup();
+        let tail = &mut self.lits[start..];
+        tail.sort_unstable();
         // Tautology: `l` and `!l` are adjacent after sorting by code.
-        if clause.windows(2).any(|w| w[0] == !w[1]) {
+        if tail.windows(2).any(|w| w[0] == !w[1]) {
+            self.lits.truncate(start);
             return;
         }
-        self.clauses.push(clause);
+        // Deduplicate the tail only — earlier clauses are final, and a
+        // global dedup could merge literals across a clause boundary.
+        let mut write = start;
+        for read in start..self.lits.len() {
+            if write == start || self.lits[write - 1] != self.lits[read] {
+                self.lits[write] = self.lits[read];
+                write += 1;
+            }
+        }
+        self.lits.truncate(write);
+        assert!(
+            self.lits.len() <= u32::MAX as usize,
+            "clause arena overflow"
+        );
+        self.offsets.push(self.lits.len() as u32);
     }
 
     /// The number of allocated variables.
@@ -63,12 +101,26 @@ impl CnfBuilder {
 
     /// The number of clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.offsets.len() - 1
     }
 
-    /// The clauses added so far.
-    pub fn clauses(&self) -> &[Vec<Lit>] {
-        &self.clauses
+    /// The literals of clause `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_clauses()`.
+    pub fn clause(&self, i: usize) -> &[Lit] {
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        &self.lits[start..end]
+    }
+
+    /// Iterates over the clauses added so far, each as a literal slice
+    /// into the flat arena.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.lits[w[0] as usize..w[1] as usize])
     }
 
     /// Evaluates the formula under a full assignment (for testing against
@@ -79,8 +131,7 @@ impl CnfBuilder {
     /// Panics if `assignment.len() < num_vars`.
     pub fn eval(&self, assignment: &[bool]) -> bool {
         assert!(assignment.len() >= self.num_vars);
-        self.clauses
-            .iter()
+        self.clauses()
             .all(|c| c.iter().any(|l| l.eval(assignment[l.var().index()])))
     }
 
@@ -88,8 +139,8 @@ impl CnfBuilder {
     pub fn to_dimacs(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
-        for c in &self.clauses {
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.num_clauses());
+        for c in self.clauses() {
             for l in c {
                 let v = l.var().index() as i64 + 1;
                 let _ = write!(out, "{} ", if l.is_neg() { -v } else { v });
@@ -110,9 +161,27 @@ mod tests {
         let a = cnf.new_var();
         let b = cnf.new_var();
         cnf.add_clause([Lit::pos(a), Lit::pos(a), Lit::pos(b)]);
-        assert_eq!(cnf.clauses()[0].len(), 2);
+        assert_eq!(cnf.clause(0).len(), 2);
         cnf.add_clause([Lit::pos(a), Lit::neg(a)]);
         assert_eq!(cnf.num_clauses(), 1, "tautology dropped");
+    }
+
+    #[test]
+    fn arena_layout_survives_dropped_clauses() {
+        // A dropped tautology must not leave stale literals behind: the
+        // next accepted clause starts exactly where the last one ended.
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a)]);
+        cnf.add_clause([Lit::pos(b), Lit::neg(b)]); // dropped
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clause(0), [Lit::pos(a)]);
+        assert_eq!(cnf.clause(1), [Lit::neg(a), Lit::pos(b)]);
+        let collected: Vec<&[Lit]> = cnf.clauses().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[1], cnf.clause(1));
     }
 
     #[test]

@@ -133,7 +133,7 @@ p cnf 4 2
 ";
         let cnf = parse_dimacs(src).unwrap();
         assert_eq!(cnf.num_clauses(), 2);
-        assert_eq!(cnf.clauses()[0].len(), 3, "clause spans two lines");
+        assert_eq!(cnf.clause(0).len(), 3, "clause spans two lines");
         let mut s = Solver::from_cnf(&cnf);
         assert!(matches!(s.solve(), SolveResult::Sat(_)));
     }

@@ -260,6 +260,12 @@ impl Miter {
         self.conflicts_spent
     }
 
+    /// Search statistics of the embedded solver, accumulated across all
+    /// [`Miter::solve`] calls.
+    pub fn stats(&self) -> crate::SolverStats {
+        self.solver.stats()
+    }
+
     /// Arms a cooperative interrupt on the embedded solver: when `flag`
     /// reads `true` at a conflict point, the running [`Miter::solve`]
     /// aborts with [`MiterOutcome::Undecided`]. Stays armed across solve
@@ -424,6 +430,29 @@ mod tests {
         // Resuming without a budget finishes the proof on the same solver.
         assert_eq!(miter.solve(None, None), MiterOutcome::Equivalent);
         assert!(miter.conflicts_spent() >= spent_early);
+    }
+
+    #[test]
+    fn repeated_solve_does_not_reencode() {
+        let left = xor_chain(10, false);
+        let right = xor_chain(10, true);
+        let mut miter = Miter::build(&left, &right).unwrap();
+        let vars_before = miter.solver.num_vars();
+        let problem_before = miter.solver.num_problem_clauses();
+        assert_eq!(miter.solve(Some(0), None), MiterOutcome::Undecided);
+        assert_eq!(miter.solve(Some(5), None), MiterOutcome::Undecided);
+        assert_eq!(miter.solve(None, None), MiterOutcome::Equivalent);
+        assert_eq!(
+            miter.solver.num_vars(),
+            vars_before,
+            "re-solving must not allocate fresh variables"
+        );
+        assert_eq!(
+            miter.solver.num_problem_clauses(),
+            problem_before,
+            "re-solving must not re-encode the CNF"
+        );
+        assert!(miter.stats().conflicts > 0);
     }
 
     #[test]

@@ -43,11 +43,15 @@ mod dimacs;
 mod equiv;
 mod heap;
 mod lit;
+pub mod shared;
 mod solver;
+pub mod sweep;
 pub mod tseitin;
 
 pub use cnf::CnfBuilder;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use equiv::{check_equivalence, probably_equivalent, EquivError, EquivResult, Miter, MiterOutcome};
 pub use lit::{Lit, Var};
+pub use shared::{SharedMiter, VariantId};
 pub use solver::{Model, SolveResult, Solver, SolverStats};
+pub use sweep::{SweepEngine, SweepOptions, SweepReport};

@@ -177,6 +177,23 @@ impl Solver {
         s
     }
 
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The number of problem (non-learnt) clauses loaded.
+    pub fn num_problem_clauses(&self) -> usize {
+        self.first_learnt
+    }
+
+    /// Marks every clause added so far as a problem clause, so stats
+    /// report only clauses learnt *after* this point. Incremental callers
+    /// ([`crate::SharedMiter`]) use this after encoding a new variant.
+    pub fn rebase_problem_clauses(&mut self) {
+        self.first_learnt = self.clauses.len();
+    }
+
     /// Ensures variables `0..n` exist.
     pub fn reserve_vars(&mut self, n: usize) {
         while self.assign.len() < n {
@@ -221,6 +238,15 @@ impl Solver {
                 "literal {l} references an unallocated variable"
             );
         }
+        // Simplify against the permanent level-0 assignment. This is load-
+        // bearing for incremental use: a literal that was falsified (and
+        // propagated) before this clause arrived will never be visited
+        // again by the watch scheme, so watching it would leave the clause
+        // dormant and let later models violate it.
+        if clause.iter().any(|&l| self.value(l) == Some(true)) {
+            return; // already satisfied forever
+        }
+        clause.retain(|&l| self.value(l).is_none());
         match clause.len() {
             0 => self.ok = false,
             1 => {
@@ -883,6 +909,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn clauses_added_after_solving_are_simplified_against_level_zero() {
+        // Regression: a clause added between solves whose watched literal
+        // was already falsified (and propagated) at level 0 must not go
+        // dormant — the remaining literal has to propagate. Here x1 is
+        // forced false by a unit; the late clause (x1 | x2) must force x2.
+        let mut s = solver_with(3, &[&[-1]]);
+        assert!(matches!(s.solve(), SolveResult::Sat(_)));
+        s.add_clause([lit(1), lit(2)]);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(!m.value(Var::from_index(0)));
+                assert!(m.value(Var::from_index(1)), "late clause went dormant");
+            }
+            other => panic!("{other:?}"),
+        }
+        // And a late clause contradicting level 0 refutes the instance.
+        s.add_clause([lit(1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

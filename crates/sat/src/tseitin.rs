@@ -3,7 +3,37 @@
 use odcfp_logic::PrimitiveFn;
 use odcfp_netlist::{NetDriver, NetId, Netlist};
 
-use crate::{CnfBuilder, Lit, Var};
+use crate::{CnfBuilder, Lit, Solver, Var};
+
+/// A receiver of Tseitin clauses: either an offline [`CnfBuilder`] or a
+/// live incremental [`Solver`] (used by the SAT-sweeping engine and the
+/// shared per-buyer miter, which encode straight into a running solver).
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
+    fn fresh_var(&mut self) -> Var;
+    /// Adds a clause.
+    fn emit(&mut self, lits: &[Lit]);
+}
+
+impl ClauseSink for CnfBuilder {
+    fn fresh_var(&mut self) -> Var {
+        self.new_var()
+    }
+    fn emit(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.iter().copied());
+    }
+}
+
+impl ClauseSink for Solver {
+    fn fresh_var(&mut self) -> Var {
+        let n = self.num_vars();
+        self.reserve_vars(n + 1);
+        Var::from_index(n)
+    }
+    fn emit(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.iter().copied());
+    }
+}
 
 /// The CNF image of a netlist: one variable per net.
 #[derive(Debug, Clone)]
@@ -23,9 +53,17 @@ impl Encoding {
 /// net. Constant nets become unit clauses; primary inputs are left
 /// unconstrained.
 ///
+/// Gates are emitted in the netlist's memoized topological order
+/// ([`Netlist::cached_topo`]) so repeated encodings — one miter per buyer
+/// in a campaign — do not re-run Kahn's algorithm, and the clause order
+/// follows data flow (definitions precede uses) for better solver locality.
+/// Variable numbering is unaffected: variables are allocated per net, in
+/// net-id order, before any gate clause is added.
+///
 /// # Panics
 ///
-/// Panics if the netlist contains an undriven net (validate first).
+/// Panics if the netlist contains an undriven net or a combinational cycle
+/// (validate first).
 pub fn encode_netlist(cnf: &mut CnfBuilder, netlist: &Netlist) -> Encoding {
     let vars: Vec<Var> = (0..netlist.num_nets()).map(|_| cnf.new_var()).collect();
     let enc = Encoding { vars };
@@ -39,10 +77,14 @@ pub fn encode_netlist(cnf: &mut CnfBuilder, netlist: &Netlist) -> Encoding {
             NetDriver::None => panic!("undriven net {id} cannot be encoded"),
         }
     }
-    for (_, gate) in netlist.gates() {
+    let order = netlist.cached_topo().expect("cyclic netlist");
+    let mut ins: Vec<Var> = Vec::new();
+    for &g in order {
+        let gate = netlist.gate(g);
         let f = netlist.library().cell(gate.cell()).function();
         let out = enc.var(gate.output());
-        let ins: Vec<Var> = gate.inputs().iter().map(|&n| enc.var(n)).collect();
+        ins.clear();
+        ins.extend(gate.inputs().iter().map(|&n| enc.var(n)));
         encode_gate(cnf, f, out, &ins);
     }
     enc
@@ -53,73 +95,73 @@ pub fn encode_netlist(cnf: &mut CnfBuilder, netlist: &Netlist) -> Encoding {
 /// # Panics
 ///
 /// Panics if `ins.len()` is not a legal arity for `f`.
-pub fn encode_gate(cnf: &mut CnfBuilder, f: PrimitiveFn, out: Var, ins: &[Var]) {
+pub fn encode_gate<S: ClauseSink>(sink: &mut S, f: PrimitiveFn, out: Var, ins: &[Var]) {
     assert!(ins.len() >= f.min_arity(), "arity too small for {f}");
     match f {
         PrimitiveFn::Buf => {
-            cnf.add_clause([Lit::neg(out), Lit::pos(ins[0])]);
-            cnf.add_clause([Lit::pos(out), Lit::neg(ins[0])]);
+            sink.emit(&[Lit::neg(out), Lit::pos(ins[0])]);
+            sink.emit(&[Lit::pos(out), Lit::neg(ins[0])]);
         }
         PrimitiveFn::Inv => {
-            cnf.add_clause([Lit::neg(out), Lit::neg(ins[0])]);
-            cnf.add_clause([Lit::pos(out), Lit::pos(ins[0])]);
+            sink.emit(&[Lit::neg(out), Lit::neg(ins[0])]);
+            sink.emit(&[Lit::pos(out), Lit::pos(ins[0])]);
         }
-        PrimitiveFn::And => encode_and_plane(cnf, out, ins, false),
-        PrimitiveFn::Nand => encode_and_plane(cnf, out, ins, true),
-        PrimitiveFn::Or => encode_or_plane(cnf, out, ins, false),
-        PrimitiveFn::Nor => encode_or_plane(cnf, out, ins, true),
-        PrimitiveFn::Xor => encode_parity(cnf, out, ins, false),
-        PrimitiveFn::Xnor => encode_parity(cnf, out, ins, true),
+        PrimitiveFn::And => encode_and_plane(sink, out, ins, false),
+        PrimitiveFn::Nand => encode_and_plane(sink, out, ins, true),
+        PrimitiveFn::Or => encode_or_plane(sink, out, ins, false),
+        PrimitiveFn::Nor => encode_or_plane(sink, out, ins, true),
+        PrimitiveFn::Xor => encode_parity(sink, out, ins, false),
+        PrimitiveFn::Xnor => encode_parity(sink, out, ins, true),
     }
 }
 
 /// `out == AND(ins)` (or NAND when `invert`).
-fn encode_and_plane(cnf: &mut CnfBuilder, out: Var, ins: &[Var], invert: bool) {
+fn encode_and_plane<S: ClauseSink>(sink: &mut S, out: Var, ins: &[Var], invert: bool) {
     let o = |polarity: bool| Lit::with_polarity(out, polarity != invert);
     // out -> each input.
     for &i in ins {
-        cnf.add_clause([o(false), Lit::pos(i)]);
+        sink.emit(&[o(false), Lit::pos(i)]);
     }
     // all inputs -> out.
     let mut big: Vec<Lit> = ins.iter().map(|&i| Lit::neg(i)).collect();
     big.push(o(true));
-    cnf.add_clause(big);
+    sink.emit(&big);
 }
 
 /// `out == OR(ins)` (or NOR when `invert`).
-fn encode_or_plane(cnf: &mut CnfBuilder, out: Var, ins: &[Var], invert: bool) {
+fn encode_or_plane<S: ClauseSink>(sink: &mut S, out: Var, ins: &[Var], invert: bool) {
     let o = |polarity: bool| Lit::with_polarity(out, polarity != invert);
     // each input -> out.
     for &i in ins {
-        cnf.add_clause([o(true), Lit::neg(i)]);
+        sink.emit(&[o(true), Lit::neg(i)]);
     }
     // out -> some input.
     let mut big: Vec<Lit> = ins.iter().map(|&i| Lit::pos(i)).collect();
     big.push(o(false));
-    cnf.add_clause(big);
+    sink.emit(&big);
 }
 
 /// `out == XOR(ins)` (or XNOR when `invert`), chaining pairwise through
 /// auxiliary variables.
-fn encode_parity(cnf: &mut CnfBuilder, out: Var, ins: &[Var], invert: bool) {
+fn encode_parity<S: ClauseSink>(sink: &mut S, out: Var, ins: &[Var], invert: bool) {
     // XNOR(x1..xn) = (!x1) ^ x2 ^ ... ^ xn, so complement the accumulator on
     // the final link when inverting.
     let mut acc = ins[0];
     for (k, &b) in ins.iter().enumerate().skip(1) {
         let is_last = k + 1 == ins.len();
-        let target = if is_last { out } else { cnf.new_var() };
-        encode_xor2(cnf, target, acc, invert && is_last, b);
+        let target = if is_last { out } else { sink.fresh_var() };
+        encode_xor2(sink, target, acc, invert && is_last, b);
         acc = target;
     }
 }
 
 /// `t == a ^ b`, with `a` complemented when `a_inv`.
-fn encode_xor2(cnf: &mut CnfBuilder, t: Var, a: Var, a_inv: bool, b: Var) {
+fn encode_xor2<S: ClauseSink>(sink: &mut S, t: Var, a: Var, a_inv: bool, b: Var) {
     let la = |pol: bool| Lit::with_polarity(a, pol != a_inv);
-    cnf.add_clause([Lit::neg(t), la(true), Lit::pos(b)]);
-    cnf.add_clause([Lit::neg(t), la(false), Lit::neg(b)]);
-    cnf.add_clause([Lit::pos(t), la(true), Lit::neg(b)]);
-    cnf.add_clause([Lit::pos(t), la(false), Lit::pos(b)]);
+    sink.emit(&[Lit::neg(t), la(true), Lit::pos(b)]);
+    sink.emit(&[Lit::neg(t), la(false), Lit::neg(b)]);
+    sink.emit(&[Lit::pos(t), la(true), Lit::neg(b)]);
+    sink.emit(&[Lit::pos(t), la(false), Lit::pos(b)]);
 }
 
 #[cfg(test)]

@@ -1,0 +1,204 @@
+//! Fast-path/cold-path agreement suite: the sweep-based SAT rung
+//! (strash-proven outputs, cut-point sweeping) and the incremental
+//! [`VerifySession`] must return the *same verdict kind* as a naive cold
+//! whole-circuit miter on every input we can throw at them — the PR 1
+//! fault battery (stuck-at and wrong-cell faults, alone and inside
+//! fingerprinted copies) and every malformed-corpus fixture that ever
+//! survives the load pipeline. Counterexamples may differ between paths
+//! (different solvers walk different models) but each must genuinely
+//! witness the inequivalence.
+//!
+//! CI runs the whole workspace under both `ODCFP_THREADS=1` and
+//! `ODCFP_THREADS=8`, so these properties are exercised at both ends of
+//! the parallelism matrix.
+
+#[path = "corpus_fixtures.rs"]
+mod corpus_fixtures;
+
+use corpus_fixtures::{blif_fixtures, load_blif, load_verilog, verilog_fixtures};
+use odcfp_core::faults::FaultInjector;
+use odcfp_core::{verify_equivalent_report, Fingerprinter, Verdict, VerifyPolicy, VerifySession};
+use odcfp_netlist::{CellLibrary, Netlist};
+use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+
+/// A strict policy with the simulation and exhaustive stages disabled,
+/// so every verdict — proof *and* refutation — must come from the SAT
+/// rung under test rather than the (shared) simulation stages.
+fn sat_policy(fast: bool) -> VerifyPolicy {
+    VerifyPolicy {
+        sim_words: 0,
+        exhaustive_max_inputs: 0,
+        use_fast_path: fast,
+        ..VerifyPolicy::strict()
+    }
+}
+
+/// Collapses a verdict to its kind and, for refutations, checks the
+/// counterexample actually witnesses the functional difference.
+fn kind(verdict: &Verdict, golden: &Netlist, candidate: &Netlist, label: &str) -> &'static str {
+    match verdict {
+        Verdict::Proven => "proven",
+        Verdict::Refuted { counterexample } => {
+            assert_ne!(
+                golden.eval(counterexample),
+                candidate.eval(counterexample),
+                "{label}: counterexample does not witness the difference"
+            );
+            "refuted"
+        }
+        other => panic!("{label}: strict policy must decide, got {other}"),
+    }
+}
+
+/// The core property: cold miter, one-shot fast path, and incremental
+/// session all agree on the verdict kind. Returns that kind.
+fn paths_agree(
+    session: &mut VerifySession,
+    candidate: &Netlist,
+    label: &str,
+) -> &'static str {
+    let golden = session.golden().clone();
+    let cold = verify_equivalent_report(&golden, candidate, &sat_policy(false))
+        .unwrap_or_else(|e| panic!("{label}: cold path errored: {e}"));
+    let fast = verify_equivalent_report(&golden, candidate, &sat_policy(true))
+        .unwrap_or_else(|e| panic!("{label}: fast path errored: {e}"));
+    let incr = session
+        .verify(candidate, &sat_policy(true))
+        .unwrap_or_else(|e| panic!("{label}: session errored: {e}"));
+
+    assert!(
+        !cold.stats.used_fast_path,
+        "{label}: cold baseline took the fast path"
+    );
+    assert!(
+        fast.stats.used_fast_path,
+        "{label}: fast policy fell back to the cold miter"
+    );
+
+    let cold_kind = kind(&cold.verdict, &golden, candidate, &format!("{label}/cold"));
+    let fast_kind = kind(&fast.verdict, &golden, candidate, &format!("{label}/fast"));
+    let incr_kind = kind(&incr.verdict, &golden, candidate, &format!("{label}/session"));
+    assert_eq!(cold_kind, fast_kind, "{label}: fast path flipped the verdict");
+    assert_eq!(cold_kind, incr_kind, "{label}: session flipped the verdict");
+    cold_kind
+}
+
+fn small_base(seed: u64) -> Netlist {
+    random_dag(CellLibrary::standard(), DagParams::small(seed))
+}
+
+#[test]
+fn stuck_at_battery_verdicts_agree_across_paths() {
+    let mut refuted = 0;
+    for seed in 0..8 {
+        let base = small_base(40 + seed);
+        let mut session = VerifySession::new(&base).unwrap();
+        let mut inj = FaultInjector::new(seed);
+        let (faulty, net, value) = inj.random_stuck_at(&base).unwrap();
+        faulty.validate().unwrap();
+        let label = format!("stuck-at seed {seed} ({net:?}={value})");
+        if paths_agree(&mut session, &faulty, &label) == "refuted" {
+            refuted += 1;
+        }
+    }
+    assert!(refuted >= 1, "no stuck-at instance was function-changing");
+}
+
+#[test]
+fn wrong_cell_battery_verdicts_agree_across_paths() {
+    let mut refuted = 0;
+    for seed in 0..8 {
+        let base = small_base(50 + seed);
+        let mut session = VerifySession::new(&base).unwrap();
+        let mut inj = FaultInjector::new(seed);
+        let (faulty, gate) = inj.random_wrong_cell(&base).unwrap();
+        faulty.validate().unwrap();
+        let label = format!("wrong-cell seed {seed} ({gate:?})");
+        if paths_agree(&mut session, &faulty, &label) == "refuted" {
+            refuted += 1;
+        }
+    }
+    assert!(refuted >= 1, "no wrong-cell instance was function-changing");
+}
+
+#[test]
+fn fingerprinted_copies_prove_equivalent_on_every_path() {
+    // The production fast-path workload: many function-preserving buyer
+    // variants of one base, verified through a single reused session.
+    let fp = Fingerprinter::new(small_base(60)).unwrap();
+    let n = fp.locations().len();
+    let mut session = VerifySession::new(fp.base()).unwrap();
+    for buyer in 0..4u64 {
+        let bits: Vec<bool> = (0..n).map(|i| (buyer >> (i % 4)) & 1 == 1).collect();
+        let copy = fp.embed(&bits).unwrap();
+        let verdict = paths_agree(&mut session, copy.netlist(), &format!("buyer {buyer}"));
+        assert_eq!(verdict, "proven", "buyer {buyer}: copy is equivalent by construction");
+    }
+}
+
+#[test]
+fn faults_inside_fingerprinted_copies_agree_across_paths() {
+    // A defect inside a *fingerprinted* die — the session's golden stays
+    // the unmarked base, candidates mix equivalent and faulty variants.
+    let fp = Fingerprinter::new(small_base(62)).unwrap();
+    let copy = fp.embed(&vec![true; fp.locations().len()]).unwrap();
+    let mut session = VerifySession::new(fp.base()).unwrap();
+    let mut inj = FaultInjector::new(63);
+    let mut refuted = 0;
+    for round in 0..6 {
+        let (faulty, _, _) = inj.random_stuck_at(copy.netlist()).unwrap();
+        faulty.validate().unwrap();
+        if paths_agree(&mut session, &faulty, &format!("copy-fault round {round}")) == "refuted" {
+            refuted += 1;
+        }
+    }
+    assert!(refuted >= 1, "no copy fault was function-changing");
+}
+
+#[test]
+fn interleaved_verdicts_do_not_contaminate_the_session() {
+    // Learned clauses from refuted candidates must not leak into later
+    // proofs and vice versa: alternate equivalent and faulty candidates
+    // through one session and re-check each against a fresh cold run.
+    let base = small_base(70);
+    let fp = Fingerprinter::new(base.clone()).unwrap();
+    let n = fp.locations().len();
+    let mut session = VerifySession::new(&base).unwrap();
+    let mut inj = FaultInjector::new(71);
+    for round in 0..4u64 {
+        let copy = fp
+            .embed(&(0..n).map(|i| (round + i as u64).is_multiple_of(2)).collect::<Vec<_>>())
+            .unwrap();
+        let verdict = paths_agree(&mut session, copy.netlist(), &format!("interleave copy {round}"));
+        assert_eq!(verdict, "proven");
+        let (faulty, _, _) = inj.random_stuck_at(&base).unwrap();
+        paths_agree(&mut session, &faulty, &format!("interleave fault {round}"));
+    }
+}
+
+#[test]
+fn corpus_survivors_verify_identically_on_both_paths() {
+    // Every malformed fixture is rejected today; this loop is the guard
+    // for the day a parser regression lets one through. Any fixture that
+    // *loads* must at minimum be provably equivalent to itself on the
+    // cold path, the fast path, and a fresh session — a survivor that
+    // flips verdicts between paths is two bugs, not one.
+    let mut survivors = 0;
+    for (name, src, _) in blif_fixtures() {
+        if let Ok(netlist) = load_blif(&src) {
+            survivors += 1;
+            let mut session = VerifySession::new(&netlist).unwrap();
+            let verdict = paths_agree(&mut session, &netlist, &format!("blif survivor {name}"));
+            assert_eq!(verdict, "proven", "{name}: self-equivalence must hold");
+        }
+    }
+    for (name, src, _) in verilog_fixtures() {
+        if let Ok(netlist) = load_verilog(&src) {
+            survivors += 1;
+            let mut session = VerifySession::new(&netlist).unwrap();
+            let verdict = paths_agree(&mut session, &netlist, &format!("verilog survivor {name}"));
+            assert_eq!(verdict, "proven", "{name}: self-equivalence must hold");
+        }
+    }
+    assert_eq!(survivors, 0, "corpus fixture unexpectedly parsed — extend this test");
+}
