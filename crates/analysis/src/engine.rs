@@ -94,6 +94,7 @@ where
 {
     let threads = threads.max(1).min(len.max(1));
     if threads == 1 {
+        let _span = worker_span(0, 0..len);
         return vec![f(0..len)];
     }
     let chunk = len.div_ceil(threads);
@@ -103,9 +104,13 @@ where
     std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(t, r)| {
                 let f = &f;
-                s.spawn(move || f(r))
+                s.spawn(move || {
+                    let _span = worker_span(t, r.clone());
+                    f(r)
+                })
             })
             .collect();
         handles
@@ -118,12 +123,21 @@ where
     })
 }
 
+/// Per-worker timing span (non-deterministic: worker activity depends on
+/// the thread count, so these events are excluded from the trace payload).
+fn worker_span(worker: usize, range: std::ops::Range<usize>) -> odcfp_obs::Span {
+    let mut span = odcfp_obs::span("engine.worker");
+    span.field("worker", worker);
+    span.field("items", range.len());
+    span
+}
+
 /// Work-unit granularity of [`parallel_chunks_cancellable`]: the longest
 /// stretch of indices a worker processes between two token polls.
 const CANCEL_GRANULE: usize = 256;
 
 /// [`parallel_chunks`] with cooperative cancellation: each worker splits
-/// its chunk into sub-ranges of at most [`CANCEL_GRANULE`] indices,
+/// its chunk into sub-ranges of at most `CANCEL_GRANULE` (256) indices,
 /// polling `token` between sub-ranges, and the per-sub-range results come
 /// back concatenated **in index order**.
 ///
@@ -164,6 +178,7 @@ where
         if token.is_cancelled() {
             return None;
         }
+        let _span = worker_span(0, 0..len);
         return run(0..len);
     }
     let chunk = len.div_ceil(threads);
@@ -173,9 +188,13 @@ where
     std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(t, r)| {
                 let run = &run;
-                s.spawn(move || run(r))
+                s.spawn(move || {
+                    let _span = worker_span(t, r.clone());
+                    run(r)
+                })
             })
             .collect();
         let mut merged = Vec::new();
@@ -201,6 +220,27 @@ where
 /// The engine is immutable and [`Sync`]; share one instance across worker
 /// threads and give each worker its own [`Scratch`]. Rebuild (or patch via
 /// the incremental layer in `odcfp-core`) after mutating the netlist.
+///
+/// # Example
+///
+/// ```
+/// use odcfp_analysis::AnalysisEngine;
+/// use odcfp_logic::PrimitiveFn;
+/// use odcfp_netlist::{CellLibrary, Netlist};
+///
+/// let mut n = Netlist::new("m", CellLibrary::standard());
+/// let a = n.add_primary_input("a");
+/// let b = n.add_primary_input("b");
+/// let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+/// let g1 = n.add_gate("g1", and2, &[a, b]);
+/// let g2 = n.add_gate("g2", and2, &[n.gate_output(g1), a]);
+/// n.set_primary_output(n.gate_output(g2));
+///
+/// let eng = AnalysisEngine::new(&n)?;
+/// assert!(eng.feeds_only(g1, g2)); // g1's only sink is g2
+/// assert_eq!(eng.ffc_of(g2), vec![g1, g2]); // max FFC, topological order
+/// # Ok::<(), odcfp_netlist::NetlistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct AnalysisEngine {
     csr: CsrView,
@@ -225,7 +265,9 @@ impl AnalysisEngine {
 
     /// Builds the engine from an existing CSR view.
     pub fn from_view(csr: CsrView) -> AnalysisEngine {
+        let mut span = odcfp_obs::span("engine.build");
         let n = csr.num_gates();
+        span.field("gates", n);
         let mut idom = vec![VIRTUAL_ROOT; n];
         let mut dom_depth = vec![1u32; n];
 

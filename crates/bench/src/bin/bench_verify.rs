@@ -14,6 +14,10 @@
 //! - `--fast`: `c880` only, one buyer tier — the CI smoke configuration.
 //! - `--guard`: c6288 regression guard — exits non-zero if the fast path
 //!   is slower than even the conflict-capped cold baseline.
+//! - `--overhead`: disabled-instrumentation guard — exits non-zero if
+//!   the tracing call sites crossed by a `des` fast-path sweep would
+//!   cost more than 1% of the sweep's untraced wall time (DESIGN.md
+//!   §12 overhead budget). Pass a circuit name to override `des`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -174,10 +178,117 @@ fn bench_circuit(name: &str, tiers: &[usize], cold_cap: Option<u64>, cold_sample
     }
 }
 
+/// `--overhead` mode: proves the disabled-instrumentation cost contract
+/// on a real workload. Measures (1) the untraced wall time of a
+/// fast-path sweep, (2) how many instrumentation events the same sweep
+/// emits when a capture sink is attached, and (3) the per-call-site
+/// cost with tracing disabled, in a tight loop over the worst of the
+/// three primitive shapes (span / count / point). The budget is
+/// `(2) x (3) < 1% of (1)`.
+///
+/// This bounds the *call-site* overhead — the only cost paid by users
+/// who never pass `--trace-out` — rather than diffing two wall-clock
+/// runs, whose run-to-run noise on a millisecond-scale sweep dwarfs a
+/// sub-percent effect.
+fn overhead_guard(name: &str, n_buyers: usize) -> bool {
+    let base: Netlist = netlist_for(name);
+    let fp = Fingerprinter::new(base.clone()).expect("valid benchmark");
+    let n_loc = fp.locations().len();
+    eprintln!("overhead {name}: embedding {n_buyers} buyer variants ({n_loc} locations)...");
+    let buyers: Vec<Netlist> = (0..n_buyers as u64)
+        .map(|b| {
+            let copy = fp.embed(&buyer_bits(b, n_loc)).expect("embed preserves function");
+            copy.netlist().clone()
+        })
+        .collect();
+    let policy = VerifyPolicy::strict();
+    let sweep = || {
+        let mut session = VerifySession::new(&base).expect("valid benchmark");
+        for buyer in &buyers {
+            session
+                .verify(std::hint::black_box(buyer), &policy)
+                .expect("verify");
+        }
+    };
+
+    // (1) Untraced wall time; median of 3 runs absorbs allocator noise.
+    assert!(
+        !odcfp_obs::enabled(),
+        "--overhead must start with tracing disabled (unset ODCFP_TRACE)"
+    );
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            sweep();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    let disabled_s = runs[runs.len() / 2];
+
+    // (2) Every call site the sweep crosses emits exactly one event
+    // under a capture sink (spans emit on drop), so the event count is
+    // the call-site count.
+    let ((), events) = odcfp_obs::capture(sweep).expect("no competing trace sink");
+    let n_events = events.len();
+
+    // (3) Disabled per-call-site cost. Each shape still evaluates its
+    // arguments and takes the `enabled()` branch — exactly what a
+    // production binary pays.
+    fn per_op(mut f: impl FnMut()) -> f64 {
+        const ITERS: u32 = 1_000_000;
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / f64::from(ITERS)
+    }
+    let span_s = per_op(|| {
+        let mut span = odcfp_obs::span(std::hint::black_box("bench.noop"));
+        span.field("k", 1u64);
+    });
+    let count_s = per_op(|| odcfp_obs::count(std::hint::black_box("bench.ctr"), 1));
+    let point_s = per_op(|| {
+        odcfp_obs::point(std::hint::black_box("bench.pt"))
+            .field("a", 1u64)
+            .emit();
+    });
+    let worst = span_s.max(count_s).max(point_s);
+
+    let overhead_s = worst * n_events as f64;
+    let pct = 100.0 * overhead_s / disabled_s;
+    eprintln!(
+        "overhead {name}: sweep {:.1}ms untraced, {n_events} call sites, worst shape \
+         {:.1}ns (span {:.1} / count {:.1} / point {:.1}) -> {:.4}ms = {:.4}% of sweep \
+         (budget 1%)",
+        disabled_s * 1e3,
+        worst * 1e9,
+        span_s * 1e9,
+        count_s * 1e9,
+        point_s * 1e9,
+        overhead_s * 1e3,
+        pct,
+    );
+    pct < 1.0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let guard = args.iter().any(|a| a == "--guard");
+    let overhead = args.iter().any(|a| a == "--overhead");
+
+    if overhead {
+        let name = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .map_or("des", String::as_str);
+        if !overhead_guard(name, 8) {
+            eprintln!("REGRESSION: disabled instrumentation exceeds the 1% overhead budget");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if guard {
         // CI regression guard: on c6288 the fast path must beat even a

@@ -18,6 +18,7 @@
 //!                  -o <out.v>
 //! odcfp campaign   <manifest> --out-dir <dir>    journaled batch embed+verify
 //!                  [--resume] [--max-jobs N]
+//! odcfp report     <trace.jsonl>                 summarize an observability trace
 //! ```
 //!
 //! Every command accepts `--genlib <file>` to use a custom cell library
@@ -25,6 +26,12 @@
 //! worker count (results are bit-identical at any setting; the
 //! `ODCFP_THREADS` environment variable is the lower-precedence
 //! equivalent). BLIF inputs are technology-mapped on the fly.
+//!
+//! Every command also accepts `--trace-out <path>` (or the
+//! `ODCFP_TRACE` environment variable) to record a structured JSONL
+//! trace of the run — spans, counters, verdicts — which `odcfp report
+//! <trace.jsonl>` turns into a per-stage breakdown (see
+//! docs/OBSERVABILITY.md).
 //!
 //! # Exit codes
 //!
@@ -155,6 +162,7 @@ struct Options {
     out_dir: Option<String>,
     resume: bool,
     max_jobs: Option<usize>,
+    trace_out: Option<String>,
 }
 
 impl Options {
@@ -189,6 +197,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         out_dir: None,
         resume: false,
         max_jobs: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -242,6 +251,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--method" => o.method = take("--method")?,
             "--out-dir" => o.out_dir = Some(take("--out-dir")?),
+            "--trace-out" => o.trace_out = Some(take("--trace-out")?),
             "--resume" => o.resume = true,
             "--max-jobs" => {
                 let n: usize = take("--max-jobs")?
@@ -344,6 +354,8 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
     if o.threads.is_some() {
         odcfp_analysis::engine::set_thread_override(o.threads);
     }
+    // Dropped at the end of this call: flushes and detaches the trace.
+    let _trace_guard = install_trace(&o)?;
     let library = load_library(&o)?;
     match command {
         "stats" => {
@@ -461,6 +473,11 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
         }
         "report" => {
             let path = required_input(&o, "input design")?;
+            // `.jsonl` inputs are observability traces, not designs:
+            // summarize per-stage timing, counters, and campaign outcomes.
+            if path.ends_with(".jsonl") {
+                return report_trace(&o, path, out);
+            }
             let design = load_design(path, library)?;
             let metrics = DesignMetrics::measure(&design);
             let timing = odcfp_analysis::sta::analyze(&design)
@@ -593,6 +610,42 @@ fn run_campaign(
     Ok(if summary.poisoned.is_empty() { 0 } else { 6 })
 }
 
+/// Installs the JSONL trace sink `--trace-out` (or the lower-precedence
+/// `ODCFP_TRACE` environment variable) asks for. The returned guard
+/// flushes and detaches the sink on drop. A resumed campaign
+/// (`--resume`) appends to an existing trace; every other invocation
+/// truncates.
+fn install_trace(o: &Options) -> Result<Option<odcfp_obs::SinkGuard>, CliError> {
+    let path = o
+        .trace_out
+        .clone()
+        .or_else(|| std::env::var("ODCFP_TRACE").ok().filter(|p| !p.is_empty()));
+    let Some(path) = path else {
+        return Ok(None);
+    };
+    let guard = odcfp_obs::install_jsonl(Path::new(&path), o.resume).map_err(fail)?;
+    Ok(Some(guard))
+}
+
+/// The `report <trace.jsonl>` form: summarize an observability trace.
+///
+/// Degrades gracefully — an empty or entirely torn trace prints a
+/// warning and exits `0` (a trace cut short by a kill is still a valid
+/// object to inspect).
+fn report_trace(
+    o: &Options,
+    path: &str,
+    out: &mut impl std::io::Write,
+) -> Result<i32, CliError> {
+    let trace = odcfp_obs::read_trace(Path::new(path))
+        .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    if trace.events.is_empty() {
+        eprintln!("warning: {path}: no parseable events");
+    }
+    write_output(o, &odcfp_obs::summarize(&trace), out)?;
+    Ok(0)
+}
+
 /// Prints the `--stats` effort-accounting block after a verify verdict.
 fn write_verify_stats(
     out: &mut impl std::io::Write,
@@ -608,12 +661,32 @@ fn write_verify_stats(
         stats.sat_conflicts,
         stats.elapsed,
     )?;
-    if let Some(s) = &stats.solver {
+    if stats.used_fast_path {
+        // The sweep layer's own accounting: structural merges and the
+        // fate of every cut point (refutations are simulation
+        // counterexamples at interior cut points).
         writeln!(
             out,
-            "solver: conflicts={} decisions={} propagations={} restarts={} learnt={}",
-            s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt_clauses,
+            "sweep: strash-proven={} cut-points proven={} refuted={} skipped={}",
+            stats.strash_proven_outputs,
+            stats.cut_points_proven,
+            stats.cut_points_refuted,
+            stats.cut_points_skipped,
         )?;
+    }
+    if let Some(s) = &stats.solver {
+        // A fast-path proof that never reached SAT has an all-zero
+        // solver block; say so instead of printing zeros that read as
+        // "the solver ran and did nothing".
+        if s.conflicts == 0 && s.decisions == 0 && s.propagations == 0 {
+            writeln!(out, "solver: no SAT calls (proved structurally)")?;
+        } else {
+            writeln!(
+                out,
+                "solver: conflicts={} decisions={} propagations={} restarts={} learnt={}",
+                s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt_clauses,
+            )?;
+        }
     }
     Ok(())
 }
@@ -637,9 +710,12 @@ commands:
   bench     <name> [-o out.v]                   generate a Table II benchmark
   campaign  <manifest> --out-dir <dir>          journaled batch embed+verify
             [--resume] [--max-jobs N]           (crash-safe; resumable)
+  report    <trace.jsonl>                       summarize an observability trace
 options: --genlib <file> to use a custom cell library
          --threads N to pin the analysis worker count (default: all cores,
                      or ODCFP_THREADS; results are identical at any setting)
+         --trace-out <path> records a structured JSONL trace of the run
+                     (ODCFP_TRACE is the lower-precedence equivalent)
          --verify-budget / --verify-timeout bound SAT effort (embed, verify)
          --stats prints verification effort accounting (verify)
 exit codes: 0 ok/proven, 1 error, 2 usage,
@@ -915,6 +991,62 @@ mod tests {
         run("verify", &[golden, copy], &mut out).unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(!text.contains("stats:"), "{text}");
+    }
+
+    #[test]
+    fn verify_stats_fast_path_reports_sweep_not_zero_solver() {
+        // c432 (36 inputs) cannot be settled by exhaustive simulation, so
+        // verifying it against itself exercises the sweep fast path: the
+        // strash proves every output with zero SAT conflicts — exactly
+        // the case that used to print an all-zero solver block.
+        let design = tmp("fp_c432.v", "");
+        run_ok("bench", &["c432".into(), "-o".into(), design.clone()]);
+        let mut out = Vec::new();
+        let code = run(
+            "verify",
+            &[design.clone(), design, "--stats".into()],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("path=fast"), "{text}");
+        assert!(text.contains("sweep: strash-proven="), "{text}");
+        assert!(
+            !text.contains("conflicts=0 decisions=0"),
+            "all-zero solver block must be suppressed:\n{text}"
+        );
+    }
+
+    #[test]
+    fn trace_out_records_and_report_summarizes() {
+        let input = tmp("tr.blif", BLIF);
+        let trace = std::env::temp_dir()
+            .join("odcfp-cli-tests")
+            .join("tr.trace.jsonl");
+        let _ = fs::remove_file(&trace);
+        let trace_arg = trace.to_string_lossy().into_owned();
+        run_ok("locations", &[input, "--trace-out".into(), trace_arg.clone()]);
+        let text = fs::read_to_string(&trace).unwrap();
+        assert!(
+            text.lines().any(|l| l.contains("\"core.locate\"")),
+            "trace records the locate span:\n{text}"
+        );
+        let report = run_ok("report", &[trace_arg]);
+        assert!(report.contains("spans (by self time)"), "{report}");
+        assert!(report.contains("core.locate"), "{report}");
+    }
+
+    #[test]
+    fn report_on_empty_or_torn_trace_exits_zero() {
+        let empty = tmp("empty.trace.jsonl", "");
+        let mut out = Vec::new();
+        assert_eq!(run("report", &[empty], &mut out).unwrap(), 0);
+        assert!(String::from_utf8_lossy(&out).contains("warning: no events"));
+        let torn = tmp("torn.trace.jsonl", "{\"seq\":0,\"t_us\":1,\"ki");
+        let mut out = Vec::new();
+        assert_eq!(run("report", &[torn], &mut out).unwrap(), 0);
+        assert!(String::from_utf8_lossy(&out).contains("1 unparseable line"));
     }
 
     #[test]

@@ -349,6 +349,30 @@ fn campaign_end_to_end_with_resume_and_quarantine() {
     assert!(stderr.contains("quarantined by a previous run"), "{stderr}");
 }
 
+/// Traces from the kill-and-resume drill land here (not in the temp
+/// dir) so CI can upload them as artifacts.
+fn trace_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/e2e-traces");
+    fs::create_dir_all(&dir).expect("trace dir");
+    dir
+}
+
+/// The replay-stable projection of a trace: `campaign.job.outcome` and
+/// `campaign.summary` payload lines, in emission order. A resumed leg
+/// re-emits journalled outcomes for the jobs it skips, so this stream
+/// must equal an uninterrupted run's byte for byte.
+fn replay_stable_payload(path: &std::path::Path) -> Vec<String> {
+    let trace = odcfp_obs::read_trace(path).expect("trace readable");
+    trace
+        .events
+        .iter()
+        .filter(|e| {
+            e.det && matches!(e.name.as_str(), "campaign.job.outcome" | "campaign.summary")
+        })
+        .map(odcfp_obs::Event::payload_line)
+        .collect()
+}
+
 /// The crash-safety drill: SIGKILL a campaign mid-run, resume it, and
 /// require the final state to be bit-identical to an uninterrupted run —
 /// with the jobs finished before the kill *not* re-executed.
@@ -372,16 +396,34 @@ retries 0
     let _ = fs::remove_dir_all(&dir);
     let manifest = campaign_fixture(&dir, MANIFEST);
 
-    // Reference: the same campaign, uninterrupted.
+    // Reference: the same campaign, uninterrupted, traced.
+    let traces = trace_dir();
+    let ref_trace = traces.join("campaign-ref.trace.jsonl");
     let ref_out = dir.join("ref");
-    let ref_run = odcfp(&["campaign", &manifest, "--out-dir", ref_out.to_str().expect("utf8")]);
+    let ref_run = odcfp(&[
+        "campaign",
+        &manifest,
+        "--out-dir",
+        ref_out.to_str().expect("utf8"),
+        "--trace-out",
+        ref_trace.to_str().expect("utf8"),
+    ]);
     assert_eq!(ref_run.status.code(), Some(6)); // spin jobs quarantine
 
     // Victim: kill once the first job has completed (the spin probe is
-    // then running or about to).
+    // then running or about to). Its trace may end mid-line — reading
+    // it back must tolerate the tear.
+    let victim_trace = traces.join("campaign-killed.trace.jsonl");
     let victim_out = dir.join("victim");
     let mut child = Command::new(env!("CARGO_BIN_EXE_odcfp"))
-        .args(["campaign", &manifest, "--out-dir", victim_out.to_str().expect("utf8")])
+        .args([
+            "campaign",
+            &manifest,
+            "--out-dir",
+            victim_out.to_str().expect("utf8"),
+            "--trace-out",
+            victim_trace.to_str().expect("utf8"),
+        ])
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()
@@ -398,9 +440,18 @@ retries 0
     child.kill().expect("SIGKILL");
     let _ = child.wait();
 
-    // Resume and require convergence with the reference run.
+    // Resume (with its own trace) and require convergence with the
+    // reference run.
+    let resume_trace = traces.join("campaign-resumed.trace.jsonl");
+    let _ = fs::remove_file(&resume_trace);
     let resumed = odcfp(&[
-        "campaign", &manifest, "--out-dir", victim_out.to_str().expect("utf8"), "--resume",
+        "campaign",
+        &manifest,
+        "--out-dir",
+        victim_out.to_str().expect("utf8"),
+        "--resume",
+        "--trace-out",
+        resume_trace.to_str().expect("utf8"),
     ]);
     let stderr = String::from_utf8_lossy(&resumed.stderr);
     assert_eq!(resumed.status.code(), Some(6), "{stderr}");
@@ -430,6 +481,28 @@ retries 0
             "{name}"
         );
     }
+
+    // The killed leg's trace reads back (tolerating a torn tail) and
+    // records at least the campaign start.
+    let killed = odcfp_obs::read_trace(&victim_trace).expect("killed trace readable");
+    assert!(
+        killed.events.iter().any(|e| e.name == "campaign.start"),
+        "killed trace records the start"
+    );
+
+    // Replay stability: the resumed leg's outcome/summary payload equals
+    // the uninterrupted run's exactly (timestamps excluded by design).
+    let reference = replay_stable_payload(&ref_trace);
+    assert!(
+        reference.iter().any(|l| l.contains("campaign.job.outcome")),
+        "reference trace has outcomes:\n{}",
+        reference.join("\n")
+    );
+    assert_eq!(
+        replay_stable_payload(&resume_trace),
+        reference,
+        "resumed trace must replay the uninterrupted outcome stream"
+    );
 }
 
 #[test]

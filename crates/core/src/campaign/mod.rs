@@ -266,6 +266,29 @@ fn verdict_name(verdict: &Verdict) -> &'static str {
 /// Runs (or resumes) a campaign in `out_dir`, reporting progress through
 /// `on_event`.
 ///
+/// # Example
+///
+/// Mint two buyer copies of one circuit (the loader and emitter are
+/// injected, so any codec works — the CLI wires in BLIF/Verilog):
+///
+/// ```
+/// use odcfp_core::campaign::{run, CampaignEnv, CampaignOptions, Manifest};
+/// use odcfp_netlist::CellLibrary;
+/// use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+///
+/// let manifest = Manifest::parse("circuit c path:c.v\nbuyers 2\nseed 7\n")?;
+/// let env = CampaignEnv {
+///     load: &|_c| Ok(random_dag(CellLibrary::standard(), DagParams::small(5))),
+///     emit: &|n| format!("// {} gates\n", n.num_gates()),
+/// };
+/// let dir = std::env::temp_dir().join("odcfp-doc-campaign-run");
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let summary = run(&manifest, &dir, &env, &CampaignOptions::default(), &mut |_| {})?;
+/// assert_eq!(summary.completed, 2);
+/// assert!(summary.is_clean());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
 /// # Errors
 ///
 /// Only campaign-level problems error: unusable output directory,
@@ -302,6 +325,10 @@ pub fn run(
             jobs: jobs.len() as u64,
         })
         .map_err(io_err("journalling campaign start"))?;
+    odcfp_obs::point("campaign.start")
+        .field("jobs", jobs.len())
+        .field("resume", options.resume)
+        .emit();
 
     let mut summary = CampaignSummary {
         total: jobs.len(),
@@ -331,6 +358,13 @@ pub fn run(
                     summary.skipped += 1;
                     summary.completed += 1;
                     *summary.verdicts.entry(verdict.clone()).or_insert(0) += 1;
+                    // Replay-stable: a resumed leg re-emits the journalled
+                    // outcome, so its `campaign.job.outcome` stream equals
+                    // an uninterrupted run's.
+                    odcfp_obs::point("campaign.job.outcome")
+                        .field("job", job.id.as_str())
+                        .field("verdict", verdict.as_str())
+                        .emit();
                     on_event(&JobEvent::Skipped { job: job.id.clone() });
                     continue;
                 }
@@ -367,6 +401,19 @@ pub fn run(
         )?;
     }
 
+    // `campaign.summary` carries only leg-invariant totals (a resumed
+    // leg reports the same end state as an uninterrupted run);
+    // `campaign.leg` carries this invocation's split.
+    odcfp_obs::point("campaign.summary")
+        .field("total", summary.total)
+        .field("completed", summary.completed)
+        .field("poisoned", summary.poisoned.len())
+        .emit();
+    odcfp_obs::point("campaign.leg")
+        .field("executed", summary.executed)
+        .field("skipped", summary.skipped)
+        .field("remaining", summary.remaining)
+        .emit();
     Ok(summary)
 }
 
@@ -384,6 +431,8 @@ fn run_job(
     summary: &mut CampaignSummary,
     on_event: &mut dyn FnMut(&JobEvent),
 ) -> Result<(), CampaignError> {
+    let mut job_span = odcfp_obs::span("campaign.job");
+    job_span.field("job", job.id.as_str());
     let attempts = manifest.retries + 1;
     let mut last_error = String::new();
     for attempt in 1..=attempts {
@@ -393,6 +442,10 @@ fn run_job(
                 attempt,
             })
             .map_err(io_err("journalling job start"))?;
+        odcfp_obs::point("campaign.job.start")
+            .field("job", job.id.as_str())
+            .field("attempt", u64::from(attempt))
+            .emit();
         on_event(&JobEvent::Started {
             job: job.id.clone(),
             attempt,
@@ -441,11 +494,16 @@ fn run_job(
                     .verdicts
                     .entry(success.verdict.to_owned())
                     .or_insert(0) += 1;
+                odcfp_obs::point("campaign.job.outcome")
+                    .field("job", job.id.as_str())
+                    .field("verdict", success.verdict)
+                    .emit();
                 on_event(&JobEvent::Completed {
                     job: job.id.clone(),
                     verdict: success.verdict.to_owned(),
                     millis,
                 });
+                job_span.field("outcome", "completed");
                 return Ok(());
             }
             Err(error) => {
@@ -461,6 +519,11 @@ fn run_job(
                         error: error.clone(),
                     })
                     .map_err(io_err("journalling job failure"))?;
+                odcfp_obs::point("campaign.attempt.failed")
+                    .field("job", job.id.as_str())
+                    .field("attempt", u64::from(attempt))
+                    .field("error", error.as_str())
+                    .emit();
                 on_event(&JobEvent::AttemptFailed {
                     job: job.id.clone(),
                     attempt,
@@ -486,6 +549,14 @@ fn run_job(
             diagnostic: diagnostic.clone(),
         })
         .map_err(io_err("journalling quarantine"))?;
+    // Structured quarantine event: the diagnostic embeds the panic
+    // payload (or last error) so a trace alone explains the failure.
+    odcfp_obs::point("campaign.quarantine")
+        .field("job", job.id.as_str())
+        .field("attempts", u64::from(attempts))
+        .field("diagnostic", diagnostic.as_str())
+        .emit();
+    job_span.field("outcome", "poisoned");
     summary.poisoned.push((job.id.clone(), diagnostic.clone()));
     on_event(&JobEvent::Poisoned {
         job: job.id.clone(),

@@ -335,6 +335,8 @@ impl Fingerprinter {
                 found: bits.len(),
             });
         }
+        let mut span = odcfp_obs::span("core.embed");
+        span.field("bits_set", bits.iter().filter(|&&b| b).count());
         let mut netlist = self.base.clone();
         for (&bit, m) in bits.iter().zip(&self.selected) {
             if bit {
@@ -342,6 +344,7 @@ impl Fingerprinter {
             }
         }
         netlist.validate()?;
+        span.field("gates", netlist.num_gates());
         Ok(netlist)
     }
 

@@ -145,6 +145,9 @@ impl IncrementalLocations {
                 }
             }
         }
+        // Deterministic: the dirty region is a structural BFS, independent
+        // of thread count.
+        odcfp_obs::count("engine.dirty_gates", queue.len() as u64);
         let mut probe = LocationProbe::default();
         for (i, flag) in dirty.iter().enumerate() {
             if *flag {

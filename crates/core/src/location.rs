@@ -89,13 +89,17 @@ pub fn find_locations_with(
         netlist.num_gates(),
         "engine built from a different netlist"
     );
+    let mut span = odcfp_obs::span("core.locate");
+    span.field("gates", netlist.num_gates());
     let chunks = engine::parallel_chunks(netlist.num_gates(), threads, |range| {
         let mut probe = LocationProbe::default();
         range
             .filter_map(|i| probe.location_of(netlist, engine, GateId::from_index(i)))
             .collect::<Vec<FingerprintLocation>>()
     });
-    chunks.into_iter().flatten().collect()
+    let locations: Vec<FingerprintLocation> = chunks.into_iter().flatten().collect();
+    span.field("locations", locations.len());
+    locations
 }
 
 /// Reusable scratch buffers for probing one gate at a time, so a sweep over

@@ -177,6 +177,17 @@ impl Verdict {
     pub fn is_pass(&self) -> bool {
         matches!(self, Verdict::Proven | Verdict::ProbablyEquivalent { .. })
     }
+
+    /// Stable snake_case identifier of the verdict variant, used in trace
+    /// events, campaign journals, and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Proven => "proven",
+            Verdict::ProbablyEquivalent { .. } => "probably_equivalent",
+            Verdict::Refuted { .. } => "refuted",
+            Verdict::Undecided { .. } => "undecided",
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -215,6 +226,12 @@ pub struct VerifyStats {
     pub strash_proven_outputs: usize,
     /// Interior cut-point pairs proven equal and merged (fast path only).
     pub cut_points_proven: usize,
+    /// Candidate cut-point pairs refuted by a simulation-fed SAT model
+    /// (fast path only).
+    pub cut_points_refuted: usize,
+    /// Candidate cut-point pairs skipped on a per-pair conflict budget
+    /// (fast path only).
+    pub cut_points_skipped: usize,
     /// SAT conflicts this run spent.
     pub sat_conflicts: u64,
     /// Statistics of the SAT engine that ran, when one did. For
@@ -317,15 +334,38 @@ pub fn verify_equivalent_report_cancellable(
     let mut stats = VerifyStats::default();
     if let Some(verdict) = sim_stages(golden, candidate, policy, &token, &mut stats, start) {
         stats.elapsed = start.elapsed();
+        trace_verdict(&verdict, &stats);
         return Ok(VerifyReport { verdict, stats });
     }
-    let verdict = if policy.use_fast_path {
-        sat_stage_sweep(golden, candidate, policy, &token, &mut stats, start)?
-    } else {
-        sat_stage_cold(golden, candidate, policy, &token, &mut stats, start)?
+    let verdict = {
+        let mut span = odcfp_obs::span("verify.sat");
+        span.field("fast_path", policy.use_fast_path);
+        let verdict = if policy.use_fast_path {
+            sat_stage_sweep(golden, candidate, policy, &token, &mut stats, start)?
+        } else {
+            sat_stage_cold(golden, candidate, policy, &token, &mut stats, start)?
+        };
+        span.field("verdict", verdict.name());
+        verdict
     };
     stats.elapsed = start.elapsed();
+    trace_verdict(&verdict, &stats);
     Ok(VerifyReport { verdict, stats })
+}
+
+/// Deterministic payload event closing one verification run. The counts
+/// are thread-invariant (chunk-ordered simulation, sequential SAT), so
+/// this event is safe for the payload contract at any worker count.
+fn trace_verdict(verdict: &Verdict, stats: &VerifyStats) {
+    if !odcfp_obs::enabled() {
+        return;
+    }
+    odcfp_obs::point("verify.verdict")
+        .field("verdict", verdict.name())
+        .field("patterns", stats.patterns_simulated)
+        .field("conflicts", stats.sat_conflicts)
+        .field("fast_path", stats.used_fast_path)
+        .emit();
 }
 
 /// Positional interface comparison shared by every entry point.
@@ -375,11 +415,16 @@ fn sim_stages(
 
     // Stage 1: random-simulation smoke test.
     if policy.sim_words > 0 {
+        let mut span = odcfp_obs::span("verify.sim");
         let mut rng = Xoshiro256::seed_from_u64(policy.sim_seed);
         let patterns: Vec<Vec<u64>> = (0..num_inputs)
             .map(|_| sim::random_words(&mut rng, policy.sim_words))
             .collect();
-        match sim_scan(golden, candidate, &patterns, token) {
+        let scan = sim_scan(golden, candidate, &patterns, token);
+        span.field("patterns", (policy.sim_words as u64) * 64);
+        span.field("outcome", scan.trace_name());
+        drop(span);
+        match scan {
             SimScan::Mismatch(counterexample) => {
                 return Some(Verdict::Refuted { counterexample })
             }
@@ -390,10 +435,15 @@ fn sim_stages(
 
     // Stage 2: exhaustive simulation — a proof when the input space fits.
     if num_inputs <= policy.exhaustive_max_inputs.min(16) {
+        let mut span = odcfp_obs::span("verify.exhaustive");
         let patterns = sim::exhaustive_patterns(num_inputs);
+        let scan = sim_scan(golden, candidate, &patterns, token);
+        span.field("patterns", 1u64 << num_inputs);
+        span.field("outcome", scan.trace_name());
+        drop(span);
         // Padding bits beyond 2^n replicate the all-zeros assignment, so
         // any mismatch here is a genuine counterexample.
-        return Some(match sim_scan(golden, candidate, &patterns, token) {
+        return Some(match scan {
             SimScan::Mismatch(counterexample) => Verdict::Refuted { counterexample },
             SimScan::Clean => {
                 stats.patterns_simulated += 1 << num_inputs;
@@ -448,8 +498,11 @@ fn sat_stage_sweep(
     stats.used_fast_path = true;
     stats.strash_proven_outputs = report.strash_proven;
     stats.cut_points_proven = report.cut_points_proven;
+    stats.cut_points_refuted = report.cut_points_refuted;
+    stats.cut_points_skipped = report.cut_points_skipped;
     stats.sat_conflicts = report.conflicts;
     stats.solver = Some(engine.solver_stats());
+    trace_fastpath(&report);
     Ok(match report.outcome {
         MiterOutcome::Equivalent => Verdict::Proven,
         MiterOutcome::Counterexample(counterexample) => Verdict::Refuted { counterexample },
@@ -458,6 +511,32 @@ fn sat_stage_sweep(
             elapsed: start.elapsed(),
         },
     })
+}
+
+/// Deterministic payload event classifying how the sweep settled (or
+/// failed to settle) a candidate: `strash` = structurally identical with
+/// zero SAT, `cutpoint` = interior merges collapsed the outputs, `sat` =
+/// a direct output query decided it, `refuted` / `undecided` as named.
+/// Sessions emit `shared_fallback` instead of `undecided` when the
+/// leftover budget is handed to the [`SharedMiter`].
+fn trace_fastpath(report: &odcfp_sat::SweepReport) {
+    if !odcfp_obs::enabled() {
+        return;
+    }
+    let reason = match &report.outcome {
+        MiterOutcome::Equivalent => {
+            if report.cut_points_proven > 0 {
+                "cutpoint"
+            } else if report.conflicts == 0 {
+                "strash"
+            } else {
+                "sat"
+            }
+        }
+        MiterOutcome::Counterexample(_) => "refuted",
+        MiterOutcome::Undecided => "undecided",
+    };
+    odcfp_obs::point("verify.fastpath").field("reason", reason).emit();
 }
 
 /// Stage 3, cold baseline: SAT with geometric budget escalation on one
@@ -529,6 +608,16 @@ enum SimScan {
     /// finished; partial agreement proves nothing, so the result is
     /// discarded.
     Cancelled,
+}
+
+impl SimScan {
+    fn trace_name(&self) -> &'static str {
+        match self {
+            SimScan::Mismatch(_) => "mismatch",
+            SimScan::Clean => "clean",
+            SimScan::Cancelled => "cancelled",
+        }
+    }
 }
 
 /// Simulates both netlists on `patterns` and, on the first differing
@@ -618,6 +707,27 @@ fn sim_scan(
 ///
 /// `stats.solver` in returned reports is cumulative over the session's
 /// sweep engine, not per-call.
+///
+/// # Example
+///
+/// Verify two buyer copies through one session; the second check reuses
+/// the strash store and learnt clauses the first one built:
+///
+/// ```
+/// use odcfp_core::{Fingerprinter, Verdict, VerifyPolicy, VerifySession};
+/// use odcfp_netlist::CellLibrary;
+/// use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+///
+/// let base = random_dag(CellLibrary::standard(), DagParams::small(11));
+/// let fp = Fingerprinter::new(base)?;
+/// let mut session = VerifySession::new(fp.base())?;
+/// for seed in [1u64, 2] {
+///     let copy = fp.embed_seeded(seed)?;
+///     let report = session.verify(copy.netlist(), &VerifyPolicy::strict())?;
+///     assert!(matches!(report.verdict, Verdict::Proven));
+/// }
+/// # Ok::<(), odcfp_core::FingerprintError>(())
+/// ```
 #[derive(Debug)]
 pub struct VerifySession {
     golden: Netlist,
@@ -678,9 +788,12 @@ impl VerifySession {
             sim_stages(&self.golden, candidate, policy, &token, &mut stats, start)
         {
             stats.elapsed = start.elapsed();
+            trace_verdict(&verdict, &stats);
             return Ok(VerifyReport { verdict, stats });
         }
 
+        let mut sat_span = odcfp_obs::span("verify.sat");
+        sat_span.field("fast_path", true);
         let budget = total_sat_budget(policy);
         let golden = &self.golden;
         let engine = self
@@ -693,9 +806,18 @@ impl VerifySession {
         stats.used_fast_path = true;
         stats.strash_proven_outputs = report.strash_proven;
         stats.cut_points_proven = report.cut_points_proven;
+        stats.cut_points_refuted = report.cut_points_refuted;
+        stats.cut_points_skipped = report.cut_points_skipped;
         stats.sat_conflicts = report.conflicts;
         stats.solver = Some(engine.solver_stats());
 
+        if matches!(report.outcome, MiterOutcome::Undecided) {
+            odcfp_obs::point("verify.fastpath")
+                .field("reason", "shared_fallback")
+                .emit();
+        } else {
+            trace_fastpath(&report);
+        }
         let verdict = match report.outcome {
             MiterOutcome::Equivalent => Verdict::Proven,
             MiterOutcome::Counterexample(counterexample) => Verdict::Refuted { counterexample },
@@ -707,7 +829,10 @@ impl VerifySession {
                 self.shared_fallback(candidate, remaining, &token, &mut stats, start)?
             }
         };
+        sat_span.field("verdict", verdict.name());
+        drop(sat_span);
         stats.elapsed = start.elapsed();
+        trace_verdict(&verdict, &stats);
         Ok(VerifyReport { verdict, stats })
     }
 

@@ -1,0 +1,336 @@
+//! Trace reading and summarization: the engine behind `odcfp report
+//! <trace.jsonl>` and the bench bins' stage breakdowns.
+//!
+//! Reading is tolerant end to end: lines that fail to parse (torn by a
+//! kill, truncated by a full disk, written by a future schema) are
+//! counted and skipped, never fatal. An empty or fully torn trace
+//! produces an empty [`TraceData`] and a summary that says so.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::event::{Event, Kind};
+
+/// A parsed trace plus bookkeeping about what could not be parsed.
+#[derive(Debug, Default)]
+pub struct TraceData {
+    /// Successfully parsed events, in file order.
+    pub events: Vec<Event>,
+    /// Count of non-empty lines that failed to parse as events.
+    pub skipped_lines: usize,
+}
+
+/// Read a JSONL trace file from disk.
+///
+/// I/O errors (missing file, permissions) are returned; malformed
+/// *content* never is — bad lines are skipped and counted.
+pub fn read_trace(path: &Path) -> std::io::Result<TraceData> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_trace(&text))
+}
+
+/// Parse trace text (one JSON event per line, tolerant of bad lines).
+pub fn parse_trace(text: &str) -> TraceData {
+    let mut data = TraceData::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Event::from_json_line(line) {
+            Some(ev) => data.events.push(ev),
+            None => data.skipped_lines += 1,
+        }
+    }
+    data
+}
+
+/// Project a trace onto its deterministic payload: one canonical line
+/// per `det` event, in emission order, timestamps and durations
+/// stripped.
+///
+/// Two runs of the same work — at any thread count, interrupted and
+/// resumed or not — must produce identical projections for the
+/// replay-stable subset of events; the differential tests compare
+/// exactly this.
+pub fn payload_lines(events: &[Event]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| e.det)
+        .map(Event::payload_line)
+        .collect()
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1_000.0
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    dur_us: u64,
+    self_us: u64,
+}
+
+/// Render a human-readable summary of a trace.
+///
+/// Sections (each omitted when empty): header with event/skip counts,
+/// top spans by aggregate self time, counter totals, verdict and
+/// fast-path histograms, and campaign job outcomes.
+pub fn summarize(trace: &TraceData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} events ({} unparseable line{} skipped)\n",
+        trace.events.len(),
+        trace.skipped_lines,
+        if trace.skipped_lines == 1 { "" } else { "s" },
+    ));
+    if trace.events.is_empty() {
+        out.push_str("warning: no events — trace is empty or entirely torn\n");
+        return out;
+    }
+    if let (Some(first), Some(last)) = (trace.events.first(), trace.events.last()) {
+        out.push_str(&format!(
+            "wall clock: {:.3} ms (t_us {}..{})\n",
+            ms(last.t_us.saturating_sub(first.t_us)),
+            first.t_us,
+            last.t_us
+        ));
+    }
+
+    // Spans, aggregated by name, ranked by total self time.
+    let mut spans: BTreeMap<&str, SpanAgg> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.kind != Kind::Span {
+            continue;
+        }
+        let agg = spans.entry(&ev.name).or_default();
+        agg.count += 1;
+        agg.dur_us += ev.dur_us.unwrap_or(0);
+        agg.self_us += ev.self_us.unwrap_or(0);
+    }
+    if !spans.is_empty() {
+        let mut rows: Vec<(&str, SpanAgg)> = spans.into_iter().collect();
+        rows.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
+        let name_w = rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(4)
+            .max("span".len());
+        out.push_str("\nspans (by self time):\n");
+        out.push_str(&format!(
+            "  {:<name_w$}  {:>7}  {:>12}  {:>12}  {:>12}\n",
+            "span", "count", "total ms", "self ms", "mean ms"
+        ));
+        for (name, agg) in &rows {
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>12.3}\n",
+                name,
+                agg.count,
+                ms(agg.dur_us),
+                ms(agg.self_us),
+                ms(agg.dur_us) / agg.count as f64,
+            ));
+        }
+    }
+
+    // Counter totals.
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.kind == Kind::Count {
+            *counters.entry(&ev.name).or_default() += ev.field_u64("v").unwrap_or(0);
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        let name_w = counters.keys().map(|n| n.len()).max().unwrap_or(4);
+        for (name, total) in &counters {
+            out.push_str(&format!("  {name:<name_w$}  {total}\n"));
+        }
+    }
+
+    // Histogram of a point event over one string field.
+    let histogram = |event_name: &str, field: &str| -> Vec<(String, u64)> {
+        let mut h: BTreeMap<&str, u64> = BTreeMap::new();
+        for ev in &trace.events {
+            if ev.kind == Kind::Point && ev.name == event_name {
+                if let Some(v) = ev.field_str(field) {
+                    *h.entry(v).or_default() += 1;
+                }
+            }
+        }
+        h.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
+    };
+
+    let verdicts = histogram("verify.verdict", "verdict");
+    if !verdicts.is_empty() {
+        let total: u64 = verdicts.iter().map(|(_, n)| n).sum();
+        out.push_str(&format!("\nverify verdicts ({total} checks):\n"));
+        for (v, n) in &verdicts {
+            out.push_str(&format!("  {v:<20}  {n}\n"));
+        }
+    }
+
+    let reasons = histogram("verify.fastpath", "reason");
+    if !reasons.is_empty() {
+        let total: u64 = reasons.iter().map(|(_, n)| n).sum();
+        // "Hit" = the sweep settled it without a cold whole-circuit
+        // miter; the reason names come from the verify fast path.
+        let hits: u64 = reasons
+            .iter()
+            .filter(|(r, _)| matches!(r.as_str(), "strash" | "cutpoint" | "sat" | "refuted"))
+            .map(|(_, n)| n)
+            .sum();
+        out.push_str(&format!(
+            "\nfast path: {hits}/{total} hits ({:.1}%)\n",
+            100.0 * hits as f64 / total as f64
+        ));
+        for (r, n) in &reasons {
+            out.push_str(&format!("  {r:<20}  {n}\n"));
+        }
+    }
+
+    let outcomes = histogram("campaign.job.outcome", "verdict");
+    if !outcomes.is_empty() {
+        let total: u64 = outcomes.iter().map(|(_, n)| n).sum();
+        out.push_str(&format!("\ncampaign job outcomes ({total} jobs):\n"));
+        for (v, n) in &outcomes {
+            out.push_str(&format!("  {v:<20}  {n}\n"));
+        }
+    }
+    let quarantined = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == Kind::Point && e.name == "campaign.quarantine")
+        .count();
+    if quarantined > 0 {
+        out.push_str(&format!("quarantined jobs: {quarantined}\n"));
+        for ev in &trace.events {
+            if ev.name == "campaign.quarantine" {
+                let job = ev.field_str("job").unwrap_or("?");
+                let diag = ev.field_str("diagnostic").unwrap_or("");
+                out.push_str(&format!("  {job}: {diag}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: total self time in microseconds per span name.
+///
+/// Used by the bench bins to fold a captured event stream into a stage
+/// breakdown without re-implementing aggregation.
+pub fn span_self_us(events: &[Event]) -> BTreeMap<String, u64> {
+    let mut agg = BTreeMap::new();
+    for ev in events {
+        if ev.kind == Kind::Span {
+            *agg.entry(ev.name.clone()).or_default() += ev.self_us.unwrap_or(0);
+        }
+    }
+    agg
+}
+
+/// Convenience: counter totals per name.
+pub fn counter_totals(events: &[Event]) -> BTreeMap<String, u64> {
+    let mut agg = BTreeMap::new();
+    for ev in events {
+        if ev.kind == Kind::Count {
+            *agg.entry(ev.name.clone()).or_default() += ev.field_u64("v").unwrap_or(0);
+        }
+    }
+    agg
+}
+
+/// Convenience: sum of one u64 field over all point events of a name.
+pub fn point_field_total(events: &[Event], name: &str, field: &str) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.kind == Kind::Point && e.name == name)
+        .filter_map(|e| e.field_u64(field))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Kind, Value};
+
+    fn span_ev(name: &str, dur: u64, slf: u64) -> Event {
+        let mut e = Event::new(Kind::Span, name, false);
+        e.dur_us = Some(dur);
+        e.self_us = Some(slf);
+        e
+    }
+
+    #[test]
+    fn empty_trace_summarizes_with_warning() {
+        let data = parse_trace("");
+        let s = summarize(&data);
+        assert!(s.contains("0 events"));
+        assert!(s.contains("warning: no events"));
+    }
+
+    #[test]
+    fn torn_lines_are_counted_not_fatal() {
+        let good = {
+            let mut e = Event::new(Kind::Count, "x", true);
+            e.fields.push(("v".into(), Value::U64(2)));
+            e.to_json_line()
+        };
+        let text = format!("{good}\n{{\"seq\":9,\"t_us\":1,\"ki\ngarbage line\n{good}\n");
+        let data = parse_trace(&text);
+        assert_eq!(data.events.len(), 2);
+        assert_eq!(data.skipped_lines, 2);
+        let s = summarize(&data);
+        assert!(s.contains("2 unparseable lines skipped"));
+        assert!(s.contains("x  4") || s.contains("x 4"), "counter summed: {s}");
+    }
+
+    #[test]
+    fn payload_projection_filters_and_strips() {
+        let mut det = Event::new(Kind::Point, "verify.verdict", true);
+        det.seq = 5;
+        det.t_us = 123;
+        det.fields.push(("verdict".into(), Value::Str("proven".into())));
+        let nondet = span_ev("verify.sat", 100, 80);
+        let lines = payload_lines(&[nondet, det]);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"point\",\"name\":\"verify.verdict\",\"fields\":{\"verdict\":\"proven\"}}"
+        );
+    }
+
+    #[test]
+    fn summary_ranks_spans_by_self_time() {
+        let data = TraceData {
+            events: vec![
+                span_ev("cheap", 50, 50),
+                span_ev("hot", 1000, 900),
+                span_ev("hot", 1000, 900),
+                span_ev("wrapper", 3000, 10),
+            ],
+            skipped_lines: 0,
+        };
+        let s = summarize(&data);
+        let hot = s.find("  hot").expect("hot listed");
+        let wrapper = s.find("  wrapper").expect("wrapper listed");
+        assert!(hot < wrapper, "self-time ordering:\n{s}");
+    }
+
+    #[test]
+    fn fastpath_hit_rate_reported() {
+        let mk = |reason: &str| {
+            let mut e = Event::new(Kind::Point, "verify.fastpath", true);
+            e.fields.push(("reason".into(), Value::Str(reason.into())));
+            e
+        };
+        let data = TraceData {
+            events: vec![mk("strash"), mk("strash"), mk("cutpoint"), mk("shared_fallback")],
+            skipped_lines: 0,
+        };
+        let s = summarize(&data);
+        assert!(s.contains("fast path: 3/4 hits (75.0%)"), "{s}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Event sinks: where emitted trace events go.
+//!
+//! [`JsonlSink`] appends canonical JSONL to a file, flushing after every
+//! line so a `SIGKILL` mid-campaign leaves at most one torn final line
+//! (which the tolerant reader skips). [`MemorySink`] buffers events
+//! in-process for tests and for the bench bins' stage breakdowns.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Destination for emitted events.
+///
+/// Implementations are driven under the global sink lock, so they never
+/// see concurrent calls and need no internal synchronization for
+/// correctness (only for sharing results out, as [`MemorySink`] does).
+pub trait Sink: Send {
+    /// Record one event. `seq`/`t_us` are already assigned.
+    fn record(&mut self, event: &Event);
+    /// Flush any buffered output to its destination.
+    fn flush(&mut self);
+}
+
+/// Appends events to a JSONL file, one line per event, flushed per line.
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Open `path` for appending (created if missing).
+    ///
+    /// Append mode means tracing a resumed campaign into the same file
+    /// extends the previous trace rather than truncating the evidence of
+    /// the interrupted run.
+    pub fn append(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Open `path` truncated: the trace starts empty.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: BufWriter::new(file),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        // Build the full line first so one `write_all` + flush keeps the
+        // file line-atomic in practice: a kill can tear only the final
+        // line, never interleave two.
+        let mut line = event.to_json_line();
+        line.push('\n');
+        let _ = self.writer.write_all(line.as_bytes());
+        let _ = self.writer.flush();
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Buffers events in memory behind a shared handle.
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Create a sink writing into `events`.
+    ///
+    /// The caller keeps a clone of the `Arc` and reads the buffer after
+    /// the sink is uninstalled (see `odcfp_obs::capture`).
+    pub fn shared(events: Arc<Mutex<Vec<Event>>>) -> MemorySink {
+        MemorySink { events }
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        if let Ok(mut buf) = self.events.lock() {
+            buf.push(event.clone());
+        }
+    }
+
+    fn flush(&mut self) {}
+}

@@ -291,6 +291,31 @@ impl SharedMiter {
         conflict_budget: Option<u64>,
         deadline: Option<Instant>,
     ) -> MiterOutcome {
+        if !odcfp_obs::enabled() {
+            return self.check_inner(id, conflict_budget, deadline);
+        }
+        let mut span = odcfp_obs::span("shared.check");
+        let before = self.solver.stats().conflicts;
+        let outcome = self.check_inner(id, conflict_budget, deadline);
+        span.field("variant", id.0);
+        span.field(
+            "outcome",
+            match outcome {
+                MiterOutcome::Equivalent => "equivalent",
+                MiterOutcome::Counterexample(_) => "counterexample",
+                MiterOutcome::Undecided => "undecided",
+            },
+        );
+        span.field("conflicts", self.solver.stats().conflicts - before);
+        outcome
+    }
+
+    fn check_inner(
+        &mut self,
+        id: VariantId,
+        conflict_budget: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> MiterOutcome {
         let v = &self.variants[id.0];
         assert!(!v.retired, "variant {} was retired", id.0);
         if v.trivial {

@@ -510,6 +510,27 @@ impl Solver {
     ///
     /// Panics if an assumption references an unallocated variable.
     pub fn solve_under(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !odcfp_obs::enabled() {
+            return self.solve_under_inner(assumptions);
+        }
+        let mut span = odcfp_obs::span("sat.solve");
+        let before = self.stats.conflicts;
+        let result = self.solve_under_inner(assumptions);
+        let delta = self.stats.conflicts - before;
+        span.field("conflicts", delta);
+        span.field(
+            "result",
+            match result {
+                SolveResult::Sat(_) => "sat",
+                SolveResult::Unsat => "unsat",
+                SolveResult::Unknown => "unknown",
+            },
+        );
+        odcfp_obs::count("sat.conflicts", delta);
+        result
+    }
+
+    fn solve_under_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }

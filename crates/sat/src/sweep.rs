@@ -219,7 +219,11 @@ impl SweepEngine {
         eng.input_nodes = (0..eng.num_pis)
             .map(|k| eng.intern_leaf(NodeKind::Input(k as u32)))
             .collect();
-        eng.golden_pos = eng.strash(golden);
+        {
+            let mut span = odcfp_obs::span("sweep.strash");
+            eng.golden_pos = eng.strash(golden);
+            span.field("nodes", eng.kind.len());
+        }
         eng
     }
 
@@ -264,6 +268,37 @@ impl SweepEngine {
     /// Panics if `candidate` has undriven nets or a combinational cycle
     /// (validate first).
     pub fn check(
+        &mut self,
+        candidate: &Netlist,
+        conflict_budget: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Result<SweepReport, EquivError> {
+        if !odcfp_obs::enabled() {
+            return self.check_inner(candidate, conflict_budget, deadline);
+        }
+        let mut span = odcfp_obs::span("sweep.check");
+        let result = self.check_inner(candidate, conflict_budget, deadline);
+        if let Ok(report) = &result {
+            span.field(
+                "outcome",
+                match report.outcome {
+                    MiterOutcome::Equivalent => "equivalent",
+                    MiterOutcome::Counterexample(_) => "counterexample",
+                    MiterOutcome::Undecided => "undecided",
+                },
+            );
+            span.field("strash_proven", report.strash_proven);
+            span.field("cut_points_proven", report.cut_points_proven);
+            span.field("conflicts", report.conflicts);
+            odcfp_obs::count("sweep.strash_proven", report.strash_proven as u64);
+            odcfp_obs::count("sweep.cutpoints_proven", report.cut_points_proven as u64);
+            odcfp_obs::count("sweep.cutpoints_refuted", report.cut_points_refuted as u64);
+            odcfp_obs::count("sweep.cutpoints_skipped", report.cut_points_skipped as u64);
+        }
+        result
+    }
+
+    fn check_inner(
         &mut self,
         candidate: &Netlist,
         conflict_budget: Option<u64>,
