@@ -19,6 +19,11 @@
 //! odcfp campaign   <manifest> --out-dir <dir>    journaled batch embed+verify
 //!                  [--resume] [--max-jobs N]
 //! odcfp report     <trace.jsonl>                 summarize an observability trace
+//! odcfp serve      [--listen ADDR] [--root DIR]  resident multi-tenant engine
+//!                  [--workers N] [--queue-depth N] [--cache-budget-mb N]
+//!                  [--drain-secs S]               (see docs/SERVING.md)
+//! odcfp client     <addr> <op> [args]            one request against a server
+//!                  [--tenant NAME] [--deadline-ms N]
 //! ```
 //!
 //! Every command accepts `--genlib <file>` to use a custom cell library
@@ -46,6 +51,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod remote;
 
 use std::fmt;
 use std::fs;
@@ -163,6 +170,16 @@ struct Options {
     resume: bool,
     max_jobs: Option<usize>,
     trace_out: Option<String>,
+    // serve / client (see `remote`).
+    listen: Option<String>,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    cache_budget_mb: Option<u64>,
+    drain_secs: Option<f64>,
+    root: Option<String>,
+    tenant: Option<String>,
+    deadline_ms: Option<u64>,
+    policy: Option<String>,
 }
 
 impl Options {
@@ -198,6 +215,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         resume: false,
         max_jobs: None,
         trace_out: None,
+        listen: None,
+        workers: None,
+        queue_depth: None,
+        cache_budget_mb: None,
+        drain_secs: None,
+        root: None,
+        tenant: None,
+        deadline_ms: None,
+        policy: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -262,6 +288,51 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 }
                 o.max_jobs = Some(n);
             }
+            "--listen" => o.listen = Some(take("--listen")?),
+            "--workers" => {
+                let n: usize = take("--workers")?
+                    .parse()
+                    .map_err(|_| usage("--workers needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--workers needs a positive integer"));
+                }
+                o.workers = Some(n);
+            }
+            "--queue-depth" => {
+                let n: usize = take("--queue-depth")?
+                    .parse()
+                    .map_err(|_| usage("--queue-depth needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--queue-depth needs a positive integer"));
+                }
+                o.queue_depth = Some(n);
+            }
+            "--cache-budget-mb" => {
+                o.cache_budget_mb = Some(
+                    take("--cache-budget-mb")?
+                        .parse()
+                        .map_err(|_| usage("--cache-budget-mb needs a size in MiB"))?,
+                )
+            }
+            "--drain-secs" => {
+                let secs: f64 = take("--drain-secs")?
+                    .parse()
+                    .map_err(|_| usage("--drain-secs needs seconds"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(usage("--drain-secs needs non-negative seconds"));
+                }
+                o.drain_secs = Some(secs);
+            }
+            "--root" => o.root = Some(take("--root")?),
+            "--tenant" => o.tenant = Some(take("--tenant")?),
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| usage("--deadline-ms needs milliseconds"))?,
+                )
+            }
+            "--policy" => o.policy = Some(take("--policy")?),
             "--threads" => {
                 let n: usize = take("--threads")?
                     .parse()
@@ -530,6 +601,8 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             Ok(0)
         }
         "campaign" => run_campaign(&o, library, out),
+        "serve" => remote::run_serve(&o, out),
+        "client" => remote::run_client(&o, out),
         other => Err(usage(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }
@@ -639,6 +712,15 @@ fn report_trace(
 ) -> Result<i32, CliError> {
     let trace = odcfp_obs::read_trace(Path::new(path))
         .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    if trace.skipped_lines > 0 {
+        // Same tolerance as the campaign journal: a trailing line torn
+        // by a kill or a full disk is discarded, not fatal.
+        eprintln!(
+            "warning: {path}: skipped {} torn/unparseable line{}",
+            trace.skipped_lines,
+            if trace.skipped_lines == 1 { "" } else { "s" }
+        );
+    }
     if trace.events.is_empty() {
         eprintln!("warning: {path}: no parseable events");
     }
@@ -711,6 +793,12 @@ commands:
   campaign  <manifest> --out-dir <dir>          journaled batch embed+verify
             [--resume] [--max-jobs N]           (crash-safe; resumable)
   report    <trace.jsonl>                       summarize an observability trace
+  serve     [--listen ADDR] [--workers N]       resident multi-tenant engine
+            [--queue-depth N] [--cache-budget-mb N] [--drain-secs S] [--root DIR]
+            (newline-delimited JSON protocol; see docs/SERVING.md)
+  client    <addr> <op> [args]                  one request against a server
+            ops: ping locations embed verify campaign report probe shutdown
+            [--tenant NAME] [--deadline-ms N] [--policy quick|strict|budgeted:N]
 options: --genlib <file> to use a custom cell library
          --threads N to pin the analysis worker count (default: all cores,
                      or ODCFP_THREADS; results are identical at any setting)

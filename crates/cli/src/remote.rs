@@ -1,0 +1,187 @@
+//! The `odcfp serve` and `odcfp client` subcommands: the resident
+//! engine (crates/serve) and a thin protocol client, proving the batch
+//! subcommands can become clients of one long-lived process.
+//!
+//! `serve` binds, prints a parseable `odcfp serve listening on <addr>`
+//! line, and runs until SIGTERM/SIGINT or a protocol `shutdown`
+//! request, then drains gracefully. `client` speaks one request per
+//! invocation: it inlines local design files into the request (the
+//! server never needs the client's filesystem), prints the reply's
+//! payload, and maps verdicts onto the same exit codes the batch
+//! commands use.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use odcfp_serve::proto::{request_line, FieldValue};
+use odcfp_serve::{signal, Reply, Server, ServerConfig};
+
+use crate::{usage, CliError, Options};
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into(), 1)
+}
+
+/// `odcfp serve`: run the resident engine until drained.
+pub fn run_serve(o: &Options, out: &mut impl std::io::Write) -> Result<i32, CliError> {
+    let config = ServerConfig {
+        listen: o.listen.clone().unwrap_or_else(|| "127.0.0.1:7333".into()),
+        workers: o.workers.unwrap_or(2),
+        queue_depth: o.queue_depth.unwrap_or(64),
+        cache_budget: o.cache_budget_mb.unwrap_or(64) * 1024 * 1024,
+        drain_deadline: Duration::from_secs_f64(o.drain_secs.unwrap_or(5.0)),
+        root: PathBuf::from(o.root.clone().unwrap_or_else(|| ".".into())),
+    };
+    signal::install();
+    let server = Server::bind(config).map_err(|e| fail(format!("cannot bind: {e}")))?;
+    let addr = server.local_addr().map_err(CliError::from)?;
+    // Parsed by supervisors and the e2e tests; keep the format stable.
+    writeln!(out, "odcfp serve listening on {addr}")?;
+    out.flush()?;
+    let summary = server.run().map_err(CliError::from)?;
+    writeln!(
+        out,
+        "odcfp serve drained: {} served, {} rejected, {} panics",
+        summary.served, summary.rejected, summary.panics
+    )?;
+    Ok(0)
+}
+
+/// Builds the op-specific request fields for `odcfp client`.
+fn client_request(o: &Options, op: &str, rest: &[String]) -> Result<String, CliError> {
+    let mut args: Vec<(&str, FieldValue)> = Vec::new();
+    let read = |path: &String| -> Result<String, CliError> {
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))
+    };
+    let design_format = |path: &str| {
+        if path.ends_with(".blif") {
+            "blif"
+        } else {
+            "v"
+        }
+    };
+    match op {
+        "ping" | "shutdown" => {}
+        "locations" | "embed" => {
+            let [path] = rest else {
+                return Err(usage(format!("client {op} needs <design file>")));
+            };
+            args.push(("design_text", read(path)?.into()));
+            args.push(("design_format", design_format(path).into()));
+            if op == "embed" {
+                match (&o.bits, o.seed) {
+                    (Some(bits), _) => args.push(("bits", bits.as_str().into())),
+                    (None, Some(seed)) => args.push(("seed", seed.into())),
+                    (None, None) => return Err(usage("client embed needs --seed or --bits")),
+                }
+                if let Some(policy) = &o.policy {
+                    args.push(("policy", policy.as_str().into()));
+                }
+            }
+        }
+        "verify" => {
+            let [golden, candidate] = rest else {
+                return Err(usage("client verify needs <golden> and <candidate>"));
+            };
+            args.push(("golden_text", read(golden)?.into()));
+            args.push(("golden_format", design_format(golden).into()));
+            args.push(("candidate_text", read(candidate)?.into()));
+            args.push(("candidate_format", design_format(candidate).into()));
+            if let Some(policy) = &o.policy {
+                args.push(("policy", policy.as_str().into()));
+            }
+        }
+        "campaign" => {
+            let [manifest] = rest else {
+                return Err(usage("client campaign needs <manifest file>"));
+            };
+            let out_dir = o
+                .out_dir
+                .as_deref()
+                .ok_or_else(|| usage("client campaign needs --out-dir (server-relative)"))?;
+            args.push(("manifest", read(manifest)?.into()));
+            args.push(("out_dir", out_dir.into()));
+            if o.resume {
+                args.push(("resume", true.into()));
+            }
+        }
+        "report" => {
+            let [trace] = rest else {
+                return Err(usage("client report needs <trace path> (server-relative)"));
+            };
+            args.push(("trace_path", trace.as_str().into()));
+        }
+        "probe" => {
+            let [mode] = rest else {
+                return Err(usage("client probe needs panic|spin"));
+            };
+            args.push(("mode", mode.as_str().into()));
+        }
+        other => return Err(usage(format!("unknown client op {other:?}"))),
+    }
+    let tenant = o.tenant.as_deref().unwrap_or("cli");
+    Ok(request_line("cli-1", tenant, o.deadline_ms, op, &args))
+}
+
+/// `odcfp client <addr> <op> [args]`: one request, one reply.
+pub fn run_client(o: &Options, out: &mut impl std::io::Write) -> Result<i32, CliError> {
+    let [addr, op, rest @ ..] = o.positional.as_slice() else {
+        return Err(usage(
+            "client needs <addr> and <op> (ping|locations|embed|verify|campaign|report|probe|shutdown)",
+        ));
+    };
+    let line = client_request(o, op, rest)?;
+    let stream = TcpStream::connect(addr).map_err(|e| fail(format!("cannot connect {addr}: {e}")))?;
+    let mut writer = stream.try_clone().map_err(CliError::from)?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply_line = String::new();
+    BufReader::new(stream).read_line(&mut reply_line)?;
+    let reply = Reply::parse_line(reply_line.trim_end())
+        .ok_or_else(|| fail(format!("unparseable reply: {reply_line:?}")))?;
+
+    if !reply.ok {
+        let code = reply.error.as_deref().unwrap_or("error");
+        let message = reply.message.as_deref().unwrap_or("");
+        eprintln!("error ({code}): {message}");
+        // Shed/cancelled requests are operational outcomes, not usage
+        // mistakes: `deadline` maps onto the batch `undecided` code.
+        return Ok(if code == "deadline" { 4 } else { 1 });
+    }
+    // Large payloads go to -o / stdout; scalar fields print as key=value.
+    let mut code = 0;
+    for (key, value) in &reply.fields {
+        match value {
+            FieldValue::Str(s) if key == "netlist" || key == "summary" => {
+                match &o.output {
+                    Some(path) => {
+                        std::fs::write(path, s)
+                            .map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+                        eprintln!("wrote {path}");
+                    }
+                    None => write!(out, "{s}")?,
+                }
+            }
+            FieldValue::Str(s) => {
+                writeln!(out, "{key}={s}")?;
+                if key == "verdict" {
+                    code = match s.as_str() {
+                        "proven" => 0,
+                        "refuted" => 3,
+                        "undecided" => 4,
+                        _ => 5,
+                    };
+                }
+            }
+            FieldValue::U64(n) => writeln!(out, "{key}={n}")?,
+            FieldValue::Bool(b) => writeln!(out, "{key}={b}")?,
+        }
+    }
+    if reply.fields.is_empty() {
+        writeln!(out, "ok ({})", reply.op.as_deref().unwrap_or("?"))?;
+    }
+    Ok(code)
+}

@@ -531,11 +531,10 @@ fn run_job(
                 });
                 last_error = error;
                 if attempt < attempts {
-                    // Bounded exponential backoff: transient trouble
-                    // (load spikes, tight deadlines) gets breathing
-                    // room; the cap keeps a doomed job cheap.
-                    let backoff = Duration::from_millis(10u64 << (attempt - 1).min(5));
-                    std::thread::sleep(backoff.min(Duration::from_millis(200)));
+                    std::thread::sleep(retry_backoff(
+                        manifest.buyer_seed(job.buyer),
+                        attempt,
+                    ));
                 }
             }
         }
@@ -647,6 +646,31 @@ fn attempt_job(
     }
 }
 
+/// Hard ceiling on any retry backoff sleep.
+const BACKOFF_CAP: Duration = Duration::from_millis(200);
+
+/// The sleep before retry number `attempt + 1`: bounded exponential
+/// backoff with deterministic jitter.
+///
+/// Exponential growth (10 ms doubling per attempt, capped at 200 ms)
+/// gives transient trouble — load spikes, tight
+/// deadlines — breathing room while keeping a doomed job cheap. The
+/// jitter decorrelates retries when many jobs fail simultaneously (a
+/// shared-resource blip would otherwise re-thunder in lockstep), but it
+/// is *seeded*, from the job's buyer seed and the attempt number, so a
+/// re-run of the same campaign sleeps identically: retries stay
+/// reproducible, like every other campaign decision.
+pub fn retry_backoff(buyer_seed: u64, attempt: u32) -> Duration {
+    let base = Duration::from_millis(10u64 << (attempt - 1).min(5)).min(BACKOFF_CAP);
+    // Jitter in [base/2, 3*base/2): full decorrelation while keeping
+    // the expected sleep equal to the un-jittered schedule.
+    let mut rng =
+        Xoshiro256::seed_from_u64(buyer_seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let base_us = base.as_micros() as u64;
+    let jittered = base_us / 2 + rng.next_u64() % base_us.max(1);
+    Duration::from_micros(jittered).min(BACKOFF_CAP)
+}
+
 /// Renders a panic payload into a diagnostic string.
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -697,6 +721,49 @@ mod tests {
     use super::*;
     use odcfp_logic::PrimitiveFn;
     use odcfp_netlist::CellLibrary;
+
+    #[test]
+    fn retry_backoff_is_reproducible_and_bounded() {
+        for attempt in 1..=8u32 {
+            for seed in [0u64, 7, 0xDEAD_BEEF] {
+                let a = retry_backoff(seed, attempt);
+                let b = retry_backoff(seed, attempt);
+                assert_eq!(a, b, "same seed/attempt sleeps identically");
+                // Jitter stays within [base/2, cap].
+                let base = Duration::from_millis(10u64 << (attempt - 1).min(5)).min(BACKOFF_CAP);
+                assert!(a >= base / 2, "attempt {attempt}: {a:?} < {:?}", base / 2);
+                assert!(a <= BACKOFF_CAP, "attempt {attempt}: {a:?} over cap");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_backoff_jitter_decorrelates_buyers() {
+        // Different buyer seeds must not retry in lockstep: across a
+        // spread of seeds, the first-retry sleeps take several distinct
+        // values (a thundering herd would share one).
+        let distinct: std::collections::BTreeSet<Duration> =
+            (0..32u64).map(|seed| retry_backoff(seed, 1)).collect();
+        assert!(
+            distinct.len() > 8,
+            "expected spread-out jitter, got {} distinct values",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn retry_backoff_grows_with_attempts_on_average() {
+        // The jittered schedule keeps the exponential envelope: the
+        // mean sleep over many seeds grows until the cap bites.
+        let mean = |attempt: u32| -> f64 {
+            (0..64u64)
+                .map(|s| retry_backoff(s, attempt).as_secs_f64())
+                .sum::<f64>()
+                / 64.0
+        };
+        assert!(mean(2) > mean(1) * 1.5);
+        assert!(mean(3) > mean(2) * 1.5);
+    }
 
     /// The Fig. 1 circuit of the paper: F = (A & B) & (C | D) — known to
     /// expose at least one fingerprint location.

@@ -25,8 +25,11 @@ pub struct TraceData {
 /// I/O errors (missing file, permissions) are returned; malformed
 /// *content* never is — bad lines are skipped and counted.
 pub fn read_trace(path: &Path) -> std::io::Result<TraceData> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(parse_trace(&text))
+    // Lossy decode: a write torn mid-way through a multi-byte UTF-8
+    // sequence (SIGKILL, full disk) must degrade to one skipped line,
+    // not fail the whole read the way `read_to_string` would.
+    let bytes = std::fs::read(path)?;
+    Ok(parse_trace(&String::from_utf8_lossy(&bytes)))
 }
 
 /// Parse trace text (one JSON event per line, tolerant of bad lines).
@@ -285,6 +288,29 @@ mod tests {
         let s = summarize(&data);
         assert!(s.contains("2 unparseable lines skipped"));
         assert!(s.contains("x  4") || s.contains("x 4"), "counter summed: {s}");
+    }
+
+    #[test]
+    fn truncated_trace_file_with_torn_utf8_reads_lossily() {
+        // A trace killed mid-append can end in a partial line cut
+        // inside a multi-byte UTF-8 sequence. `read_trace` must treat
+        // that as one skipped line, not an I/O-level failure.
+        let good = {
+            let mut e = Event::new(Kind::Count, "x", true);
+            e.fields.push(("v".into(), Value::U64(7)));
+            e.to_json_line()
+        };
+        let mut bytes = good.clone().into_bytes();
+        bytes.push(b'\n');
+        // "é" is 0xC3 0xA9; keep only the first byte of it.
+        bytes.extend_from_slice(b"{\"seq\":2,\"name\":\"caf\xC3");
+        let path = std::env::temp_dir().join("odcfp-obs-torn-trace.jsonl");
+        std::fs::write(&path, &bytes).expect("write fixture");
+        let data = read_trace(&path).expect("torn content is not an I/O error");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.skipped_lines, 1);
+        assert!(summarize(&data).contains("1 unparseable line skipped"));
     }
 
     #[test]

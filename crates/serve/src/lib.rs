@@ -1,0 +1,45 @@
+//! `odcfp serve`: a resident, multi-tenant fingerprinting engine.
+//!
+//! The batch CLI rebuilds every per-circuit artifact — the location
+//! analysis, the strash store, the `SharedMiter` base encoding — on
+//! each invocation. This crate keeps them resident: a long-running
+//! daemon speaks a newline-delimited JSON protocol ([`proto`]) and
+//! serves `locations` / `embed` / `verify` / `campaign` / `report`
+//! requests out of a digest-keyed warm cache ([`cache`]).
+//!
+//! The design center is *robustness under production conditions*, per
+//! docs/SERVING.md and DESIGN.md §13:
+//!
+//! * **Backpressure, not buffering** — admission control through a
+//!   bounded tenant-fair queue ([`queue`]); excess load is shed with
+//!   structured `overloaded` replies.
+//! * **Bounded memory** — the warm cache carries a byte budget with LRU
+//!   eviction; under pressure the server degrades to cold rebuilds,
+//!   never to OOM.
+//! * **Bounded time** — per-request deadlines ride the analysis layer's
+//!   `CancelToken` into the SAT core, so one slow obligation cannot
+//!   wedge a worker.
+//! * **Fault isolation** — every request runs inside `catch_unwind`; a
+//!   panicking netlist answers an error, poisons only its own cache
+//!   entry, and after repeated strikes is quarantined — the process
+//!   survives.
+//! * **Graceful drain** — SIGTERM ([`signal`]) stops admission,
+//!   finishes or cancels in-flight work within a drain deadline, and
+//!   leaves campaign journals fsync'd for resume.
+//!
+//! Verdicts served warm are bit-identical to the batch CLI's: caching
+//! changes how fast an answer arrives, never what it is.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use cache::{CacheStats, WarmCache};
+pub use proto::{ErrorCode, Op, Reply, Request, PROTO_VERSION};
+pub use queue::FairQueue;
+pub use server::{ServeSummary, Server, ServerConfig};

@@ -1,0 +1,67 @@
+//! SIGTERM/SIGINT → graceful-drain flag.
+//!
+//! The handler does the only async-signal-safe thing possible: it sets
+//! a process-global atomic. The server's accept loop polls
+//! [`drain_requested`] and starts its drain sequence when it flips.
+//!
+//! The workspace is dependency-free, so instead of `libc` this module
+//! declares `signal(2)` directly — `std` already links the platform C
+//! library, so the symbol resolves. It is the one place unsafe code is
+//! permitted (`#[allow]` under the crate's `#![deny(unsafe_code)]`),
+//! and it is gated to Unix; elsewhere [`install`] is a no-op and drain
+//! is reachable only through the protocol's `shutdown` op.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGTERM/SIGINT has been received (or [`trigger`] called).
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Raises the drain flag in-process — the `shutdown` protocol op and
+/// tests use this path; signals use the handler.
+pub fn trigger() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Ordering, DRAIN};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)` from the platform libc `std` links. The handler
+        // is passed and returned as a raw pointer-sized value so the
+        // declaration needs no `sighandler_t` typedef.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe by construction.
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the C library's own entry point; the
+        // handler performs a single lock-free atomic store.
+        unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handlers (no-op off Unix).
+pub fn install() {
+    imp::install();
+}

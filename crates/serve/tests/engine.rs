@@ -1,0 +1,372 @@
+//! In-process integration tests for the resident engine: a real TCP
+//! server per test, driven over the wire.
+//!
+//! The process-global pieces these tests touch (the obs sink, the
+//! SIGTERM flag) are avoided: drain is exercised through the protocol's
+//! `shutdown` op, and no test installs a trace sink.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use odcfp_netlist::CellLibrary;
+use odcfp_serve::proto::{request_line, FieldValue};
+use odcfp_serve::{Reply, ServeSummary, Server, ServerConfig};
+use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+use odcfp_verilog::write_verilog;
+
+/// A running server plus a handle to its eventual summary.
+struct TestServer {
+    addr: String,
+    handle: JoinHandle<ServeSummary>,
+}
+
+fn start(config: ServerConfig) -> TestServer {
+    let server = Server::bind(config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve run"));
+    TestServer { addr, handle }
+}
+
+impl TestServer {
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            stream,
+        }
+    }
+
+    /// Drains via the protocol and returns the run summary.
+    fn shutdown(self) -> ServeSummary {
+        let mut c = self.connect();
+        let reply = c.roundtrip(&request_line("shutdown", "admin", None, "shutdown", &[]));
+        assert!(reply.ok, "shutdown accepted: {reply:?}");
+        self.handle.join().expect("server thread")
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn send_raw(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send nl");
+        self.stream.flush().expect("flush");
+    }
+
+    fn read_reply(&mut self) -> Reply {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        Reply::parse_line(line.trim_end()).unwrap_or_else(|| panic!("parseable reply: {line:?}"))
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Reply {
+        self.send_raw(line);
+        self.read_reply()
+    }
+}
+
+/// A small deterministic Verilog circuit, distinct per seed.
+fn circuit_text(seed: u64) -> String {
+    write_verilog(&random_dag(CellLibrary::standard(), DagParams::small(seed)))
+}
+
+fn verify_args(golden: &str, candidate: &str) -> Vec<(&'static str, FieldValue)> {
+    vec![
+        ("golden_text", golden.into()),
+        ("golden_format", "v".into()),
+        ("candidate_text", candidate.into()),
+        ("candidate_format", "v".into()),
+    ]
+}
+
+#[test]
+fn bad_input_answers_errors_without_disconnecting() {
+    let srv = start(ServerConfig::default());
+    let mut c = srv.connect();
+
+    // Garbage, bad JSON, unknown op, wrong version — each gets a
+    // structured reply on the same connection.
+    let e = c.roundtrip("this is not json");
+    assert!(!e.ok);
+    assert_eq!(e.error.as_deref(), Some("bad_request"));
+
+    let e = c.roundtrip("{\"v\":1,\"id\":\"q\",\"op\":\"frobnicate\"}");
+    assert_eq!(e.error.as_deref(), Some("bad_request"));
+    assert_eq!(e.id, "q", "id recovered from the bad request");
+
+    let e = c.roundtrip("{\"v\":99,\"id\":\"w\",\"op\":\"ping\"}");
+    assert_eq!(e.error.as_deref(), Some("unsupported_version"));
+
+    // The connection is still serviceable.
+    let pong = c.roundtrip(&request_line("p1", "t", None, "ping", &[]));
+    assert!(pong.ok, "{pong:?}");
+    assert_eq!(pong.field_bool("draining"), Some(false));
+
+    srv.shutdown();
+}
+
+#[test]
+fn verify_serves_warm_and_reports_cache_disposition() {
+    let srv = start(ServerConfig::default());
+    let mut c = srv.connect();
+    let golden = circuit_text(11);
+
+    let first = c.roundtrip(&request_line(
+        "v1",
+        "acme",
+        None,
+        "verify",
+        &verify_args(&golden, &golden),
+    ));
+    assert!(first.ok, "{first:?}");
+    assert_eq!(first.field_str("verdict"), Some("proven"));
+    assert_eq!(first.field_str("cache"), Some("miss"));
+
+    let second = c.roundtrip(&request_line(
+        "v2",
+        "other-tenant",
+        None,
+        "verify",
+        &verify_args(&golden, &golden),
+    ));
+    assert_eq!(second.field_str("verdict"), Some("proven"));
+    assert_eq!(
+        second.field_str("cache"),
+        Some("hit"),
+        "warm state is shared across tenants: {second:?}"
+    );
+
+    let summary = srv.shutdown();
+    assert_eq!(summary.panics, 0);
+    assert!(summary.served >= 2);
+}
+
+#[test]
+fn embed_is_deterministic_and_extractable_via_reply() {
+    let srv = start(ServerConfig::default());
+    let mut c = srv.connect();
+    let base = circuit_text(12);
+    let args: Vec<(&str, FieldValue)> = vec![
+        ("design_text", base.as_str().into()),
+        ("design_format", "v".into()),
+        ("seed", 7u64.into()),
+    ];
+    let a = c.roundtrip(&request_line("e1", "t", None, "embed", &args));
+    let b = c.roundtrip(&request_line("e2", "t", None, "embed", &args));
+    assert!(a.ok && b.ok, "{a:?} / {b:?}");
+    assert_eq!(a.field_str("bits"), b.field_str("bits"));
+    assert_eq!(
+        a.field_str("netlist"),
+        b.field_str("netlist"),
+        "same seed, same copy — warm path included"
+    );
+    assert_eq!(a.field_str("cache"), Some("miss"));
+    assert_eq!(b.field_str("cache"), Some("hit"));
+    srv.shutdown();
+}
+
+#[test]
+fn cache_budget_below_working_set_degrades_to_cold_rebuilds() {
+    // Budget fits exactly one of the two circuits; alternating them
+    // must keep evicting, and every answer must still be correct.
+    let net_a = random_dag(CellLibrary::standard(), DagParams::small(21));
+    let net_b = random_dag(CellLibrary::standard(), DagParams::small(22));
+    let (a, b) = (write_verilog(&net_a), write_verilog(&net_b));
+    let cost = |t: &str, n: &odcfp_netlist::Netlist| {
+        odcfp_serve::WarmCache::estimate_cost(t.len(), n.num_gates())
+    };
+    let srv = start(ServerConfig {
+        cache_budget: cost(&a, &net_a).max(cost(&b, &net_b)),
+        ..ServerConfig::default()
+    });
+    let mut c = srv.connect();
+    let mut dispositions = Vec::new();
+    for (i, golden) in [&a, &b, &a, &b].iter().enumerate() {
+        let reply = c.roundtrip(&request_line(
+            &format!("r{i}"),
+            "t",
+            None,
+            "verify",
+            &verify_args(golden, golden),
+        ));
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.field_str("verdict"), Some("proven"));
+        dispositions.push(reply.field_str("cache").unwrap().to_owned());
+    }
+    assert_eq!(
+        dispositions,
+        vec!["miss", "miss", "miss", "miss"],
+        "a working set over budget keeps rebuilding cold, never crashing"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn deadline_cancels_spin_probe_with_structured_reply() {
+    let srv = start(ServerConfig::default());
+    let mut c = srv.connect();
+    let started = Instant::now();
+    let reply = c.roundtrip(&request_line(
+        "spin",
+        "t",
+        Some(120),
+        "probe",
+        &[("mode", "spin".into())],
+    ));
+    let elapsed = started.elapsed();
+    assert!(!reply.ok);
+    assert_eq!(reply.error.as_deref(), Some("deadline"), "{reply:?}");
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "cancelled promptly, not at the 30s spin cap: {elapsed:?}"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn panic_probe_is_isolated_and_counted() {
+    let srv = start(ServerConfig::default());
+    let mut c = srv.connect();
+    let boom = c.roundtrip(&request_line(
+        "boom",
+        "hostile",
+        None,
+        "probe",
+        &[("mode", "panic".into())],
+    ));
+    assert!(!boom.ok);
+    assert_eq!(boom.error.as_deref(), Some("panic"));
+    assert!(
+        boom.message.as_deref().unwrap().contains("deliberate panic"),
+        "diagnostic carries the payload: {boom:?}"
+    );
+
+    // The process survived; real work still succeeds on the same
+    // connection and on a fresh one.
+    let golden = circuit_text(31);
+    let ok = c.roundtrip(&request_line(
+        "after",
+        "hostile",
+        None,
+        "verify",
+        &verify_args(&golden, &golden),
+    ));
+    assert!(ok.ok, "{ok:?}");
+    let mut c2 = srv.connect();
+    assert!(c2.roundtrip(&request_line("p", "t", None, "ping", &[])).ok);
+
+    let summary = srv.shutdown();
+    assert_eq!(summary.panics, 1);
+}
+
+#[test]
+fn overload_sheds_with_structured_replies_and_recovers() {
+    // One worker, queue depth one: a spin probe occupies the worker,
+    // one request queues, and everything beyond that must shed.
+    let srv = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    let mut blocker = srv.connect();
+    blocker.send_raw(&request_line(
+        "block",
+        "heavy",
+        Some(1_500),
+        "probe",
+        &[("mode", "spin".into())],
+    ));
+    // Let the worker pick the spin probe up.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut filler = srv.connect();
+    filler.send_raw(&request_line(
+        "fill",
+        "heavy",
+        Some(2_000),
+        "probe",
+        &[("mode", "spin".into())],
+    ));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut shed = srv.connect();
+    let golden = circuit_text(41);
+    let rejected = shed.roundtrip(&request_line(
+        "shed2",
+        "light",
+        None,
+        "verify",
+        &verify_args(&golden, &golden),
+    ));
+    assert!(!rejected.ok);
+    assert_eq!(rejected.error.as_deref(), Some("overloaded"), "{rejected:?}");
+    assert!(rejected.message.as_deref().unwrap().contains("queue full"));
+
+    // Inline control ops still answer under full load.
+    assert!(shed.roundtrip(&request_line("p", "light", None, "ping", &[])).ok);
+
+    // Once the spin probes hit their deadlines, capacity returns.
+    assert_eq!(blocker.read_reply().error.as_deref(), Some("deadline"));
+    assert_eq!(filler.read_reply().error.as_deref(), Some("deadline"));
+    let recovered = shed.roundtrip(&request_line(
+        "again",
+        "light",
+        None,
+        "verify",
+        &verify_args(&golden, &golden),
+    ));
+    assert!(recovered.ok, "load shed is transient: {recovered:?}");
+
+    let summary = srv.shutdown();
+    assert!(summary.rejected >= 2);
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_exiting() {
+    let srv = start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    let addr = srv.addr.clone();
+    // Occupy the single worker, queue real work behind it, then request
+    // shutdown: the admitted request must still be answered (drain
+    // finishes the queue before the process exits).
+    let golden = circuit_text(51);
+    let mut blocker = srv.connect();
+    blocker.send_raw(&request_line(
+        "block",
+        "t",
+        Some(700),
+        "probe",
+        &[("mode", "spin".into())],
+    ));
+    let mut worker_conn = srv.connect();
+    worker_conn.send_raw(&request_line(
+        "queued",
+        "t",
+        None,
+        "verify",
+        &verify_args(&golden, &golden),
+    ));
+    // Ensure both requests are admitted before drain closes the queue.
+    std::thread::sleep(Duration::from_millis(300));
+    let summary = srv.shutdown();
+    assert_eq!(blocker.read_reply().error.as_deref(), Some("deadline"));
+    let reply = worker_conn.read_reply();
+    assert!(reply.ok, "queued work drained, not dropped: {reply:?}");
+    assert_eq!(reply.field_str("verdict"), Some("proven"));
+    assert!(summary.served >= 2);
+
+    // Post-drain, the port is gone.
+    assert!(TcpStream::connect(&addr).is_err());
+}
