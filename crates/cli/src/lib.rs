@@ -670,6 +670,29 @@ fn run_campaign(
         JobEvent::Poisoned { job, diagnostic } => {
             eprintln!("job {job}: QUARANTINED: {diagnostic}");
         }
+        // Large campaigns batch progress (one line per few hundred jobs)
+        // instead of the per-job chatter above.
+        JobEvent::Progress { done, total } => {
+            eprintln!("progress: {done}/{total} jobs");
+        }
+        JobEvent::GoldenMinted { circuit, locations } => {
+            eprintln!("circuit {circuit}: golden artifact minted ({locations} locations)");
+        }
+        JobEvent::CodeSpaceProven { circuit, conflicts, millis } => {
+            eprintln!(
+                "circuit {circuit}: code space proven in one solve \
+                 ({conflicts} conflicts, {millis} ms) — all buyers proven"
+            );
+        }
+        JobEvent::CodeSpaceFallback { circuit, reason } => {
+            eprintln!(
+                "circuit {circuit}: no code-space proof ({reason}) — \
+                 verifying buyers individually"
+            );
+        }
+        JobEvent::WindowCompleted { circuit, from, to } => {
+            eprintln!("circuit {circuit}: buyers {from}..{to} durable");
+        }
     };
     let summary = campaign::run(&manifest, Path::new(out_dir), &env, &options, &mut on_event)
         .map_err(|e| match e {
@@ -792,6 +815,8 @@ commands:
   bench     <name> [-o out.v]                   generate a Table II benchmark
   campaign  <manifest> --out-dir <dir>          journaled batch embed+verify
             [--resume] [--max-jobs N]           (crash-safe; resumable)
+            (manifest `artifacts delta` + `window N` mint delta codebooks
+             with one-shot batch verification; see docs/POPULATION.md)
   report    <trace.jsonl>                       summarize an observability trace
   serve     [--listen ADDR] [--workers N]       resident multi-tenant engine
             [--queue-depth N] [--cache-budget-mb N] [--drain-secs S] [--root DIR]

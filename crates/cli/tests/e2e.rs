@@ -505,6 +505,110 @@ retries 0
     );
 }
 
+/// Population-scale crash drill for delta artifact mode: SIGKILL a
+/// 20 000-buyer codebook campaign between durable windows, resume it,
+/// and require the final codebook, golden artifact, and summary to be
+/// bit-identical to an uninterrupted run's. This is the satellite
+/// regression for the window journal (`bstart`/`bdone` + codebook
+/// truncate-to-offset): pre-kill windows must not re-execute, the torn
+/// window must re-mint deterministically, and nothing downstream can
+/// tell the difference.
+#[test]
+fn campaign_delta_kill_and_resume_at_scale() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    const MANIFEST: &str = "\
+circuit pop path:design.v
+buyers 20000
+seed 77
+retries 0
+verify strict
+artifacts delta
+window 128
+";
+    let dir = workdir().join("campaign-delta-kill");
+    let _ = fs::remove_dir_all(&dir);
+    let manifest = campaign_fixture(&dir, MANIFEST);
+
+    // Reference: uninterrupted.
+    let ref_out = dir.join("ref");
+    let ref_run = odcfp(&["campaign", &manifest, "--out-dir", ref_out.to_str().expect("utf8")]);
+    let ref_stderr = String::from_utf8_lossy(&ref_run.stderr);
+    assert_eq!(ref_run.status.code(), Some(0), "{ref_stderr}");
+    assert!(
+        ref_stderr.contains("code space proven in one solve"),
+        "delta campaign must batch-verify: {ref_stderr}"
+    );
+    let codebook = "codebook.pop.jsonl";
+    let golden = "artifacts/pop.golden.v";
+    assert!(ref_out.join(codebook).exists());
+    assert!(ref_out.join(golden).exists());
+    // One codebook, no per-buyer artifact files.
+    assert!(!ref_out.join("artifacts/pop_b0.v").exists());
+
+    // Victim: kill after the first durable window (well before the last
+    // of the ~39 windows on a single-threaded runner).
+    let victim_out = dir.join("victim");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_odcfp"))
+        .args(["campaign", &manifest, "--out-dir", victim_out.to_str().expect("utf8")])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn victim");
+    let mut lines = BufReader::new(child.stderr.take().expect("stderr piped")).lines();
+    loop {
+        let line = lines.next().expect("stderr open").expect("stderr line");
+        if line.contains("durable") {
+            break;
+        }
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // The kill must land mid-campaign: with ~155 windows of runway
+    // after the first durable line, the victim's codebook is still
+    // short of the reference when the SIGKILL arrives.
+    let torn_len = fs::metadata(victim_out.join("codebook.pop.jsonl"))
+        .expect("victim codebook")
+        .len();
+    let ref_len = fs::metadata(ref_out.join(codebook)).expect("ref codebook").len();
+    assert!(
+        torn_len < ref_len,
+        "SIGKILL landed after completion ({torn_len} >= {ref_len} bytes); \
+         shrink the window size to restore the drill"
+    );
+
+    // Resume and require convergence.
+    let resumed = odcfp(&[
+        "campaign",
+        &manifest,
+        "--out-dir",
+        victim_out.to_str().expect("utf8"),
+        "--resume",
+    ]);
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert_eq!(resumed.status.code(), Some(0), "{stderr}");
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout)
+            .lines()
+            .map(|l| l.split(" (").next().expect("prefix").to_owned())
+            .collect::<Vec<_>>(),
+        String::from_utf8_lossy(&ref_run.stdout)
+            .lines()
+            .map(|l| l.split(" (").next().expect("prefix").to_owned())
+            .collect::<Vec<_>>(),
+        "resumed summary must match the uninterrupted run"
+    );
+    for name in [codebook, golden] {
+        assert_eq!(
+            fs::read(ref_out.join(name)).expect("ref file"),
+            fs::read(victim_out.join(name)).expect("resumed file"),
+            "{name} must be bit-identical after kill + resume"
+        );
+    }
+}
+
 #[test]
 fn embed_respects_verify_budget_flags() {
     let dir = workdir();

@@ -25,7 +25,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
-use odcfp_netlist::Digest;
+use odcfp_netlist::{Digest, Digest128};
 
 /// The journal file name inside a campaign output directory.
 pub const JOURNAL_FILE: &str = "campaign.journal.jsonl";
@@ -85,6 +85,47 @@ pub enum Record {
         /// Structured diagnostic: panic payload, timeout, or error chain.
         diagnostic: String,
     },
+    /// Delta mode: the golden artifact for a circuit is on disk.
+    Golden {
+        /// Circuit name.
+        circuit: String,
+        /// Golden artifact path relative to the output directory.
+        artifact: String,
+        /// 128-bit identity digest of the golden artifact bytes.
+        digest: Digest128,
+        /// Number of fingerprint locations (code length).
+        locations: u64,
+    },
+    /// Delta mode, write-ahead: a window of buyers `[from, to)` is about
+    /// to be minted; `offset` is the codebook byte length before it, the
+    /// truncation point if the window never completes.
+    BatchStart {
+        /// Circuit name.
+        circuit: String,
+        /// First buyer of the window (inclusive).
+        from: u64,
+        /// One past the last buyer of the window.
+        to: u64,
+        /// Codebook byte offset at window start.
+        offset: u64,
+    },
+    /// Delta mode: a window of buyers `[from, to)` is fully minted and
+    /// its code records are fsynced in the codebook up to `offset`.
+    ///
+    /// One line stands in for up to a whole window of per-job records —
+    /// this is what keeps a million-buyer journal replayable in seconds.
+    BatchDone {
+        /// Circuit name.
+        circuit: String,
+        /// First buyer of the window (inclusive).
+        from: u64,
+        /// One past the last buyer of the window.
+        to: u64,
+        /// Codebook byte length after the window's records.
+        offset: u64,
+        /// Verdict histogram, `"proven:1024"` style.
+        verdicts: String,
+    },
 }
 
 impl Record {
@@ -139,6 +180,40 @@ impl Record {
                 push_str(&mut b, "job", job);
                 let _ = write!(b, "\"attempts\":{attempts},");
                 push_str(&mut b, "diagnostic", diagnostic);
+            }
+            Record::Golden {
+                circuit,
+                artifact,
+                digest,
+                locations,
+            } => {
+                push_str(&mut b, "t", "golden");
+                push_str(&mut b, "circuit", circuit);
+                push_str(&mut b, "artifact", artifact);
+                push_str(&mut b, "digest", &digest.to_string());
+                let _ = write!(b, "\"locations\":{locations},");
+            }
+            Record::BatchStart {
+                circuit,
+                from,
+                to,
+                offset,
+            } => {
+                push_str(&mut b, "t", "bstart");
+                push_str(&mut b, "circuit", circuit);
+                let _ = write!(b, "\"from\":{from},\"to\":{to},\"offset\":{offset},");
+            }
+            Record::BatchDone {
+                circuit,
+                from,
+                to,
+                offset,
+                verdicts,
+            } => {
+                push_str(&mut b, "t", "bdone");
+                push_str(&mut b, "circuit", circuit);
+                let _ = write!(b, "\"from\":{from},\"to\":{to},\"offset\":{offset},");
+                push_str(&mut b, "verdicts", verdicts);
             }
         }
         // Replace the trailing comma with the closing brace.
@@ -197,13 +272,32 @@ impl Record {
                 attempts: get_u32("attempts")?,
                 diagnostic: get("diagnostic")?.to_owned(),
             }),
+            "golden" => Some(Record::Golden {
+                circuit: get("circuit")?.to_owned(),
+                artifact: get("artifact")?.to_owned(),
+                digest: Digest128::parse(get("digest")?)?,
+                locations: get_u64("locations")?,
+            }),
+            "bstart" => Some(Record::BatchStart {
+                circuit: get("circuit")?.to_owned(),
+                from: get_u64("from")?,
+                to: get_u64("to")?,
+                offset: get_u64("offset")?,
+            }),
+            "bdone" => Some(Record::BatchDone {
+                circuit: get("circuit")?.to_owned(),
+                from: get_u64("from")?,
+                to: get_u64("to")?,
+                offset: get_u64("offset")?,
+                verdicts: get("verdicts")?.to_owned(),
+            }),
             _ => None,
         }
     }
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -224,7 +318,7 @@ fn escape_json(s: &str) -> String {
 /// Parses the flat `"key":value,...}` body of a record: values are JSON
 /// strings or unsigned integers (returned as their text). Rejects
 /// anything else — nested values, duplicate keys, trailing garbage.
-fn parse_flat_fields(body: &str) -> Option<BTreeMap<String, String>> {
+pub(crate) fn parse_flat_fields(body: &str) -> Option<BTreeMap<String, String>> {
     let mut fields = BTreeMap::new();
     let mut rest = body;
     loop {
@@ -337,14 +431,51 @@ pub enum JobState {
     InFlight,
 }
 
+/// What a circuit's golden artifact is known to be (delta mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenState {
+    /// Golden artifact path relative to the output directory.
+    pub artifact: String,
+    /// 128-bit identity digest of the golden artifact bytes.
+    pub digest: Digest128,
+    /// Number of fingerprint locations (code length).
+    pub locations: u64,
+}
+
+/// Delta-mode minting progress of one circuit, folded from batch records.
+///
+/// Windows are minted in order, so progress is a single watermark: buyers
+/// `[0, done)` are safely in the codebook up to byte `offset`. A
+/// `BatchStart` without a matching `BatchDone` is the in-flight window a
+/// crash left behind; resume truncates the codebook to its recorded
+/// offset and re-mints it (deterministically, so the result is
+/// bit-identical to an uninterrupted run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchState {
+    /// Buyers `[0, done)` are durably minted.
+    pub done: u64,
+    /// Codebook byte length covering those buyers.
+    pub offset: u64,
+    /// Unfinished window: `(from, codebook offset at its start)`.
+    pub in_flight: Option<(u64, u64)>,
+    /// Accumulated verdict histogram.
+    pub verdicts: BTreeMap<String, u64>,
+}
+
 /// The fold of a journal: last-writer-wins state per job, plus
 /// bookkeeping replay statistics.
 #[derive(Debug, Default)]
 pub struct JournalState {
     /// Manifest digest from the most recent start record.
     pub manifest: Option<Digest>,
+    /// Total jobs from the most recent start record.
+    pub total_jobs: Option<u64>,
     /// Per-job state, keyed by job id.
     pub jobs: BTreeMap<String, JobState>,
+    /// Delta-mode golden artifacts, keyed by circuit name.
+    pub golden: BTreeMap<String, GoldenState>,
+    /// Delta-mode minting progress, keyed by circuit name.
+    pub batches: BTreeMap<String, BatchState>,
     /// Lines that failed the checksum or did not parse (torn writes).
     pub discarded_lines: usize,
     /// Total well-formed records replayed.
@@ -380,7 +511,10 @@ impl JournalState {
 
     fn apply(&mut self, record: Record) {
         match record {
-            Record::Start { manifest, .. } => self.manifest = Some(manifest),
+            Record::Start { manifest, jobs } => {
+                self.manifest = Some(manifest);
+                self.total_jobs = Some(jobs);
+            }
             Record::JobStart { job, .. } => {
                 // Only a terminal record upgrades a job out of InFlight.
                 self.jobs.entry(job).or_insert(JobState::InFlight);
@@ -411,8 +545,184 @@ impl JournalState {
             } => {
                 self.jobs.insert(job, JobState::Poisoned { diagnostic });
             }
+            Record::Golden {
+                circuit,
+                artifact,
+                digest,
+                locations,
+            } => {
+                self.golden.insert(
+                    circuit,
+                    GoldenState {
+                        artifact,
+                        digest,
+                        locations,
+                    },
+                );
+            }
+            Record::BatchStart {
+                circuit,
+                from,
+                offset,
+                ..
+            } => {
+                let batch = self.batches.entry(circuit).or_default();
+                if from >= batch.done {
+                    batch.in_flight = Some((from, offset));
+                }
+            }
+            Record::BatchDone {
+                circuit,
+                to,
+                offset,
+                verdicts,
+                ..
+            } => {
+                let batch = self.batches.entry(circuit).or_default();
+                if to > batch.done {
+                    batch.done = to;
+                    batch.offset = offset;
+                }
+                batch.in_flight = None;
+                for (verdict, count) in parse_histogram(&verdicts) {
+                    *batch.verdicts.entry(verdict).or_insert(0) += count;
+                }
+            }
         }
     }
+}
+
+/// Renders a verdict histogram as the compact `"proven:1024,probable:3"`
+/// form batch records carry.
+pub(crate) fn render_histogram(hist: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (verdict, count) in hist {
+        if !out.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "{verdict}:{count}");
+    }
+    out
+}
+
+/// Parses the `"proven:1024,probable:3"` histogram form; malformed
+/// entries are skipped (the histogram is informational, not load-bearing).
+pub(crate) fn parse_histogram(text: &str) -> Vec<(String, u64)> {
+    text.split(',')
+        .filter_map(|entry| {
+            let (verdict, count) = entry.split_once(':')?;
+            Some((verdict.to_owned(), count.parse::<u64>().ok()?))
+        })
+        .collect()
+}
+
+/// Statistics from one [`compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Well-formed records before compaction.
+    pub records_before: usize,
+    /// Records after compaction.
+    pub records_after: usize,
+    /// Journal bytes before compaction.
+    pub bytes_before: u64,
+    /// Journal bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// Rewrites the journal in `out_dir` down to its folded state: one
+/// `start` record, one `golden` + `bdone` pair per delta-mode circuit,
+/// and one terminal record per finished job. Superseded attempts, torn
+/// lines, and in-flight markers (whose jobs re-run anyway) are dropped.
+///
+/// A replay of the compacted journal yields the same resume decisions as
+/// a replay of the original. Synthesized `done` records carry
+/// `attempt: 1` and `millis: 0` — attempt counts and timings of past legs
+/// are bookkeeping, not resume inputs. The rewrite is atomic
+/// (tmp + fsync + rename), so a crash mid-compaction leaves the original
+/// journal in place.
+pub fn compact(out_dir: &Path) -> std::io::Result<CompactionStats> {
+    let path = out_dir.join(JOURNAL_FILE);
+    let bytes_before = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let state = JournalState::replay(out_dir)?;
+    let Some(manifest) = state.manifest else {
+        // Nothing meaningful journalled yet; leave the file alone.
+        return Ok(CompactionStats {
+            records_before: state.records,
+            records_after: state.records,
+            bytes_before,
+            bytes_after: bytes_before,
+        });
+    };
+    let mut records: Vec<Record> = Vec::new();
+    records.push(Record::Start {
+        manifest,
+        jobs: state.total_jobs.unwrap_or(0),
+    });
+    for (circuit, golden) in &state.golden {
+        records.push(Record::Golden {
+            circuit: circuit.clone(),
+            artifact: golden.artifact.clone(),
+            digest: golden.digest,
+            locations: golden.locations,
+        });
+    }
+    for (circuit, batch) in &state.batches {
+        if batch.done > 0 {
+            records.push(Record::BatchDone {
+                circuit: circuit.clone(),
+                from: 0,
+                to: batch.done,
+                offset: batch.offset,
+                verdicts: render_histogram(&batch.verdicts),
+            });
+        }
+    }
+    for (job, jstate) in &state.jobs {
+        match jstate {
+            JobState::Done {
+                verdict,
+                artifact,
+                digest,
+                bits,
+            } => records.push(Record::JobDone {
+                job: job.clone(),
+                attempt: 1,
+                verdict: verdict.clone(),
+                artifact: artifact.clone(),
+                digest: *digest,
+                bits: bits.clone(),
+                millis: 0,
+            }),
+            JobState::Poisoned { diagnostic } => records.push(Record::JobPoisoned {
+                job: job.clone(),
+                attempts: 1,
+                diagnostic: diagnostic.clone(),
+            }),
+            JobState::InFlight => {}
+        }
+    }
+    let tmp = out_dir.join(format!("{JOURNAL_FILE}.compact.tmp"));
+    {
+        let mut file = File::create(&tmp)?;
+        let mut buf = String::new();
+        for record in &records {
+            buf.push_str(&record.to_line());
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    if let Ok(dir) = File::open(out_dir) {
+        let _ = dir.sync_data();
+    }
+    let bytes_after = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    Ok(CompactionStats {
+        records_before: state.records,
+        records_after: records.len(),
+        bytes_before,
+        bytes_after,
+    })
 }
 
 #[cfg(test)]
@@ -574,6 +884,175 @@ mod tests {
             .unwrap();
         let state = JournalState::replay(&dir).unwrap();
         assert!(matches!(state.jobs["x#0"], JobState::Done { .. }));
+    }
+
+    fn batch_records() -> Vec<Record> {
+        vec![
+            Record::Start {
+                manifest: Digest::of(b"manifest"),
+                jobs: 4096,
+            },
+            Record::Golden {
+                circuit: "des".into(),
+                artifact: "artifacts/des.golden.v".into(),
+                digest: Digest128::of(b"golden bytes"),
+                locations: 137,
+            },
+            Record::BatchStart {
+                circuit: "des".into(),
+                from: 0,
+                to: 1024,
+                offset: 0,
+            },
+            Record::BatchDone {
+                circuit: "des".into(),
+                from: 0,
+                to: 1024,
+                offset: 99_000,
+                verdicts: "proven:1024".into(),
+            },
+            Record::BatchStart {
+                circuit: "des".into(),
+                from: 1024,
+                to: 2048,
+                offset: 99_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_record_roundtrip_and_fold() {
+        let dir = tmpdir("batch");
+        let mut journal = Journal::open(&dir).unwrap();
+        for r in batch_records() {
+            assert_eq!(Record::parse_line(&r.to_line()), Some(r.clone()));
+            journal.append(&r).unwrap();
+        }
+        let state = JournalState::replay(&dir).unwrap();
+        assert_eq!(state.total_jobs, Some(4096));
+        let golden = &state.golden["des"];
+        assert_eq!(golden.locations, 137);
+        assert_eq!(golden.digest, Digest128::of(b"golden bytes"));
+        let batch = &state.batches["des"];
+        assert_eq!(batch.done, 1024);
+        assert_eq!(batch.offset, 99_000);
+        assert_eq!(batch.in_flight, Some((1024, 99_000)));
+        assert_eq!(batch.verdicts["proven"], 1024);
+    }
+
+    #[test]
+    fn completed_window_clears_in_flight() {
+        let dir = tmpdir("bdone");
+        let mut journal = Journal::open(&dir).unwrap();
+        for r in batch_records() {
+            journal.append(&r).unwrap();
+        }
+        journal
+            .append(&Record::BatchDone {
+                circuit: "des".into(),
+                from: 1024,
+                to: 2048,
+                offset: 198_000,
+                verdicts: "proven:1023,undecided:1".into(),
+            })
+            .unwrap();
+        let state = JournalState::replay(&dir).unwrap();
+        let batch = &state.batches["des"];
+        assert_eq!(batch.done, 2048);
+        assert_eq!(batch.offset, 198_000);
+        assert_eq!(batch.in_flight, None);
+        assert_eq!(batch.verdicts["proven"], 2047);
+        assert_eq!(batch.verdicts["undecided"], 1);
+    }
+
+    #[test]
+    fn histogram_roundtrip() {
+        let mut hist = BTreeMap::new();
+        hist.insert("proven".to_owned(), 1024u64);
+        hist.insert("undecided".to_owned(), 3u64);
+        let text = render_histogram(&hist);
+        assert_eq!(text, "proven:1024,undecided:3");
+        let back: BTreeMap<String, u64> = parse_histogram(&text).into_iter().collect();
+        assert_eq!(back, hist);
+        assert!(parse_histogram("").is_empty());
+        assert_eq!(parse_histogram("junk,proven:2").len(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_folded_state_and_shrinks() {
+        let dir = tmpdir("compact");
+        let mut journal = Journal::open(&dir).unwrap();
+        for r in sample_records() {
+            journal.append(&r).unwrap();
+        }
+        // Many superseded attempts for one job: all must fold away.
+        for attempt in 1..=50u32 {
+            journal
+                .append(&Record::JobStart {
+                    job: "c17#2".into(),
+                    attempt,
+                })
+                .unwrap();
+            journal
+                .append(&Record::JobFailed {
+                    job: "c17#2".into(),
+                    attempt,
+                    error: "flaky".into(),
+                })
+                .unwrap();
+        }
+        journal
+            .append(&Record::JobDone {
+                job: "c17#2".into(),
+                attempt: 51,
+                verdict: "proven".into(),
+                artifact: "artifacts/c17_b2.v".into(),
+                digest: Digest::of(b"m2"),
+                bits: "1100".into(),
+                millis: 7,
+            })
+            .unwrap();
+        for r in batch_records() {
+            journal.append(&r).unwrap();
+        }
+        drop(journal);
+
+        let before = JournalState::replay(&dir).unwrap();
+        let stats = compact(&dir).unwrap();
+        assert!(stats.records_after < stats.records_before);
+        assert!(stats.bytes_after < stats.bytes_before);
+
+        let after = JournalState::replay(&dir).unwrap();
+        assert_eq!(after.manifest, before.manifest);
+        assert_eq!(after.total_jobs, before.total_jobs);
+        assert_eq!(after.golden, before.golden);
+        assert_eq!(after.discarded_lines, 0);
+        // Terminal job states survive exactly; in-flight entries (which
+        // re-run on resume either way) are dropped.
+        for (job, state) in &before.jobs {
+            match state {
+                JobState::InFlight => assert!(!after.jobs.contains_key(job)),
+                terminal => assert_eq!(after.jobs.get(job), Some(terminal), "{job}"),
+            }
+        }
+        // Batch progress folds to one record with the same watermark; the
+        // in-flight window marker is dropped (its buyers re-run).
+        let b_before = &before.batches["des"];
+        let b_after = &after.batches["des"];
+        assert_eq!(b_after.done, b_before.done);
+        assert_eq!(b_after.offset, b_before.offset);
+        assert_eq!(b_after.verdicts, b_before.verdicts);
+        assert_eq!(b_after.in_flight, None);
+        assert_eq!(after.records, stats.records_after);
+    }
+
+    #[test]
+    fn compaction_of_empty_journal_is_a_noop() {
+        let dir = tmpdir("compact-empty");
+        let stats = compact(&dir).unwrap();
+        assert_eq!(stats.records_before, 0);
+        assert_eq!(stats.records_after, 0);
+        assert!(!dir.join(JOURNAL_FILE).exists());
     }
 
     #[test]

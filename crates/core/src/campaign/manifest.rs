@@ -11,6 +11,8 @@
 //! verify budgeted:20000
 //! deadline-ms 30000
 //! retries 2
+//! artifacts delta
+//! window 2048
 //! ```
 //!
 //! The format is deliberately not JSON: manifests are written by hand,
@@ -82,6 +84,18 @@ impl VerifySpec {
     }
 }
 
+/// How buyer artifacts are materialized on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArtifactMode {
+    /// One full netlist file per buyer (`artifacts/{circuit}_b{n}.v`).
+    #[default]
+    Full,
+    /// The golden netlist once plus a delta codebook
+    /// (`codebook.{circuit}.jsonl`); buyer copies re-mint on demand.
+    /// Near-constant bytes per buyer — the million-buyer mode.
+    Delta,
+}
+
 /// A parsed, validated campaign manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
@@ -99,6 +113,11 @@ pub struct Manifest {
     /// Retries after a failed attempt before the job is quarantined
     /// (total attempts = `retries + 1`).
     pub retries: u32,
+    /// How buyer artifacts are materialized (`artifacts full|delta`).
+    pub artifact_mode: ArtifactMode,
+    /// Buyers per durability window in delta mode (`window N`): the
+    /// codebook is fsynced and the journal advanced once per window.
+    pub window: usize,
     digest: Digest,
 }
 
@@ -164,6 +183,8 @@ impl Manifest {
         let mut verify = VerifySpec::Quick;
         let mut deadline = None;
         let mut retries = 2u32;
+        let mut artifact_mode = ArtifactMode::Full;
+        let mut window = 1024usize;
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -265,6 +286,25 @@ impl Manifest {
                         .ok_or_else(|| err(lineno, "`retries` needs an integer in 0..=100"))?
                         as u32;
                 }
+                "artifacts" => {
+                    artifact_mode = match one("mode")? {
+                        "full" => ArtifactMode::Full,
+                        "delta" => ArtifactMode::Delta,
+                        mode => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown artifact mode {mode:?} (expected full or delta)"),
+                            ))
+                        }
+                    };
+                }
+                "window" => {
+                    window = parse_u64(one("count")?)
+                        .filter(|&n| (1..=1 << 20).contains(&n))
+                        .ok_or_else(|| {
+                            err(lineno, "`window` needs an integer in 1..=1048576")
+                        })? as usize;
+                }
                 other => {
                     return Err(err(lineno, format!("unknown directive {other:?}")));
                 }
@@ -282,6 +322,8 @@ impl Manifest {
             verify,
             deadline,
             retries,
+            artifact_mode,
+            window,
             digest: Digest::of(text.as_bytes()),
         })
     }
@@ -336,7 +378,9 @@ buyers 3\n\
 seed 0xDAC2015\n\
 verify budgeted:5000\n\
 deadline-ms 2500\n\
-retries 1\n";
+retries 1\n\
+artifacts delta\n\
+window 512\n";
 
     #[test]
     fn full_manifest_parses() {
@@ -356,6 +400,8 @@ retries 1\n";
         assert_eq!(m.verify, VerifySpec::Budgeted(5000));
         assert_eq!(m.deadline, Some(Duration::from_millis(2500)));
         assert_eq!(m.retries, 1);
+        assert_eq!(m.artifact_mode, ArtifactMode::Delta);
+        assert_eq!(m.window, 512);
     }
 
     #[test]
@@ -365,6 +411,8 @@ retries 1\n";
         assert_eq!(m.verify, VerifySpec::Quick);
         assert_eq!(m.deadline, None);
         assert_eq!(m.retries, 2);
+        assert_eq!(m.artifact_mode, ArtifactMode::Full);
+        assert_eq!(m.window, 1024);
     }
 
     #[test]
@@ -407,6 +455,8 @@ retries 1\n";
             ("circuit a path:x.v\ncircuit a path:y.v\n", "duplicate", 2),
             ("circuit a path:x.v\nbuyers 0\n", "positive integer", 2),
             ("circuit a path:x.v\nverify turbo\n", "unknown verify mode", 2),
+            ("circuit a path:x.v\nartifacts sparse\n", "unknown artifact mode", 2),
+            ("circuit a path:x.v\nwindow 0\n", "1..=1048576", 2),
             ("circuit a path:x.v\nwat 3\n", "unknown directive", 2),
             ("circuit a path:\n", "empty `path:`", 1),
             ("", "no `circuit` lines", 0),

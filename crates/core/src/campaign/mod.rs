@@ -31,6 +31,7 @@
 
 pub mod journal;
 pub mod manifest;
+pub mod population;
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -48,10 +49,15 @@ use odcfp_netlist::{Digest, Netlist};
 use crate::verify::{Verdict, VerifySession};
 use crate::Fingerprinter;
 
-pub use journal::{JobState, Journal, JournalState, Record, JOURNAL_FILE};
-pub use manifest::{
-    CircuitSource, FaultProbe, JobSpec, Manifest, ManifestCircuit, ManifestError, VerifySpec,
+pub use journal::{
+    compact, BatchState, CompactionStats, GoldenState, JobState, Journal, JournalState, Record,
+    JOURNAL_FILE,
 };
+pub use manifest::{
+    ArtifactMode, CircuitSource, FaultProbe, JobSpec, Manifest, ManifestCircuit, ManifestError,
+    VerifySpec,
+};
+pub use population::CampaignCache;
 
 /// Directory (inside the output directory) artifacts are written to.
 pub const ARTIFACT_DIR: &str = "artifacts";
@@ -134,6 +140,49 @@ pub enum JobEvent {
         job: String,
         /// Last failure diagnostic.
         diagnostic: String,
+    },
+    /// Batched progress: large campaigns emit this every few hundred
+    /// jobs instead of per-job `Started`/`Completed` events.
+    Progress {
+        /// Jobs in a terminal state so far (this leg's view).
+        done: u64,
+        /// Jobs the manifest expands to.
+        total: u64,
+    },
+    /// Delta mode: a circuit's golden artifact is on disk and
+    /// journalled.
+    GoldenMinted {
+        /// Circuit name.
+        circuit: String,
+        /// Fingerprint locations (bits per buyer code).
+        locations: u64,
+    },
+    /// Delta mode: the one-shot code-space proof landed — every buyer of
+    /// this circuit is `proven` without per-buyer solving.
+    CodeSpaceProven {
+        /// Circuit name.
+        circuit: String,
+        /// Conflicts the free-selector solve spent.
+        conflicts: u64,
+        /// Wall-clock milliseconds the proof took.
+        millis: u64,
+    },
+    /// Delta mode: no code-space proof (entangled locations, refuted
+    /// superposition, or budget out); buyers verify individually.
+    CodeSpaceFallback {
+        /// Circuit name.
+        circuit: String,
+        /// Why the batch proof was unavailable.
+        reason: String,
+    },
+    /// Delta mode: a window of buyers is durably in the codebook.
+    WindowCompleted {
+        /// Circuit name.
+        circuit: String,
+        /// First buyer of the window.
+        from: u64,
+        /// One past the last buyer of the window.
+        to: u64,
     },
 }
 
@@ -301,10 +350,48 @@ pub fn run(
     options: &CampaignOptions,
     on_event: &mut dyn FnMut(&JobEvent),
 ) -> Result<CampaignSummary, CampaignError> {
+    run_cached(
+        manifest,
+        out_dir,
+        env,
+        options,
+        &mut CampaignCache::default(),
+        on_event,
+    )
+}
+
+/// Journal records beyond which a resume compacts the journal before
+/// appending more (roughly: several failed legs' worth of churn).
+const COMPACT_SLACK: usize = 4096;
+
+/// Campaigns larger than this stop emitting per-job events and obs
+/// points and batch progress instead (see [`JobEvent::Progress`]).
+const VERBOSE_JOB_CAP: usize = 512;
+
+/// Terminal jobs per [`JobEvent::Progress`] emission in batched mode.
+const PROGRESS_EVERY: usize = 256;
+
+/// [`run`] with caller-owned reusable state: a resident server passes
+/// the same [`CampaignCache`] to every leg of a campaign so circuit
+/// analysis, verify sessions, and delta-mode code-space proofs are paid
+/// once per campaign instead of once per leg. Results are identical with
+/// a cold cache.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_cached(
+    manifest: &Manifest,
+    out_dir: &Path,
+    env: &CampaignEnv<'_>,
+    options: &CampaignOptions,
+    cache: &mut CampaignCache,
+    on_event: &mut dyn FnMut(&JobEvent),
+) -> Result<CampaignSummary, CampaignError> {
     fs::create_dir_all(out_dir.join(ARTIFACT_DIR))
         .map_err(io_err(format!("creating {}", out_dir.display())))?;
 
-    let state = JournalState::replay(out_dir).map_err(io_err("replaying campaign journal"))?;
+    let mut state = JournalState::replay(out_dir).map_err(io_err("replaying campaign journal"))?;
     if state.records > 0 && !options.resume {
         return Err(CampaignError::JournalExists(out_dir.join(JOURNAL_FILE)));
     }
@@ -318,6 +405,18 @@ pub fn run(
     }
 
     let jobs = manifest.jobs();
+
+    // A journal much longer than its job list is mostly superseded
+    // churn (retries, many chunked legs); fold it before appending more
+    // so replay time stays proportional to live state, not history.
+    if options.resume && state.records > 3 * jobs.len() + COMPACT_SLACK {
+        let stats = journal::compact(out_dir).map_err(io_err("compacting campaign journal"))?;
+        odcfp_obs::point("campaign.compact")
+            .field("records_before", stats.records_before)
+            .field("records_after", stats.records_after)
+            .emit();
+        state = JournalState::replay(out_dir).map_err(io_err("replaying compacted journal"))?;
+    }
     let mut journal = Journal::open(out_dir).map_err(io_err("opening campaign journal"))?;
     journal
         .append(&Record::Start {
@@ -345,7 +444,32 @@ pub fn run(
     // leave the engines mid-query, and verdict safety beats reuse.
     let mut sessions: HashMap<usize, VerifySession> = HashMap::new();
 
+    // Per-job emission at population scale drowns both stderr and the
+    // trace stream (and measurably slows the mint loop); large
+    // campaigns batch progress instead.
+    let verbose = jobs.len() <= VERBOSE_JOB_CAP;
+    let delta = manifest.artifact_mode == ArtifactMode::Delta;
+    let mut terminal = 0u64;
+    let progress = |terminal: u64, on_event: &mut dyn FnMut(&JobEvent)| {
+        if !verbose && terminal.is_multiple_of(PROGRESS_EVERY as u64) {
+            odcfp_obs::point("campaign.progress")
+                .field("done", terminal)
+                .field("total", jobs.len())
+                .emit();
+            on_event(&JobEvent::Progress {
+                done: terminal,
+                total: jobs.len() as u64,
+            });
+        }
+    };
+
     for job in &jobs {
+        // Delta mode mints `path:` circuits in windows (below); only
+        // probe circuits go through the per-job loop, keeping the fault
+        // battery identical across artifact modes.
+        if delta && matches!(manifest.circuits[job.circuit].source, CircuitSource::Path(_)) {
+            continue;
+        }
         // Resume: honour terminal journal states.
         match state.jobs.get(&job.id) {
             Some(JobState::Done {
@@ -358,14 +482,18 @@ pub fn run(
                     summary.skipped += 1;
                     summary.completed += 1;
                     *summary.verdicts.entry(verdict.clone()).or_insert(0) += 1;
-                    // Replay-stable: a resumed leg re-emits the journalled
-                    // outcome, so its `campaign.job.outcome` stream equals
-                    // an uninterrupted run's.
-                    odcfp_obs::point("campaign.job.outcome")
-                        .field("job", job.id.as_str())
-                        .field("verdict", verdict.as_str())
-                        .emit();
-                    on_event(&JobEvent::Skipped { job: job.id.clone() });
+                    if verbose {
+                        // Replay-stable: a resumed leg re-emits the journalled
+                        // outcome, so its `campaign.job.outcome` stream equals
+                        // an uninterrupted run's.
+                        odcfp_obs::point("campaign.job.outcome")
+                            .field("job", job.id.as_str())
+                            .field("verdict", verdict.as_str())
+                            .emit();
+                        on_event(&JobEvent::Skipped { job: job.id.clone() });
+                    }
+                    terminal += 1;
+                    progress(terminal, on_event);
                     continue;
                 }
                 // Journalled done, but the artifact is gone or corrupt:
@@ -377,6 +505,8 @@ pub fn run(
                     .poisoned
                     .push((job.id.clone(), diagnostic.clone()));
                 on_event(&JobEvent::SkippedPoisoned { job: job.id.clone() });
+                terminal += 1;
+                progress(terminal, on_event);
                 continue;
             }
             Some(JobState::InFlight) | None => {}
@@ -396,6 +526,23 @@ pub fn run(
             &mut journal,
             &mut fingerprinters,
             &mut sessions,
+            &mut summary,
+            verbose,
+            on_event,
+        )?;
+        terminal += 1;
+        progress(terminal, on_event);
+    }
+
+    if delta {
+        population::run_delta(
+            manifest,
+            out_dir,
+            env,
+            options,
+            cache,
+            &state,
+            &mut journal,
             &mut summary,
             on_event,
         )?;
@@ -429,10 +576,14 @@ fn run_job(
     fingerprinters: &mut HashMap<usize, Arc<Fingerprinter>>,
     sessions: &mut HashMap<usize, VerifySession>,
     summary: &mut CampaignSummary,
+    verbose: bool,
     on_event: &mut dyn FnMut(&JobEvent),
 ) -> Result<(), CampaignError> {
-    let mut job_span = odcfp_obs::span("campaign.job");
-    job_span.field("job", job.id.as_str());
+    let mut job_span = verbose.then(|| {
+        let mut span = odcfp_obs::span("campaign.job");
+        span.field("job", job.id.as_str());
+        span
+    });
     let attempts = manifest.retries + 1;
     let mut last_error = String::new();
     for attempt in 1..=attempts {
@@ -442,14 +593,16 @@ fn run_job(
                 attempt,
             })
             .map_err(io_err("journalling job start"))?;
-        odcfp_obs::point("campaign.job.start")
-            .field("job", job.id.as_str())
-            .field("attempt", u64::from(attempt))
-            .emit();
-        on_event(&JobEvent::Started {
-            job: job.id.clone(),
-            attempt,
-        });
+        if verbose {
+            odcfp_obs::point("campaign.job.start")
+                .field("job", job.id.as_str())
+                .field("attempt", u64::from(attempt))
+                .emit();
+            on_event(&JobEvent::Started {
+                job: job.id.clone(),
+                attempt,
+            });
+        }
 
         let started = Instant::now();
         let token = match manifest.deadline {
@@ -494,16 +647,20 @@ fn run_job(
                     .verdicts
                     .entry(success.verdict.to_owned())
                     .or_insert(0) += 1;
-                odcfp_obs::point("campaign.job.outcome")
-                    .field("job", job.id.as_str())
-                    .field("verdict", success.verdict)
-                    .emit();
-                on_event(&JobEvent::Completed {
-                    job: job.id.clone(),
-                    verdict: success.verdict.to_owned(),
-                    millis,
-                });
-                job_span.field("outcome", "completed");
+                if verbose {
+                    odcfp_obs::point("campaign.job.outcome")
+                        .field("job", job.id.as_str())
+                        .field("verdict", success.verdict)
+                        .emit();
+                    on_event(&JobEvent::Completed {
+                        job: job.id.clone(),
+                        verdict: success.verdict.to_owned(),
+                        millis,
+                    });
+                }
+                if let Some(span) = job_span.as_mut() {
+                    span.field("outcome", "completed");
+                }
                 return Ok(());
             }
             Err(error) => {
@@ -555,7 +712,9 @@ fn run_job(
         .field("attempts", u64::from(attempts))
         .field("diagnostic", diagnostic.as_str())
         .emit();
-    job_span.field("outcome", "poisoned");
+    if let Some(span) = job_span.as_mut() {
+        span.field("outcome", "poisoned");
+    }
     summary.poisoned.push((job.id.clone(), diagnostic.clone()));
     on_event(&JobEvent::Poisoned {
         job: job.id.clone(),

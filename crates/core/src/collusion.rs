@@ -207,6 +207,231 @@ pub fn score_suspects(forged: &[bool], registry: &[Vec<bool>]) -> Vec<SuspectSco
         .collect()
 }
 
+/// A bit-packed tracing index over a registered buyer population.
+///
+/// [`trace_suspects`] compares the forged string against every buyer
+/// bit-by-bit — `O(N·L)` boolean operations and one heap-allocated
+/// `Vec<bool>` per buyer, which at `N = 10^6` codebooks is both slow and
+/// 8× larger than the information content. The index stores one
+/// *position plane* per location (a bitmap over buyers: bit `b` of plane
+/// `ℓ` = buyer `b`'s bit at location `ℓ`) plus each buyer's popcount.
+/// Tracing then never touches individual buyers: the forged string's set
+/// positions select ≤ `L` planes, which a carry-save bit-sliced adder
+/// folds into per-buyer overlap counts at 64 buyers per word —
+/// `O(L · N/64 · log L)` word operations, a ~`64/log L`-fold cut in work
+/// with sequential memory access.
+///
+/// Both tracing metrics are then recovered from the same integers the
+/// pairwise scorer divides:
+///
+/// * `containment = |f ∧ b| / |f|` — `|f ∧ b|` is the accumulated count;
+/// * `agreement = (L - |f| - |b| + 2·|f ∧ b|) / L` — since matches =
+///   both-ones + both-zeros.
+///
+/// Because the operands are bit-for-bit the integers the scalar path
+/// counts, every score — and therefore every ranking, including
+/// tie-breaks — is **identical** to [`trace_suspects`], not merely
+/// close. The tests enforce this verdict-for-verdict.
+#[derive(Debug, Clone)]
+pub struct TracerIndex {
+    locations: usize,
+    buyers: usize,
+    /// `planes[l][w]`: bit `b` of word `w` = buyer `64w+b`'s bit at `l`.
+    planes: Vec<Vec<u64>>,
+    /// Per-buyer popcount (`|b|`), for the agreement reconstruction.
+    pop: Vec<u32>,
+}
+
+impl TracerIndex {
+    /// An empty index over codes of `locations` bits.
+    pub fn new(locations: usize) -> TracerIndex {
+        TracerIndex {
+            locations,
+            buyers: 0,
+            planes: vec![Vec::new(); locations],
+            pop: Vec::new(),
+        }
+    }
+
+    /// Builds an index from a materialized registry (compatibility with
+    /// the [`trace_suspects`] calling convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if registry rows disagree on bit length.
+    pub fn from_registry(registry: &[Vec<bool>]) -> TracerIndex {
+        let locations = registry.first().map_or(0, Vec::len);
+        let mut index = TracerIndex::new(locations);
+        for bits in registry {
+            index.push(bits);
+        }
+        index
+    }
+
+    /// Registers one buyer's bits; returns their index (= push order, so
+    /// feeding codebook records in buyer order makes indices buyer ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bit-length mismatch.
+    pub fn push(&mut self, bits: &[bool]) -> usize {
+        assert_eq!(bits.len(), self.locations, "bit length mismatch");
+        let buyer = self.buyers;
+        let (word, bit) = (buyer / 64, buyer % 64);
+        let mut pop = 0u32;
+        for (l, &v) in bits.iter().enumerate() {
+            if v {
+                let plane = &mut self.planes[l];
+                if plane.len() <= word {
+                    plane.resize(word + 1, 0);
+                }
+                plane[word] |= 1u64 << bit;
+                pop += 1;
+            }
+        }
+        self.pop.push(pop);
+        self.buyers += 1;
+        buyer
+    }
+
+    /// Registered buyers.
+    pub fn len(&self) -> usize {
+        self.buyers
+    }
+
+    /// `true` when no buyer is registered.
+    pub fn is_empty(&self) -> bool {
+        self.buyers == 0
+    }
+
+    /// Bits per code.
+    pub fn locations(&self) -> usize {
+        self.locations
+    }
+
+    /// Per-buyer `|f ∧ b|` via the carry-save bit-sliced adder.
+    fn overlap_counts(&self, forged: &[bool]) -> Vec<u32> {
+        let words = self.buyers.div_ceil(64);
+        // `acc[i]` holds bit `i` of every buyer's running count.
+        let mut acc: Vec<Vec<u64>> = Vec::new();
+        let mut carry = vec![0u64; words];
+        for (l, &f) in forged.iter().enumerate() {
+            if !f {
+                continue;
+            }
+            let plane = &self.planes[l];
+            carry[..plane.len()].copy_from_slice(plane);
+            carry[plane.len()..].fill(0);
+            let mut live = carry.iter().any(|&w| w != 0);
+            for level in &mut acc {
+                if !live {
+                    break;
+                }
+                live = false;
+                for (a, c) in level.iter_mut().zip(carry.iter_mut()) {
+                    let t = *a & *c;
+                    *a ^= *c;
+                    *c = t;
+                    live |= t != 0;
+                }
+            }
+            if live {
+                acc.push(carry.clone());
+            }
+        }
+        let mut counts = vec![0u32; self.buyers];
+        for (i, level) in acc.iter().enumerate() {
+            for (w, &word) in level.iter().enumerate() {
+                let mut rest = word;
+                while rest != 0 {
+                    let b = w * 64 + rest.trailing_zeros() as usize;
+                    counts[b] += 1 << i;
+                    rest &= rest - 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Scores every buyer, in registry order — value-identical to
+    /// [`score_suspects`] over the same population.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bit-length mismatch.
+    pub fn score(&self, forged: &[bool]) -> Vec<SuspectScore> {
+        assert_eq!(forged.len(), self.locations, "bit length mismatch");
+        let total = forged.iter().filter(|&&f| f).count();
+        let counts = self.overlap_counts(forged);
+        let len = self.locations;
+        counts
+            .iter()
+            .enumerate()
+            .map(|(buyer, &covered)| {
+                // Same integer operands, same divisions, as the scalar
+                // `containment`/`agreement` — results are bit-identical.
+                let containment = if total == 0 {
+                    1.0
+                } else {
+                    f64::from(covered) / total as f64
+                };
+                let agreement = if len == 0 {
+                    0.0
+                } else {
+                    // Additions first: the final value (= match count)
+                    // is non-negative, but `len - total - pop` alone
+                    // can underflow usize.
+                    let matches =
+                        (len + 2 * covered as usize) - total - self.pop[buyer] as usize;
+                    matches as f64 / len as f64
+                };
+                SuspectScore {
+                    buyer,
+                    containment,
+                    agreement,
+                }
+            })
+            .collect()
+    }
+
+    /// Ranks the population, most suspicious first — order-identical to
+    /// [`trace_suspects`] over the same registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bit-length mismatch.
+    pub fn trace(&self, forged: &[bool]) -> Vec<(usize, f64)> {
+        let mut scored = self.score(forged);
+        scored.sort_by(|a, b| {
+            (b.containment, b.agreement)
+                .partial_cmp(&(a.containment, a.agreement))
+                .expect("finite scores")
+        });
+        scored
+            .into_iter()
+            .map(|s| (s.buyer, s.containment))
+            .collect()
+    }
+
+    /// The `k` most suspicious buyers with both metrics — what a
+    /// million-buyer tracing report actually wants (the full ranking is
+    /// a megabyte of innocents).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bit-length mismatch.
+    pub fn trace_top(&self, forged: &[bool], k: usize) -> Vec<SuspectScore> {
+        let mut scored = self.score(forged);
+        scored.sort_by(|a, b| {
+            (b.containment, b.agreement)
+                .partial_cmp(&(a.containment, a.agreement))
+                .expect("finite scores")
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +552,115 @@ mod tests {
         assert_eq!(containment(&[false, false], &[true, false]), 1.0, "no wires, no info");
         // Buyer's extra wires do not hurt containment.
         assert_eq!(containment(&[true, false], &[true, true]), 1.0);
+    }
+
+    /// Random registry of `n` buyers × `l` locations plus a forged
+    /// string, deterministically seeded.
+    fn random_population(seed: u64, n: usize, l: usize) -> (Vec<Vec<bool>>, Vec<bool>) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let registry: Vec<Vec<bool>> = (0..n)
+            .map(|_| (0..l).map(|_| rng.next_bool()).collect())
+            .collect();
+        let forged: Vec<bool> = (0..l).map(|_| rng.next_bool()).collect();
+        (registry, forged)
+    }
+
+    #[test]
+    fn index_scores_are_bit_identical_to_pairwise() {
+        // Sweep populations crossing the 64-buyer word boundary and odd
+        // code lengths; every score must equal the pairwise oracle's
+        // f64 exactly (same integers, same divisions).
+        for (seed, n, l) in [
+            (1u64, 1usize, 1usize),
+            (2, 7, 3),
+            (3, 63, 17),
+            (4, 64, 33),
+            (5, 65, 64),
+            (6, 200, 71),
+        ] {
+            let (registry, forged) = random_population(seed, n, l);
+            let oracle = score_suspects(&forged, &registry);
+            let index = TracerIndex::from_registry(&registry);
+            assert_eq!(index.len(), n);
+            let fast = index.score(&forged);
+            assert_eq!(fast.len(), oracle.len());
+            for (f, o) in fast.iter().zip(&oracle) {
+                assert_eq!(f.buyer, o.buyer);
+                assert_eq!(
+                    f.containment.to_bits(),
+                    o.containment.to_bits(),
+                    "containment n={n} l={l} buyer {}",
+                    f.buyer
+                );
+                assert_eq!(
+                    f.agreement.to_bits(),
+                    o.agreement.to_bits(),
+                    "agreement n={n} l={l} buyer {}",
+                    f.buyer
+                );
+            }
+            // Full rankings agree element-for-element (ties included,
+            // since both sorts are stable over identical keys).
+            assert_eq!(index.trace(&forged), trace_suspects(&forged, &registry));
+        }
+    }
+
+    #[test]
+    fn index_handles_empty_forged_string_like_the_oracle() {
+        let (registry, _) = random_population(9, 50, 12);
+        let forged = vec![false; 12];
+        let index = TracerIndex::from_registry(&registry);
+        for s in index.score(&forged) {
+            assert_eq!(s.containment, 1.0, "no surviving wires → no information");
+        }
+        assert_eq!(index.trace(&forged), trace_suspects(&forged, &registry));
+    }
+
+    #[test]
+    fn index_traces_real_coalitions_identically_to_pairwise() {
+        // The guard the CI job relies on: random coalitions up to n = 8,
+        // all forge strategies, index ranking == pairwise oracle.
+        let fp = engine();
+        let copies: Vec<_> = (0..12u64).map(|s| fp.embed_seeded(s * 13 + 3).unwrap()).collect();
+        let registry: Vec<Vec<bool>> = copies.iter().map(|c| c.bits().to_vec()).collect();
+        let index = TracerIndex::from_registry(&registry);
+        let mut rng = Xoshiro256::seed_from_u64(0xC0A1);
+        for round in 0..6 {
+            let size = 2 + (rng.next_u64() % 7) as usize; // 2..=8
+            let mut members: Vec<usize> = (0..registry.len()).collect();
+            for i in (1..members.len()).rev() {
+                members.swap(i, (rng.next_u64() % (i as u64 + 1)) as usize);
+            }
+            members.truncate(size);
+            let held: Vec<&Netlist> = members.iter().map(|&i| copies[i].netlist()).collect();
+            for strategy in [
+                ForgeStrategy::ClearExposed,
+                ForgeStrategy::Majority,
+                ForgeStrategy::Random(round as u64),
+            ] {
+                let forged = forge(&fp, &held, strategy).unwrap();
+                let recovered = fp.extract(forged.netlist());
+                assert_eq!(
+                    index.trace(&recovered),
+                    trace_suspects(&recovered, &registry),
+                    "round {round} coalition {members:?} {strategy:?}"
+                );
+                let top = index.trace_top(&recovered, 3);
+                let full = index.trace(&recovered);
+                for (t, f) in top.iter().zip(&full) {
+                    assert_eq!((t.buyer, t.containment), *f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_scales_to_large_populations() {
+        // 10^4 buyers is the in-tree smoke (the bench binary pushes
+        // 10^5+); correctness against the oracle stays exact.
+        let (registry, forged) = random_population(77, 10_000, 64);
+        let index = TracerIndex::from_registry(&registry);
+        assert_eq!(index.trace(&forged), trace_suspects(&forged, &registry));
     }
 
     #[test]

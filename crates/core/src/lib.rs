@@ -62,6 +62,7 @@
 
 pub mod campaign;
 mod capacity;
+pub mod codebook;
 pub mod collusion;
 mod embed;
 mod error;
@@ -77,6 +78,10 @@ pub mod verify;
 pub mod watermark;
 
 pub use capacity::CapacityReport;
+pub use codebook::{
+    artifact_identity, codebook_file, pack_bits, unpack_bits, CodeSpace, CodebookReader,
+    CodebookRecord, CodebookWriter,
+};
 pub use embed::{Fingerprinter, FingerprintedCopy, SelectionPolicy, VerifyLevel};
 pub use error::FingerprintError;
 pub use odcfp_analysis::cancel::CancelToken;
@@ -88,6 +93,6 @@ pub use silicon::FlexibleDesign;
 pub use modify::{apply_modification, Modification};
 pub use verify::{
     verify_equivalent, verify_equivalent_cancellable, verify_equivalent_report,
-    verify_equivalent_report_cancellable, Verdict, VerifyPolicy, VerifyReport, VerifySession,
-    VerifyStats,
+    verify_equivalent_report_cancellable, CodeSpaceOutcome, CodeSpaceProof, Verdict, VerifyPolicy,
+    VerifyReport, VerifySession, VerifyStats,
 };

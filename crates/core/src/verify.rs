@@ -45,7 +45,8 @@ use odcfp_logic::rng::Xoshiro256;
 use odcfp_logic::sim;
 use odcfp_netlist::Netlist;
 use odcfp_sat::{
-    EquivError, Miter, MiterOutcome, SharedMiter, SolverStats, SweepEngine, SweepOptions,
+    EquivError, Miter, MiterOutcome, SelectableInput, SelectableVariant, SharedMiter, SolverStats,
+    SweepEngine, SweepOptions,
 };
 
 use crate::FingerprintError;
@@ -735,6 +736,53 @@ pub struct VerifySession {
     shared: Option<SharedMiter>,
 }
 
+/// Result of [`VerifySession::prove_code_space`]: the handle to the
+/// selectable variant plus what one solve established about the whole
+/// code space.
+#[derive(Debug, Clone)]
+pub struct CodeSpaceProof {
+    handle: SelectableVariant,
+    /// What the free-selector solve established.
+    pub outcome: CodeSpaceOutcome,
+    /// Conflicts spent by the free-selector solve.
+    pub conflicts: u64,
+}
+
+impl CodeSpaceProof {
+    /// Number of fingerprint locations (selector groups) covered.
+    pub fn num_groups(&self) -> usize {
+        self.handle.num_groups()
+    }
+}
+
+/// Outcome of the one-shot code-space solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeSpaceOutcome {
+    /// UNSAT with all selectors free: **every** code in the space is
+    /// equivalent to the golden netlist — individual buyers need no
+    /// further solving.
+    ProvenAll,
+    /// Some code differs; the witness assigns the primary inputs. Buyers
+    /// must be decided individually (or through the per-buyer fallback).
+    SomeCodeDiffers {
+        /// Primary-input assignment exhibiting the difference.
+        counterexample: Vec<bool>,
+    },
+    /// Budget or deadline exhausted before a verdict.
+    Undecided,
+}
+
+impl CodeSpaceOutcome {
+    /// Stable lowercase name for traces and journals.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodeSpaceOutcome::ProvenAll => "proven_all",
+            CodeSpaceOutcome::SomeCodeDiffers { .. } => "some_code_differs",
+            CodeSpaceOutcome::Undecided => "undecided",
+        }
+    }
+}
+
 impl VerifySession {
     /// Creates a session bound to `golden`.
     ///
@@ -834,6 +882,111 @@ impl VerifySession {
         stats.elapsed = start.elapsed();
         trace_verdict(&verdict, &stats);
         Ok(VerifyReport { verdict, stats })
+    }
+
+    /// Proves the *code space* of a fingerprinter in one SAT call: given
+    /// the superposed variant (every modification applied) and the
+    /// selectable-input map produced by
+    /// [`CodeSpace::build`](crate::codebook::CodeSpace::build), solves the
+    /// miter with all selectors free. UNSAT proves every `2^groups` buyer
+    /// code equivalent to the golden at once; afterwards
+    /// [`VerifySession::check_code`] decides individual codes by
+    /// assumption, with no per-buyer netlist ever materialized.
+    ///
+    /// The selectable variant's clauses stay active in the session's
+    /// shared solver for the session's lifetime (they are guarded, so
+    /// other queries only pay propagation on them).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `superposed` fails validation or its interface
+    /// doesn't match the golden netlist.
+    pub fn prove_code_space(
+        &mut self,
+        superposed: &Netlist,
+        selectable: &[SelectableInput],
+        groups: usize,
+        budget: Option<u64>,
+        token: &CancelToken,
+    ) -> Result<CodeSpaceProof, FingerprintError> {
+        superposed.validate()?;
+        check_interfaces(&self.golden, superposed)?;
+        let mut span = odcfp_obs::span("verify.codespace");
+        span.field("groups", groups);
+        let golden = &self.golden;
+        let shared = match &mut self.shared {
+            Some(shared) => shared,
+            None => self.shared.insert(SharedMiter::build(golden)),
+        };
+        shared.set_interrupt(token.flag());
+        let before = shared.stats().conflicts;
+        let handle = shared
+            .add_selectable_variant(superposed, selectable, groups)
+            .map_err(FingerprintError::Verification)?;
+        let outcome = if token.is_cancelled() {
+            MiterOutcome::Undecided
+        } else {
+            shared.check(handle.id(), budget, token.deadline())
+        };
+        let conflicts = shared.stats().conflicts.saturating_sub(before);
+        let outcome = match outcome {
+            MiterOutcome::Equivalent => CodeSpaceOutcome::ProvenAll,
+            MiterOutcome::Counterexample(counterexample) => {
+                CodeSpaceOutcome::SomeCodeDiffers { counterexample }
+            }
+            MiterOutcome::Undecided => CodeSpaceOutcome::Undecided,
+        };
+        span.field("outcome", outcome.name());
+        span.field("conflicts", conflicts);
+        Ok(CodeSpaceProof {
+            handle,
+            outcome,
+            conflicts,
+        })
+    }
+
+    /// Decides one buyer code against a [`CodeSpaceProof`] from this
+    /// session, as a combination check on the already-encoded selectable
+    /// variant (no netlist is built).
+    ///
+    /// After [`CodeSpaceOutcome::ProvenAll`] this is a pure consistency
+    /// check and returns [`Verdict::Proven`] without touching the solver;
+    /// otherwise it solves under the code's assumption literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` length differs from the proof's group count or if
+    /// the proof belongs to a different session.
+    pub fn check_code(
+        &mut self,
+        proof: &CodeSpaceProof,
+        code: &[bool],
+        budget: Option<u64>,
+        token: &CancelToken,
+    ) -> Verdict {
+        assert_eq!(
+            code.len(),
+            proof.handle.num_groups(),
+            "code length must match the proof's group count"
+        );
+        let start = Instant::now();
+        if matches!(proof.outcome, CodeSpaceOutcome::ProvenAll) {
+            return Verdict::Proven;
+        }
+        let shared = self
+            .shared
+            .as_mut()
+            .expect("a CodeSpaceProof implies the shared miter exists");
+        shared.set_interrupt(token.flag());
+        let before = shared.stats().conflicts;
+        match shared.check_code(&proof.handle, code, budget, token.deadline()) {
+            MiterOutcome::Equivalent => Verdict::Proven,
+            MiterOutcome::Counterexample(counterexample) => Verdict::Refuted { counterexample },
+            MiterOutcome::Undecided => Verdict::Undecided {
+                conflicts_spent: shared.stats().conflicts.saturating_sub(before),
+                elapsed: start.elapsed(),
+            },
+        }
     }
 
     /// Checks `candidate` as a retired-on-exit variant of the session's

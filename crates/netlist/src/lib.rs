@@ -52,7 +52,7 @@ mod netlist;
 mod stats;
 
 pub use csr::{CsrView, Scratch};
-pub use digest::{Digest, Digester};
+pub use digest::{Digest, Digest128, Digester, Digester128};
 pub use error::NetlistError;
 pub use ids::{CellId, GateId, NetId, PinRef};
 pub use library::{Cell, CellLibrary};

@@ -52,6 +52,6 @@ pub use cnf::CnfBuilder;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use equiv::{check_equivalence, probably_equivalent, EquivError, EquivResult, Miter, MiterOutcome};
 pub use lit::{Lit, Var};
-pub use shared::{SharedMiter, VariantId};
+pub use shared::{SelectableInput, SelectableVariant, SharedMiter, VariantId};
 pub use solver::{Model, SolveResult, Solver, SolverStats};
 pub use sweep::{SweepEngine, SweepOptions, SweepReport};

@@ -31,7 +31,7 @@
 use std::time::Instant;
 
 use odcfp_logic::PrimitiveFn;
-use odcfp_netlist::{NetDriver, Netlist};
+use odcfp_netlist::{GateId, NetDriver, Netlist};
 
 use crate::equiv::{EquivError, MiterOutcome};
 use crate::tseitin::{encode_gate, encode_netlist, ClauseSink};
@@ -40,6 +40,48 @@ use crate::{CnfBuilder, Lit, SolveResult, Solver, SolverStats, Var};
 /// Handle to a variant registered with [`SharedMiter::add_variant`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VariantId(usize);
+
+/// One gate input of a selectable variant whose *presence* is governed by
+/// a selector group (see [`SharedMiter::add_selectable_variant`]).
+///
+/// When the group's selector is false the input is replaced by `neutral`
+/// — the identity element of the gate's plane (`true` for AND/NAND,
+/// `false` for OR/NOR/XOR/XNOR) — so the gate computes exactly what it
+/// would compute without the widening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectableInput {
+    /// The widened gate in the variant netlist.
+    pub gate: GateId,
+    /// Input position within that gate (0-based).
+    pub position: usize,
+    /// Selector group controlling this input.
+    pub group: usize,
+    /// Value the input takes when the group is unselected.
+    pub neutral: bool,
+}
+
+/// Handle to a variant registered with
+/// [`SharedMiter::add_selectable_variant`]: the ordinary [`VariantId`]
+/// plus one selector variable per group.
+#[derive(Debug, Clone)]
+pub struct SelectableVariant {
+    id: VariantId,
+    selectors: Vec<Var>,
+}
+
+impl SelectableVariant {
+    /// The underlying variant handle; [`SharedMiter::check`] on it solves
+    /// with **all selectors free** — UNSAT proves every one of the
+    /// `2^groups` codes equivalent to the base in a single call.
+    pub fn id(&self) -> VariantId {
+        self.id
+    }
+
+    /// Number of selector groups.
+    pub fn num_groups(&self) -> usize {
+        self.selectors.len()
+    }
+}
 
 /// The driver shape of one base net, for structural matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,6 +216,50 @@ impl SharedMiter {
     /// Panics if `variant` has undriven nets or a combinational cycle
     /// (validate first).
     pub fn add_variant(&mut self, variant: &Netlist) -> Result<VariantId, EquivError> {
+        self.add_variant_inner(variant, &[], 0).map(|sv| sv.id)
+    }
+
+    /// Encodes a *superposed* variant — the base with every fingerprint
+    /// modification applied at once — where each widened input is guarded
+    /// by a per-group selector variable that defaults the input to its
+    /// plane-neutral value when unselected.
+    ///
+    /// The encoding is exact for the whole code space: assigning the
+    /// selectors to a code `c` makes the variant cone compute precisely
+    /// the netlist that applies exactly the modifications in `c` (a
+    /// neutral literal is the identity of its plane), so
+    ///
+    /// * [`SharedMiter::check`] on [`SelectableVariant::id`] solves with
+    ///   all selectors **free**: UNSAT proves all `2^groups` codes
+    ///   equivalent to the base at once;
+    /// * [`SharedMiter::check_code`] pins the selectors to one code and
+    ///   decides that single buyer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variant's interface doesn't match the base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` has undriven nets or a combinational cycle, or
+    /// if `selectable` names an out-of-range gate/position/group or lists
+    /// the same input twice — the caller builds the list programmatically
+    /// from the modifications it just applied, so these are logic errors.
+    pub fn add_selectable_variant(
+        &mut self,
+        variant: &Netlist,
+        selectable: &[SelectableInput],
+        groups: usize,
+    ) -> Result<SelectableVariant, EquivError> {
+        self.add_variant_inner(variant, selectable, groups)
+    }
+
+    fn add_variant_inner(
+        &mut self,
+        variant: &Netlist,
+        selectable: &[SelectableInput],
+        groups: usize,
+    ) -> Result<SelectableVariant, EquivError> {
         if variant.primary_inputs().len() != self.num_pis {
             return Err(EquivError::InputCountMismatch {
                 left: self.num_pis,
@@ -188,6 +274,26 @@ impl SharedMiter {
         }
         let act = self.solver.fresh_var();
         let guard = Lit::neg(act);
+        let selectors: Vec<Var> = (0..groups).map(|_| self.solver.fresh_var()).collect();
+        // (gate index, position) -> (selector, neutral), validated.
+        let mut gated: std::collections::HashMap<(usize, usize), (Var, bool)> =
+            std::collections::HashMap::with_capacity(selectable.len());
+        for s in selectable {
+            assert!(s.group < groups, "selector group {} out of range", s.group);
+            assert!(
+                s.position < variant.gate(s.gate).inputs().len(),
+                "selectable position {} out of range for gate {:?}",
+                s.position,
+                s.gate
+            );
+            let prev = gated.insert((s.gate.index(), s.position), (selectors[s.group], s.neutral));
+            assert!(
+                prev.is_none(),
+                "selectable input listed twice: gate {:?} position {}",
+                s.gate,
+                s.position
+            );
+        }
 
         // Resolve each variant net to a CNF variable: shared nets reuse the
         // base variable, delta nets get fresh guarded clauses.
@@ -218,6 +324,38 @@ impl SharedMiter {
             ins.clear();
             for &n in gate.inputs() {
                 ins.push(var_of[n.index()].expect("topological order resolves fanin first"));
+            }
+            if !gated.is_empty() {
+                for (pos, v) in ins.iter_mut().enumerate() {
+                    let Some(&(sel, neutral)) = gated.get(&(g.index(), pos)) else {
+                        continue;
+                    };
+                    // e <-> if sel then x else neutral, guarded like every
+                    // other delta clause. With neutral = true that is
+                    // e <-> (x | !sel); with neutral = false, e <-> (x & sel).
+                    let x = *v;
+                    let e = self.solver.fresh_var();
+                    if neutral {
+                        self.solver.add_clause([guard, Lit::neg(x), Lit::pos(e)]);
+                        self.solver.add_clause([guard, Lit::pos(sel), Lit::pos(e)]);
+                        self.solver.add_clause([
+                            guard,
+                            Lit::neg(e),
+                            Lit::pos(x),
+                            Lit::neg(sel),
+                        ]);
+                    } else {
+                        self.solver.add_clause([guard, Lit::neg(e), Lit::pos(x)]);
+                        self.solver.add_clause([guard, Lit::neg(e), Lit::pos(sel)]);
+                        self.solver.add_clause([
+                            guard,
+                            Lit::pos(e),
+                            Lit::neg(x),
+                            Lit::neg(sel),
+                        ]);
+                    }
+                    *v = e;
+                }
             }
             let out = gate.output().index();
             let shared = out < self.base_shapes.len()
@@ -273,7 +411,56 @@ impl SharedMiter {
             trivial,
             retired: false,
         });
-        Ok(id)
+        Ok(SelectableVariant { id, selectors })
+    }
+
+    /// Decides one code of a selectable variant: solves under the
+    /// activation literal plus the selectors pinned to `code`.
+    ///
+    /// UNSAT means the netlist carrying exactly the modifications in
+    /// `code` is equivalent to the base; SAT yields a counterexample over
+    /// the base inputs, exactly as [`SharedMiter::check`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` length differs from the variant's group count or
+    /// the variant was retired.
+    pub fn check_code(
+        &mut self,
+        sv: &SelectableVariant,
+        code: &[bool],
+        conflict_budget: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> MiterOutcome {
+        assert_eq!(
+            code.len(),
+            sv.selectors.len(),
+            "code length must match selector groups"
+        );
+        let v = &self.variants[sv.id.0];
+        assert!(!v.retired, "variant {} was retired", sv.id.0);
+        if v.trivial {
+            return MiterOutcome::Equivalent;
+        }
+        let mut assumptions: Vec<Lit> = Vec::with_capacity(code.len() + 1);
+        assumptions.push(Lit::pos(v.act));
+        for (k, &bit) in code.iter().enumerate() {
+            assumptions.push(Lit::with_polarity(sv.selectors[k], bit));
+        }
+        self.solver.clear_limits();
+        if let Some(b) = conflict_budget {
+            self.solver.set_conflict_budget(b);
+        }
+        if let Some(d) = deadline {
+            self.solver.set_deadline(d);
+        }
+        match self.solver.solve_under(&assumptions) {
+            SolveResult::Unsat => MiterOutcome::Equivalent,
+            SolveResult::Sat(model) => MiterOutcome::Counterexample(
+                self.input_vars.iter().map(|&v| model.value(v)).collect(),
+            ),
+            SolveResult::Unknown => MiterOutcome::Undecided,
+        }
     }
 
     /// Checks one variant against the base, under an optional conflict
@@ -490,6 +677,155 @@ mod tests {
         let id = sm.add_variant(&build(true)).unwrap();
         assert_eq!(sm.check(id, Some(0), None), MiterOutcome::Undecided);
         assert_eq!(sm.check(id, None, None), MiterOutcome::Equivalent);
+    }
+
+    /// fig1 with gx widened to AND4(A, B, Y, D): input 2 (Y) is the ODC
+    /// modification — redundant for every code — while input 3 (D) is a
+    /// genuine functional change when selected.
+    fn superposed() -> (Netlist, GateId) {
+        let lib = CellLibrary::standard();
+        let mut n = Netlist::new("fig1", lib);
+        let a = n.add_primary_input("A");
+        let b = n.add_primary_input("B");
+        let c = n.add_primary_input("C");
+        let d = n.add_primary_input("D");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let and4 = n.library().cell_for(PrimitiveFn::And, 4).unwrap();
+        let or2 = n.library().cell_for(PrimitiveFn::Or, 2).unwrap();
+        let y = n.add_gate("gy", or2, &[c, d]);
+        let x = n.add_gate("gx", and4, &[a, b, n.gate_output(y), d]);
+        let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
+        n.set_primary_output(n.gate_output(f));
+        (n, x)
+    }
+
+    #[test]
+    fn selectable_all_codes_proven_when_every_literal_is_redundant() {
+        let base = fig1(false);
+        // The ODC widening alone: AND3(A, B, Y).
+        let lib = base.library().clone();
+        let mut n = Netlist::new("fig1", lib);
+        let a = n.add_primary_input("A");
+        let b = n.add_primary_input("B");
+        let c = n.add_primary_input("C");
+        let d = n.add_primary_input("D");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let and3 = n.library().cell_for(PrimitiveFn::And, 3).unwrap();
+        let or2 = n.library().cell_for(PrimitiveFn::Or, 2).unwrap();
+        let y = n.add_gate("gy", or2, &[c, d]);
+        let x = n.add_gate("gx", and3, &[a, b, n.gate_output(y)]);
+        let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
+        n.set_primary_output(n.gate_output(f));
+
+        let mut sm = SharedMiter::build(&base);
+        let sv = sm
+            .add_selectable_variant(
+                &n,
+                &[SelectableInput {
+                    gate: x,
+                    position: 2,
+                    group: 0,
+                    neutral: true,
+                }],
+                1,
+            )
+            .unwrap();
+        // One solve covers both codes.
+        assert_eq!(sm.check(sv.id(), None, None), MiterOutcome::Equivalent);
+        assert_eq!(sm.check_code(&sv, &[false], None, None), MiterOutcome::Equivalent);
+        assert_eq!(sm.check_code(&sv, &[true], None, None), MiterOutcome::Equivalent);
+    }
+
+    #[test]
+    fn selectable_code_check_isolates_the_bad_bit() {
+        let base = fig1(false);
+        let (sup, gx) = superposed();
+        let mut sm = SharedMiter::build(&base);
+        let sel = [
+            SelectableInput {
+                gate: gx,
+                position: 2,
+                group: 0,
+                neutral: true,
+            },
+            SelectableInput {
+                gate: gx,
+                position: 3,
+                group: 1,
+                neutral: true,
+            },
+        ];
+        let sv = sm.add_selectable_variant(&sup, &sel, 2).unwrap();
+        // Some code differs (any with bit 1 set), so the free solve is SAT.
+        assert!(matches!(
+            sm.check(sv.id(), None, None),
+            MiterOutcome::Counterexample(_)
+        ));
+        // Codes without the bad bit are equivalent; codes with it are not.
+        for (code, equivalent) in [
+            (&[false, false][..], true),
+            (&[true, false][..], true),
+            (&[false, true][..], false),
+            (&[true, true][..], false),
+        ] {
+            let outcome = sm.check_code(&sv, code, None, None);
+            if equivalent {
+                assert_eq!(outcome, MiterOutcome::Equivalent, "{code:?}");
+            } else {
+                match outcome {
+                    MiterOutcome::Counterexample(inputs) => {
+                        // The witness must separate base from the netlist
+                        // carrying exactly this code: AND(A,B[,Y][,D]).
+                        let sim = |with_d: bool| {
+                            let a = inputs[0] && inputs[1];
+                            let y = inputs[2] || inputs[3];
+                            let x = if with_d { a && y && inputs[3] } else { a && y };
+                            x && y
+                        };
+                        assert_ne!(sim(false), sim(true), "{code:?}: {inputs:?}");
+                    }
+                    other => panic!("expected counterexample for {code:?}, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selectable_or_plane_neutral_is_false() {
+        // gy widened to OR3(C, D, A): selecting A changes the function,
+        // deselecting must restore OR2(C, D) via the neutral 0.
+        let base = fig1(false);
+        let lib = base.library().clone();
+        let mut n = Netlist::new("fig1", lib);
+        let a = n.add_primary_input("A");
+        let b = n.add_primary_input("B");
+        let c = n.add_primary_input("C");
+        let d = n.add_primary_input("D");
+        let and2 = n.library().cell_for(PrimitiveFn::And, 2).unwrap();
+        let or3 = n.library().cell_for(PrimitiveFn::Or, 3).unwrap();
+        let y = n.add_gate("gy", or3, &[c, d, a]);
+        let x = n.add_gate("gx", and2, &[a, b]);
+        let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
+        n.set_primary_output(n.gate_output(f));
+
+        let mut sm = SharedMiter::build(&base);
+        let sv = sm
+            .add_selectable_variant(
+                &n,
+                &[SelectableInput {
+                    gate: y,
+                    position: 2,
+                    group: 0,
+                    neutral: false,
+                }],
+                1,
+            )
+            .unwrap();
+        assert_eq!(sm.check_code(&sv, &[false], None, None), MiterOutcome::Equivalent);
+        assert!(matches!(
+            sm.check_code(&sv, &[true], None, None),
+            MiterOutcome::Counterexample(_)
+        ));
     }
 
     #[test]

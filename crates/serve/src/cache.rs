@@ -20,7 +20,7 @@
 //!   job quarantine.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use odcfp_core::{Fingerprinter, VerifySession};
 use odcfp_netlist::Digest;
@@ -127,7 +127,7 @@ impl WarmCache {
     pub fn is_quarantined(&self, key: Digest) -> bool {
         self.inner
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .strikes
             .get(&key.0)
             .is_some_and(|&n| n >= QUARANTINE_THRESHOLD)
@@ -137,7 +137,7 @@ impl WarmCache {
     /// miss is counted only in [`WarmCache::admit`] (so a
     /// lookup-then-admit pair counts once).
     pub fn lookup(&self, key: Digest) -> Option<Arc<Mutex<CircuitState>>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.entries.get_mut(&key.0) {
@@ -164,7 +164,7 @@ impl WarmCache {
         state: CircuitState,
         cost: u64,
     ) -> (Arc<Mutex<CircuitState>>, Disposition) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.entries.get_mut(&key.0) {
@@ -211,7 +211,7 @@ impl WarmCache {
     /// engines may be mid-query and cannot be trusted) and adds a
     /// strike. Returns the strike count.
     pub fn poison(&self, key: Digest) -> u32 {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(entry) = inner.entries.remove(&key.0) {
             inner.used -= entry.cost;
         }
@@ -222,7 +222,7 @@ impl WarmCache {
 
     /// Current accounting.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

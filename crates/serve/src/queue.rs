@@ -16,7 +16,7 @@
 //!   only once the queue is both closed and empty.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +66,7 @@ impl<T> FairQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] once
     /// draining. Never blocks.
     pub fn push(&self, tenant: &str, item: T) -> Result<(), PushError> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if s.closed {
             return Err(PushError::Closed);
         }
@@ -89,7 +89,7 @@ impl<T> FairQueue<T> {
     /// the queue is open and empty; returns `None` once closed *and*
     /// drained.
     pub fn pop(&self) -> Option<(String, T)> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if s.len > 0 {
                 let tenant = s.rotation.pop_front().expect("rotation tracks lanes");
@@ -106,19 +106,19 @@ impl<T> FairQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self.ready.wait(s).unwrap();
+            s = self.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stops admission. Queued work still drains; blocked `pop`s wake.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).closed = true;
         self.ready.notify_all();
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().len
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).len
     }
 
     /// `true` when nothing is queued.

@@ -34,7 +34,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -603,7 +603,7 @@ fn execute(
         Op::Ping => Ok(Reply::ok(id, "ping")),
         Op::Shutdown => Ok(Reply::ok(id, "shutdown")),
         Op::Locations { design } => circuit_state(shared, design, touched).map(|(state, disp)| {
-            let state = state.lock().unwrap();
+            let state = state.lock().unwrap_or_else(PoisonError::into_inner);
             let capacity = state.fingerprinter.capacity();
             Reply::ok(id, "locations")
                 .field("locations", capacity.num_locations)
@@ -649,7 +649,7 @@ fn embed_op(
 ) -> Result<Reply, OpError> {
     let policy = parse_policy(policy, VerifyPolicy::quick())?;
     let (state, disp) = circuit_state(shared, design, touched)?;
-    let mut state = state.lock().unwrap();
+    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
     let n = state.fingerprinter.locations().len();
     let bits: Vec<bool> = match (bits, seed) {
         (Some(s), _) => {
@@ -715,7 +715,7 @@ fn verify_op(
     let policy = parse_policy(policy, VerifyPolicy::strict())?;
     let (cand_text, cand_format) = design_source(shared, candidate)?;
     let (state, disp) = circuit_state(shared, golden, touched)?;
-    let mut state = state.lock().unwrap();
+    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
     let candidate = parse_netlist(shared, &cand_text, &cand_format)?;
     let report = state
         .session
@@ -758,10 +758,14 @@ fn campaign_op(
         load: &load,
         emit: &emit,
     };
-    // Chunked execution: one job per leg, journal replayed in between.
-    // Progress is durable at every step, and the drain token gets a
-    // look-in between jobs, so a long campaign cannot hold drain
-    // hostage — the journal resumes it, served or batch, later.
+    // Chunked execution: one job (or one delta window) per leg, journal
+    // replayed in between. Progress is durable at every step, and the
+    // drain token gets a look-in between legs, so a long campaign
+    // cannot hold drain hostage — the journal resumes it, served or
+    // batch, later. The cache carries fingerprinters, verify sessions,
+    // and delta-mode code-space proofs across legs, so chunking costs
+    // journal replays, not re-analysis or re-proving.
+    let mut cache = campaign::CampaignCache::default();
     let mut resume_leg = resume;
     let mut executed = 0usize;
     loop {
@@ -769,19 +773,35 @@ fn campaign_op(
             resume: resume_leg,
             stop_after: Some(1),
         };
-        let summary = campaign::run(&manifest, &dir, &env, &options, &mut |_| {})
-            .map_err(|e| match e {
-                campaign::CampaignError::Io { .. } => (ErrorCode::Internal, e.to_string()),
-                _ => bad(e.to_string()),
-            })?;
+        let summary =
+            campaign::run_cached(&manifest, &dir, &env, &options, &mut cache, &mut |_| {})
+                .map_err(|e| match e {
+                    campaign::CampaignError::Io { .. } => (ErrorCode::Internal, e.to_string()),
+                    _ => bad(e.to_string()),
+                })?;
         executed += summary.executed;
         if summary.remaining == 0 {
-            return Ok(Reply::ok(id, "campaign")
+            let mut reply = Reply::ok(id, "campaign")
                 .field("total", summary.total)
                 .field("completed", summary.completed)
                 .field("executed", executed)
                 .field("poisoned", summary.poisoned.len())
-                .field("clean", summary.is_clean()));
+                .field("clean", summary.is_clean());
+            // Delta campaigns stream artifacts as codebooks: tell the
+            // client where each circuit's codebook landed so it can
+            // fetch deltas instead of full netlists.
+            if manifest.artifact_mode == campaign::ArtifactMode::Delta {
+                let codebooks: Vec<String> = manifest
+                    .circuits
+                    .iter()
+                    .filter(|c| matches!(c.source, campaign::CircuitSource::Path(_)))
+                    .map(|c| odcfp_core::codebook::codebook_file(&c.name))
+                    .collect();
+                reply = reply
+                    .field("artifacts", "delta")
+                    .field("codebooks", codebooks.join(","));
+            }
+            return Ok(reply);
         }
         resume_leg = true;
         if token.is_cancelled() {
