@@ -1,0 +1,164 @@
+//! Adversary-battery benchmark: regenerates `BENCH_attack.json` at the
+//! repository root by running the full `odcfp_core::attack` battery —
+//! resynthesis round-trips, n-way collusion averaging, side-channel
+//! detectability — on the acceptance circuits and recording each
+//! scorecard plus wall time.
+//!
+//! Usage: `cargo run --release -p odcfp-bench --bin bench_attack
+//! [--fast] [--check] [names...]`
+//!
+//! - default: `des c6288` (the two acceptance circuits from ISSUE 8).
+//! - `--fast`: the CI smoke configuration — resynthesis level `opt`
+//!   only and coalitions `2/4/8`, which still covers every `--check`
+//!   threshold.
+//! - `--check`: exit non-zero unless the robustness acceptance
+//!   thresholds hold on `des`:
+//!   * every random-averaging coalition of size ≤ 8 convicts at least
+//!     one true colluder;
+//!   * no collusion cell of any size or strategy accuses an innocent;
+//!   * every resynthesis level keeps wire survival ≥ 90% and still
+//!     convicts the victim buyer;
+//!   * the side-channel scan flags every minted copy as detectable.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use odcfp_bench::netlist_for;
+use odcfp_core::attack::{run_battery, AttackOptions, AttackScorecard};
+use odcfp_core::CancelToken;
+use odcfp_synth::ResynthLevel;
+
+/// Per-circuit battery run: the scorecard plus how long it took.
+struct Entry {
+    seconds: f64,
+    scorecard: AttackScorecard,
+}
+
+fn run_one(name: &str, opts: &AttackOptions) -> Entry {
+    let netlist = netlist_for(name);
+    let token = CancelToken::new();
+    let t0 = Instant::now();
+    let scorecard = run_battery(&netlist, opts, &token)
+        .unwrap_or_else(|e| panic!("{name}: attack battery failed: {e}"));
+    let seconds = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "{name}: {} locations, {} buyers, {:.2}s",
+        scorecard.locations, scorecard.buyers, seconds
+    );
+    Entry { seconds, scorecard }
+}
+
+/// Checks the `des` acceptance thresholds; returns the violations.
+fn check_des(sc: &AttackScorecard) -> Vec<String> {
+    let mut failed = Vec::new();
+    for c in &sc.collusion {
+        if c.innocents_accused > 0 {
+            failed.push(format!(
+                "collusion n={} {} accused {} innocent buyer(s)",
+                c.coalition,
+                c.strategy.name(),
+                c.innocents_accused
+            ));
+        }
+        if c.strategy.name() == "random" && c.coalition <= 8 && c.colluders_convicted == 0 {
+            failed.push(format!(
+                "random-averaging coalition n={} escaped conviction (outcome {})",
+                c.coalition,
+                c.outcome.name()
+            ));
+        }
+    }
+    for r in &sc.resynth {
+        if r.survival_rate < 0.9 {
+            failed.push(format!(
+                "resynth {} wire survival {:.1}% below the 90% floor",
+                r.level.name(),
+                r.survival_rate * 100.0
+            ));
+        }
+        if !r.victim_convicted {
+            failed.push(format!(
+                "resynth {} lost the victim (outcome {})",
+                r.level.name(),
+                r.outcome.name()
+            ));
+        }
+    }
+    if sc.side_channel.detectable < sc.side_channel.copies {
+        failed.push(format!(
+            "side-channel scan missed {} of {} copies (max distance {:.6} vs threshold {:.6})",
+            sc.side_channel.copies - sc.side_channel.detectable,
+            sc.side_channel.copies,
+            sc.side_channel.max_distance,
+            sc.side_channel.threshold
+        ));
+    }
+    failed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let check = args.iter().any(|a| a == "--check");
+    let names: Vec<&str> = {
+        let explicit: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(|a| a.as_str())
+            .collect();
+        if !explicit.is_empty() {
+            explicit
+        } else if fast {
+            vec!["des"]
+        } else {
+            vec!["des", "c6288"]
+        }
+    };
+
+    let mut opts = AttackOptions::default();
+    if fast {
+        opts.resynth_levels = vec![ResynthLevel::Opt];
+        opts.coalition_sizes = vec![2, 4, 8];
+    }
+
+    let entries: Vec<(String, Entry)> = names
+        .iter()
+        .map(|&n| (n.to_string(), run_one(n, &opts)))
+        .collect();
+
+    // BENCH_attack.json: an array of scorecards, each with the wall time
+    // spliced in as the first key. Everything but `wall_s` is a pure
+    // function of (circuit, options) and byte-stable across reruns.
+    let mut json = String::from("[\n");
+    for (i, (_, e)) in entries.iter().enumerate() {
+        let body = e.scorecard.to_json();
+        let body = body.strip_prefix("{\n").expect("scorecard JSON shape");
+        json.push_str(&format!("{{\n  \"wall_s\": {:.3},\n{}", e.seconds, body));
+        let trimmed = json.trim_end().len();
+        json.truncate(trimmed);
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("]\n");
+
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_attack.json"]
+        .iter()
+        .collect();
+    std::fs::write(&out, &json).expect("write BENCH_attack.json");
+    eprintln!("wrote {}", out.display());
+
+    if check {
+        let des = entries
+            .iter()
+            .find(|(n, _)| n == "des")
+            .map(|(_, e)| &e.scorecard)
+            .expect("--check requires des among the benchmarks");
+        let failed = check_des(des);
+        if !failed.is_empty() {
+            for f in &failed {
+                eprintln!("REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("all attack acceptance thresholds hold");
+    }
+}

@@ -16,6 +16,10 @@
 //! odcfp dot        <in.(blif|v)> -o <out.dot>    Graphviz export
 //! odcfp bench      <name>                        generate a Table II benchmark
 //!                  -o <out.v>
+//! odcfp attack     <in.(blif|v)> | --manifest <m> adversary battery scorecard
+//!                  [--seed N] [--buyers N] [--copies N] [--coalitions 2,4,8]
+//!                  [--resynth-levels opt,remap,remap2] [--power-words N]
+//!                  [--detect-threshold X] [--survival-out <file>] [-o out.json]
 //! odcfp campaign   <manifest> --out-dir <dir>    journaled batch embed+verify
 //!                  [--resume] [--max-jobs N]
 //! odcfp report     <trace.jsonl>                 summarize an observability trace
@@ -65,8 +69,10 @@ use odcfp_core::campaign::{
     self, CampaignEnv, CampaignError, CampaignOptions, CircuitSource, JobEvent, Manifest,
     ManifestCircuit,
 };
+use odcfp_core::attack::{run_battery, AttackOptions, SurvivalStats};
 use odcfp_core::heuristics::{
-    proactive_delay_embedding, reactive_delay_reduction, ReactiveOptions,
+    proactive_delay_embedding, proactive_robust_embedding, reactive_delay_reduction,
+    ReactiveOptions,
 };
 use odcfp_core::{
     verify_equivalent_report, Fingerprinter, Verdict, VerifyLevel, VerifyPolicy, VerifyStats,
@@ -180,6 +186,16 @@ struct Options {
     tenant: Option<String>,
     deadline_ms: Option<u64>,
     policy: Option<String>,
+    // attack / constrain --robust-locations.
+    manifest: Option<String>,
+    buyers: Option<usize>,
+    copies: Option<usize>,
+    coalitions: Option<String>,
+    resynth_levels: Option<String>,
+    power_words: Option<usize>,
+    detect_threshold: Option<f64>,
+    survival_out: Option<String>,
+    robust_locations: Option<String>,
 }
 
 impl Options {
@@ -224,6 +240,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         tenant: None,
         deadline_ms: None,
         policy: None,
+        manifest: None,
+        buyers: None,
+        copies: None,
+        coalitions: None,
+        resynth_levels: None,
+        power_words: None,
+        detect_threshold: None,
+        survival_out: None,
+        robust_locations: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -333,6 +358,47 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--policy" => o.policy = Some(take("--policy")?),
+            "--manifest" => o.manifest = Some(take("--manifest")?),
+            "--buyers" => {
+                let n: usize = take("--buyers")?
+                    .parse()
+                    .map_err(|_| usage("--buyers needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--buyers needs a positive integer"));
+                }
+                o.buyers = Some(n);
+            }
+            "--copies" => {
+                let n: usize = take("--copies")?
+                    .parse()
+                    .map_err(|_| usage("--copies needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--copies needs a positive integer"));
+                }
+                o.copies = Some(n);
+            }
+            "--coalitions" => o.coalitions = Some(take("--coalitions")?),
+            "--resynth-levels" => o.resynth_levels = Some(take("--resynth-levels")?),
+            "--power-words" => {
+                let n: usize = take("--power-words")?
+                    .parse()
+                    .map_err(|_| usage("--power-words needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--power-words needs a positive integer"));
+                }
+                o.power_words = Some(n);
+            }
+            "--detect-threshold" => {
+                let t: f64 = take("--detect-threshold")?
+                    .parse()
+                    .map_err(|_| usage("--detect-threshold needs a number"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(usage("--detect-threshold needs a non-negative number"));
+                }
+                o.detect_threshold = Some(t);
+            }
+            "--survival-out" => o.survival_out = Some(take("--survival-out")?),
+            "--robust-locations" => o.robust_locations = Some(take("--robust-locations")?),
             "--threads" => {
                 let n: usize = take("--threads")?
                     .parse()
@@ -527,10 +593,32 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
                 .delay_pct
                 .ok_or_else(|| usage("constrain needs --delay-pct"))?;
             let fp = Fingerprinter::new(design)?;
-            let result = match o.method.as_str() {
-                "reactive" => reactive_delay_reduction(&fp, pct, ReactiveOptions::default())?,
-                "proactive" => proactive_delay_embedding(&fp, pct)?,
-                other => return Err(usage(format!("unknown method {other:?}"))),
+            let result = match (&o.robust_locations, o.method.as_str()) {
+                // --robust-locations always uses the survival-aware
+                // proactive method: the feedback rule is a location
+                // ordering, which the reactive (removal) method has no
+                // place for.
+                (Some(path), _) => {
+                    let text = fs::read_to_string(path)
+                        .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+                    let (_, stats) =
+                        SurvivalStats::from_text(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+                    if stats.len() != fp.locations().len() {
+                        return Err(fail(format!(
+                            "{path}: survival file describes {} locations but the \
+                             design has {} — re-run `odcfp attack --survival-out` \
+                             on this design",
+                            stats.len(),
+                            fp.locations().len()
+                        )));
+                    }
+                    proactive_robust_embedding(&fp, pct, &stats)?
+                }
+                (None, "reactive") => {
+                    reactive_delay_reduction(&fp, pct, ReactiveOptions::default())?
+                }
+                (None, "proactive") => proactive_delay_embedding(&fp, pct)?,
+                (None, other) => return Err(usage(format!("unknown method {other:?}"))),
             };
             writeln!(
                 out,
@@ -600,11 +688,154 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             write_output(&o, &write_verilog(&design), out)?;
             Ok(0)
         }
+        "attack" => run_attack(&o, library, out),
         "campaign" => run_campaign(&o, library, out),
         "serve" => remote::run_serve(&o, out),
         "client" => remote::run_client(&o, out),
         other => Err(usage(format!("unknown command {other:?}\n{USAGE}"))),
     }
+}
+
+/// The `attack` subcommand: run the adversary battery (resynthesis,
+/// collusion averaging, side-channel detectability) against one design
+/// or a manifest of designs, emitting a deterministic JSON scorecard
+/// (see `odcfp_core::attack` and DESIGN.md §15).
+fn run_attack(
+    o: &Options,
+    library: Arc<CellLibrary>,
+    out: &mut impl std::io::Write,
+) -> Result<i32, CliError> {
+    let mut opts = AttackOptions::default();
+    if let Some(seed) = o.seed {
+        opts.seed = seed;
+    }
+    if let Some(buyers) = o.buyers {
+        opts.buyers = buyers;
+    }
+    if let Some(copies) = o.copies {
+        opts.minted_copies = copies;
+    }
+    if let Some(words) = o.power_words {
+        opts.power_words = words;
+    }
+    if let Some(t) = o.detect_threshold {
+        opts.detectability_threshold = t;
+    }
+    if let Some(list) = &o.coalitions {
+        opts.coalition_sizes = list
+            .split(',')
+            .map(|s| {
+                match s.trim().parse::<usize>() {
+                    Ok(0) | Err(_) => Err(usage(format!("--coalitions: bad size {s:?}"))),
+                    Ok(n) => Ok(n),
+                }
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = &o.resynth_levels {
+        opts.resynth_levels = list
+            .split(',')
+            .map(|s| {
+                odcfp_synth::ResynthLevel::parse(s.trim()).ok_or_else(|| {
+                    usage(format!(
+                        "--resynth-levels: unknown level {s:?} \
+                         (expected opt|remap|remap2 or 1|2|3)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+
+    // Targets: every non-comment manifest line, or the one positional
+    // input. A target naming a file is loaded from disk; anything else is
+    // a built-in Table II benchmark.
+    let targets: Vec<String> = match &o.manifest {
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+            let lines: Vec<String> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(String::from)
+                .collect();
+            if lines.is_empty() {
+                return Err(usage(format!("{path}: manifest lists no targets")));
+            }
+            lines
+        }
+        None => vec![required_input(o, "input design (or --manifest)")?.to_string()],
+    };
+    if o.survival_out.is_some() && targets.len() != 1 {
+        return Err(usage(
+            "--survival-out needs exactly one target (it is per-circuit)",
+        ));
+    }
+
+    let token = odcfp_core::CancelToken::new();
+    let mut cards = Vec::with_capacity(targets.len());
+    for target in &targets {
+        let design = if Path::new(target).extension().is_some() {
+            load_design(target, Arc::clone(&library))?
+        } else {
+            odcfp_synth::benchmarks::generate(target, Arc::clone(&library))
+                .ok_or_else(|| fail(format!("unknown benchmark {target:?}")))?
+        };
+        let card = run_battery(&design, &opts, &token).map_err(|e| fail(e.to_string()))?;
+        for r in &card.resynth {
+            eprintln!(
+                "{}: resynth {:7} survival {}/{} ({:.1}%), verdict {}",
+                card.circuit,
+                r.level.name(),
+                r.wires_surviving,
+                r.wires_identifiable,
+                r.survival_rate * 100.0,
+                r.outcome.name(),
+            );
+        }
+        let convicted_cells = card
+            .collusion
+            .iter()
+            .filter(|c| c.colluders_convicted > 0)
+            .count();
+        let framed: usize = card.collusion.iter().map(|c| c.innocents_accused).sum();
+        eprintln!(
+            "{}: collusion {}/{} cells convicted a colluder, {} innocents accused; \
+             side-channel {}/{} copies detectable",
+            card.circuit,
+            convicted_cells,
+            card.collusion.len(),
+            framed,
+            card.side_channel.detectable,
+            card.side_channel.copies,
+        );
+        cards.push(card);
+    }
+
+    if let Some(path) = &o.survival_out {
+        let text = cards[0].survival.to_text(&cards[0].circuit);
+        fs::write(path, text).map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+
+    // One scorecard object for a single target, a JSON array for a
+    // manifest — byte-identical across runs and thread counts.
+    let json = if o.manifest.is_none() {
+        cards[0].to_json()
+    } else {
+        let mut s = String::from("[\n");
+        for (i, card) in cards.iter().enumerate() {
+            s.push_str(&card.to_json());
+            if i + 1 < cards.len() {
+                s.pop(); // trailing newline
+                s.push_str(",\n");
+            }
+        }
+        s.push_str("]\n");
+        s
+    };
+    write_output(o, &json, out)?;
+    Ok(0)
 }
 
 /// The `campaign` subcommand: a journaled, crash-safe batch run (see
@@ -809,6 +1040,14 @@ commands:
             [--verify-budget N] [--verify-timeout SECS] [--stats]
   constrain <in.(blif|v)> --delay-pct P         delay-constrained embedding
             [--method reactive|proactive] [-o out.v]
+            [--robust-locations <survival-file>] (survival-aware selection:
+             skips proven-strippable wires, tries survivors first)
+  attack    <in.(blif|v)> | --manifest <m>      adversary battery scorecard
+            [--seed N] [--buyers N] [--copies N] [--coalitions 2,4,8]
+            [--resynth-levels opt,remap,remap2] [--power-words N]
+            [--detect-threshold X] [--survival-out <file>] [-o out.json]
+            (resynthesis survival, n-way collusion averaging, side-channel
+             detectability; deterministic at any --threads setting)
   report    <in.(blif|v)> [-o out.md]           full markdown design report
   optimize  <in.(blif|v)> [-o out.v]            constant folding + dead sweep
   dot       <in.(blif|v)> [-o out.dot]          Graphviz export
@@ -1021,6 +1260,147 @@ mod tests {
                 .expect_err(&format!("{command} {args:?} must fail"));
             assert!(!e.0.is_empty(), "{command} {args:?}: empty message");
             assert_eq!(e.exit_code(), want_code, "{command} {args:?}: {}", e.0);
+        }
+    }
+
+    #[test]
+    fn attack_scorecard_covers_all_adversaries_and_is_thread_invariant() {
+        let input = tmp("atk.blif", BLIF);
+        let args = |threads: &str| {
+            vec![
+                input.clone(),
+                "--buyers".into(),
+                "8".into(),
+                "--copies".into(),
+                "2".into(),
+                "--coalitions".into(),
+                "2,4".into(),
+                "--resynth-levels".into(),
+                "opt,remap".into(),
+                "--power-words".into(),
+                "16".into(),
+                "--threads".into(),
+                threads.into(),
+            ]
+        };
+        let sequential = run_ok("attack", &args("1"));
+        let parallel = run_ok("attack", &args("4"));
+        odcfp_analysis::engine::set_thread_override(None);
+        assert_eq!(sequential, parallel, "scorecard must be thread-invariant");
+        for key in ["\"resynth\"", "\"collusion\"", "\"side_channel\"", "\"survival\""] {
+            assert!(sequential.contains(key), "missing {key}:\n{sequential}");
+        }
+        assert!(sequential.contains("\"level\": \"remap\""), "{sequential}");
+        assert!(sequential.contains("\"strategy\": \"random\""), "{sequential}");
+    }
+
+    #[test]
+    fn attack_manifest_emits_scorecard_array() {
+        let design = tmp("atk_m.blif", BLIF);
+        let manifest = tmp("atk.manifest", &format!("# targets\n{design}\n{design}\n"));
+        let text = run_ok(
+            "attack",
+            &[
+                "--manifest".into(),
+                manifest,
+                "--buyers".into(),
+                "4".into(),
+                "--copies".into(),
+                "1".into(),
+                "--coalitions".into(),
+                "2".into(),
+                "--resynth-levels".into(),
+                "opt".into(),
+                "--power-words".into(),
+                "8".into(),
+            ],
+        );
+        assert!(text.trim_start().starts_with('['), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert_eq!(text.matches("\"circuit\"").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn attack_survival_feeds_robust_constrain() {
+        let input = tmp("atk_s.blif", BLIF);
+        let survival = tmp("atk_s.survival", "");
+        run_ok(
+            "attack",
+            &[
+                input.clone(),
+                "--buyers".into(),
+                "4".into(),
+                "--resynth-levels".into(),
+                "opt".into(),
+                "--power-words".into(),
+                "8".into(),
+                "--survival-out".into(),
+                survival.clone(),
+            ],
+        );
+        let written = fs::read_to_string(&survival).unwrap();
+        assert!(written.contains("# odcfp survival v1"), "{written}");
+        let text = run_ok(
+            "constrain",
+            &[
+                input,
+                "--delay-pct".into(),
+                "10".into(),
+                "--robust-locations".into(),
+                survival,
+            ],
+        );
+        assert!(text.contains("kept"), "{text}");
+    }
+
+    #[test]
+    fn attack_trace_feeds_report_summary() {
+        let input = tmp("atk_t.blif", BLIF);
+        let trace = std::env::temp_dir()
+            .join("odcfp-cli-tests")
+            .join("atk.trace.jsonl");
+        let _ = fs::remove_file(&trace);
+        let trace_arg = trace.to_string_lossy().into_owned();
+        run_ok(
+            "attack",
+            &[
+                input,
+                "--buyers".into(),
+                "4".into(),
+                "--coalitions".into(),
+                "2".into(),
+                "--resynth-levels".into(),
+                "opt".into(),
+                "--power-words".into(),
+                "8".into(),
+                "--trace-out".into(),
+                trace_arg.clone(),
+            ],
+        );
+        let report = run_ok("report", &[trace_arg]);
+        assert!(report.contains("attack resynthesis survival"), "{report}");
+        assert!(report.contains("attack collusion verdicts"), "{report}");
+        assert!(report.contains("attack side-channel:"), "{report}");
+        assert!(report.contains("attack.battery"), "span listed:\n{report}");
+    }
+
+    #[test]
+    fn attack_rejects_bad_flags() {
+        let input = tmp("atk_e.blif", BLIF);
+        for (args, code) in [
+            (vec![input.clone(), "--resynth-levels".into(), "psychic".into()], 2),
+            (vec![input.clone(), "--coalitions".into(), "2,x".into()], 2),
+            (vec![input.clone(), "--coalitions".into(), "0".into()], 2),
+            (vec![input.clone(), "--buyers".into(), "0".into()], 2),
+            (vec!["no_such_benchmark".into()], 1),
+            (
+                vec![input, "--manifest".into(), "/nonexistent/m.txt".into()],
+                1,
+            ),
+        ] {
+            let e = run("attack", &args, &mut Vec::new())
+                .expect_err(&format!("attack {args:?} must fail"));
+            assert_eq!(e.exit_code(), code, "attack {args:?}: {}", e.0);
         }
     }
 

@@ -1,0 +1,169 @@
+//! Adversary (b): n-way collusion averaging at the bit level.
+//!
+//! [`crate::collusion::forge`] models a coalition at the netlist level —
+//! faithful, but each forged copy costs an embed + verification, which
+//! caps studies at a handful of coalitions. This module mixes the
+//! registered bit strings directly (what the netlist diffing would
+//! recover anyway, per `analyze_collusion`), so a full
+//! `sizes × strategies` grid over a 32-buyer registry runs in
+//! microseconds and the interesting question — *whom does the tracer
+//! convict?* — is answered by [`TracerIndex::verdict`] per cell.
+
+use odcfp_analysis::cancel::CancelToken;
+use odcfp_logic::rng::Xoshiro256;
+
+use crate::collusion::{TraceOutcome, TraceParams, TracerIndex};
+
+use super::AttackError;
+
+/// How the coalition combines its copies bit-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixStrategy {
+    /// Keep a wire only if **every** colluder carries it (equivalent to
+    /// the netlist-level `ClearExposed`: remove everything you can see).
+    BitwiseAnd,
+    /// Majority vote per location (strict: ties drop the wire).
+    Majority,
+    /// Random-member averaging: each location inherits a uniformly
+    /// chosen colluder's bit — the "average of our copies" chimera.
+    RandomMember,
+}
+
+impl MixStrategy {
+    /// All strategies, in the order the battery runs them.
+    pub const ALL: [MixStrategy; 3] = [
+        MixStrategy::BitwiseAnd,
+        MixStrategy::Majority,
+        MixStrategy::RandomMember,
+    ];
+
+    /// Stable lowercase name (used in traces, scorecards, and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            MixStrategy::BitwiseAnd => "and",
+            MixStrategy::Majority => "majority",
+            MixStrategy::RandomMember => "random",
+        }
+    }
+}
+
+/// One `(coalition size, strategy)` cell of the collusion grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollusionAttackReport {
+    /// Coalition size `n`.
+    pub coalition: usize,
+    /// Mixing strategy.
+    pub strategy: MixStrategy,
+    /// Tracing outcome.
+    pub outcome: TraceOutcome,
+    /// Convicted buyers who really were in the coalition.
+    pub colluders_convicted: usize,
+    /// Convicted buyers who were **not** in the coalition.
+    pub innocents_accused: usize,
+    /// `colluders_convicted / n`.
+    pub conviction_rate: f64,
+    /// `innocents_accused / (buyers - n)` (0 when every buyer colluded).
+    pub innocent_rate: f64,
+    /// Surviving evidence wires the tracer saw.
+    pub evidence_wires: usize,
+}
+
+/// Mixes the coalition members' codes under `strategy`. `rng` drives
+/// random-member choices only.
+pub fn mix(
+    codes: &[Vec<bool>],
+    members: &[usize],
+    strategy: MixStrategy,
+    rng: &mut Xoshiro256,
+) -> Vec<bool> {
+    let locations = codes.first().map_or(0, Vec::len);
+    (0..locations)
+        .map(|l| match strategy {
+            MixStrategy::BitwiseAnd => members.iter().all(|&m| codes[m][l]),
+            MixStrategy::Majority => {
+                let ones = members.iter().filter(|&&m| codes[m][l]).count();
+                ones * 2 > members.len()
+            }
+            MixStrategy::RandomMember => {
+                let pick = members[(rng.next_u64() % members.len() as u64) as usize];
+                codes[pick][l]
+            }
+        })
+        .collect()
+}
+
+/// Deterministically samples a coalition of `n` distinct buyers for the
+/// given grid cell (Fisher–Yates over the registry, seeded per cell).
+fn sample_coalition(buyers: usize, n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut all: Vec<usize> = (0..buyers).collect();
+    for i in (1..all.len()).rev() {
+        all.swap(i, (rng.next_u64() % (i as u64 + 1)) as usize);
+    }
+    all.truncate(n);
+    all.sort_unstable();
+    all
+}
+
+/// Runs the full `sizes × strategies` grid against the registry.
+pub(super) fn run_collusion(
+    index: &TracerIndex,
+    codes: &[Vec<bool>],
+    sizes: &[usize],
+    trace_params: &TraceParams,
+    seed: u64,
+    token: &CancelToken,
+) -> Result<Vec<CollusionAttackReport>, AttackError> {
+    let mut span = odcfp_obs::span("attack.collusion");
+    let buyers = codes.len();
+    let mut reports = Vec::new();
+    for (ni, &n) in sizes.iter().enumerate() {
+        if n < 2 || n > buyers {
+            continue;
+        }
+        for (si, &strategy) in MixStrategy::ALL.iter().enumerate() {
+            if token.is_cancelled() {
+                return Err(AttackError::Cancelled);
+            }
+            let cell_seed = seed
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add((ni as u64) << 8 | si as u64);
+            let members = sample_coalition(buyers, n, cell_seed);
+            let mut rng = Xoshiro256::seed_from_u64(cell_seed ^ 0xC011_0DE5);
+            let forged = mix(codes, &members, strategy, &mut rng);
+            let verdict = index.verdict(&forged, trace_params);
+            let colluders_convicted = verdict
+                .convicted
+                .iter()
+                .filter(|s| members.binary_search(&s.buyer).is_ok())
+                .count();
+            let innocents_accused = verdict.convicted.len() - colluders_convicted;
+            let innocents = buyers - n;
+            let report = CollusionAttackReport {
+                coalition: n,
+                strategy,
+                outcome: verdict.outcome,
+                colluders_convicted,
+                innocents_accused,
+                conviction_rate: colluders_convicted as f64 / n as f64,
+                innocent_rate: if innocents == 0 {
+                    0.0
+                } else {
+                    innocents_accused as f64 / innocents as f64
+                },
+                evidence_wires: verdict.evidence_wires,
+            };
+            odcfp_obs::point("attack.collusion.verdict")
+                .field("coalition", n as u64)
+                .field("strategy", strategy.name())
+                .field("outcome", verdict.outcome.name())
+                .field("colluders_convicted", colluders_convicted as u64)
+                .field("innocents_accused", innocents_accused as u64)
+                .field("evidence_wires", verdict.evidence_wires as u64)
+                .emit();
+            reports.push(report);
+        }
+    }
+    span.field("cells", reports.len());
+    Ok(reports)
+}

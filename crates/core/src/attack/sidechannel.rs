@@ -1,0 +1,140 @@
+//! Adversary (c): side-channel detectability of the embedding itself.
+//!
+//! A fingerprint that is functionally invisible can still betray its
+//! presence physically: every optional wire adds load capacitance and
+//! toggling, shifting the chip's power signature. An adversary with an
+//! oscilloscope and a golden reference (or another buyer's chip) could
+//! in principle *detect* that a copy is fingerprinted — and two buyers
+//! comparing signatures is a collusion channel that needs no netlist.
+//!
+//! The measurement: drive golden and fingerprinted netlists with the
+//! same seeded patterns through the switching-activity model, take the
+//! per-net power vectors as signatures, and compute a relative L2
+//! distance (aligned on the shared net ids; nets the embedding added
+//! contribute their full power). A copy above the threshold counts as
+//! detectable.
+
+use odcfp_analysis::cancel::CancelToken;
+use odcfp_analysis::power::estimate_power;
+use odcfp_netlist::Netlist;
+
+use crate::FingerprintedCopy;
+
+use super::AttackError;
+
+/// One copy's signature distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyDistance {
+    /// Buyer index of the measured copy.
+    pub buyer: usize,
+    /// Relative power-signature distance from golden.
+    pub distance: f64,
+    /// Whether it exceeds the detectability threshold.
+    pub detectable: bool,
+}
+
+/// Side-channel detectability over the minted copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideChannelReport {
+    /// Copies measured.
+    pub copies: usize,
+    /// Pattern words driven per net.
+    pub power_words: usize,
+    /// Golden total power (model units).
+    pub golden_total: f64,
+    /// The detectability threshold applied (relative distance).
+    pub threshold: f64,
+    /// Mean relative distance over the copies.
+    pub mean_distance: f64,
+    /// Largest relative distance.
+    pub max_distance: f64,
+    /// Copies above the threshold.
+    pub detectable: usize,
+    /// Per-copy measurements, in buyer order.
+    pub per_copy: Vec<CopyDistance>,
+}
+
+/// Relative L2 distance between golden and copy per-net power vectors.
+///
+/// Copies are minted by cloning the base netlist, so net id `i` in the
+/// copy is net id `i` in golden for `i < golden.num_nets()`; embedding
+/// only appends (fresh inverters) and re-loads existing nets. Added nets
+/// have no golden counterpart — their whole power is signature delta.
+fn signature_distance(golden: &[f64], copy: &[f64]) -> f64 {
+    let shared = golden.len().min(copy.len());
+    let mut num = 0.0f64;
+    for i in 0..shared {
+        let d = copy[i] - golden[i];
+        num += d * d;
+    }
+    for &p in &copy[shared..] {
+        num += p * p;
+    }
+    for &p in &golden[shared..] {
+        num += p * p;
+    }
+    let den: f64 = golden.iter().map(|p| p * p).sum();
+    if den == 0.0 {
+        return 0.0;
+    }
+    (num / den).sqrt()
+}
+
+/// Measures every minted copy against the golden power signature.
+pub(super) fn measure(
+    base: &Netlist,
+    copies: &[FingerprintedCopy],
+    power_words: usize,
+    seed: u64,
+    threshold: f64,
+    token: &CancelToken,
+) -> Result<SideChannelReport, AttackError> {
+    let mut span = odcfp_obs::span("attack.sidechannel");
+    let power_seed = seed ^ 0x5105_C8A7;
+    let golden = estimate_power(base, power_words, power_seed);
+    let mut per_copy = Vec::with_capacity(copies.len());
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut detectable = 0usize;
+    for (buyer, copy) in copies.iter().enumerate() {
+        if token.is_cancelled() {
+            return Err(AttackError::Cancelled);
+        }
+        let p = estimate_power(copy.netlist(), power_words, power_seed);
+        let distance = signature_distance(golden.per_net(), p.per_net());
+        let hit = distance > threshold;
+        if hit {
+            detectable += 1;
+        }
+        sum += distance;
+        if distance > max {
+            max = distance;
+        }
+        odcfp_obs::point("attack.sidechannel.copy")
+            .field("buyer", buyer as u64)
+            .field("distance_ppm", (distance * 1_000_000.0).round() as u64)
+            .field("detectable", hit)
+            .emit();
+        per_copy.push(CopyDistance {
+            buyer,
+            distance,
+            detectable: hit,
+        });
+    }
+    span.field("copies", copies.len());
+    span.field("detectable", detectable);
+    Ok(SideChannelReport {
+        copies: copies.len(),
+        power_words,
+        golden_total: golden.total(),
+        threshold,
+        mean_distance: if per_copy.is_empty() {
+            0.0
+        } else {
+            sum / per_copy.len() as f64
+        },
+        max_distance: max,
+        detectable,
+        per_copy,
+    })
+}

@@ -430,6 +430,183 @@ impl TracerIndex {
         scored.truncate(k);
         scored
     }
+
+    /// Traces a recovered bit string to a structured [`TraceVerdict`]
+    /// instead of a bare ranking.
+    ///
+    /// A ranking alone invites misreading: *someone* is always ranked
+    /// first, even when the recovered string carries no evidence at all
+    /// (every wire stripped) or matches half the population (averaged
+    /// into noise). The verdict makes the statistical decision explicit —
+    /// see [`TraceParams`] for the threshold construction — and
+    /// classifies the trace as [`Convicted`](TraceOutcome::Convicted),
+    /// [`Inconclusive`](TraceOutcome::Inconclusive), or
+    /// [`InnocentRisk`](TraceOutcome::InnocentRisk).
+    ///
+    /// The ranking inside the verdict is produced by the same scoring and
+    /// sort as [`TracerIndex::trace_top`], so it stays bit-identical to
+    /// the pairwise oracle ([`score_suspects`] + the containment/agreement
+    /// sort); the verdict only *interprets* it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bit-length mismatch.
+    pub fn verdict(&self, recovered: &[bool], params: &TraceParams) -> TraceVerdict {
+        let mut scored = self.score(recovered);
+        scored.sort_by(|a, b| {
+            (b.containment, b.agreement)
+                .partial_cmp(&(a.containment, a.agreement))
+                .expect("finite scores")
+        });
+        let evidence_wires = recovered.iter().filter(|&&f| f).count();
+        let threshold = params.containment_threshold(evidence_wires);
+        let agreement_threshold = params.agreement_threshold(self.locations);
+        // The accusation count sweeps the whole population, not just the
+        // reported top-k — a flooded threshold must not look clean.
+        let cleared: Vec<SuspectScore> = scored
+            .iter()
+            .filter(|s| s.containment >= threshold || s.agreement >= agreement_threshold)
+            .copied()
+            .collect();
+        let limit = (params.max_convicted_fraction * self.buyers as f64).ceil() as usize;
+        let outcome = if evidence_wires < params.min_evidence || cleared.is_empty() {
+            TraceOutcome::Inconclusive
+        } else if cleared.len() > limit.max(1) {
+            TraceOutcome::InnocentRisk
+        } else {
+            TraceOutcome::Convicted
+        };
+        scored.truncate(params.top_k.max(1));
+        TraceVerdict {
+            outcome,
+            convicted: if outcome == TraceOutcome::Convicted {
+                cleared
+            } else {
+                Vec::new()
+            },
+            ranking: scored,
+            evidence_wires,
+            threshold,
+            agreement_threshold,
+        }
+    }
+}
+
+/// Tuning knobs for [`TracerIndex::verdict`].
+///
+/// Both conviction thresholds are derived from the innocent-buyer
+/// baseline: an innocent's bit at any location is an independent coin
+/// flip, so over `s` surviving evidence wires their containment is
+/// `Binomial(s, ½)/s` — mean `½`, standard deviation `½/√s` — and over
+/// all `L` locations their agreement is `Binomial(L, ½)/L`. A buyer
+/// convicts when **either** statistic sits `sigma` innocent standard
+/// deviations above chance:
+///
+/// * containment ≥ `½ + sigma·½/√s` — sharp against AND-style mixing,
+///   where every surviving wire is carried by every colluder;
+/// * agreement ≥ `½ + sigma·½/√L` — sharp against averaging mixes, whose
+///   per-wire signal is diluted to `≈ 1/(2n)` but present at *every*
+///   location, set or clear, so the wider evidence base wins.
+///
+/// With the default `sigma = 3.5` each test's per-innocent
+/// false-accusation probability is ≈ 2·10⁻⁴; callers tracing very large
+/// populations should raise `sigma` (≈ `√(2·ln N)` keeps the *expected*
+/// number of false accusations below one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceParams {
+    /// Minimum surviving evidence wires for any conviction; below this
+    /// the verdict is [`TraceOutcome::Inconclusive`]. Default 16.
+    pub min_evidence: usize,
+    /// Innocent standard deviations above chance required to convict.
+    /// Default 3.5.
+    pub sigma: f64,
+    /// If more than this fraction of the population clears a threshold
+    /// (at least one buyer is always tolerated), the verdict degrades to
+    /// [`TraceOutcome::InnocentRisk`]: the evidence accuses so broadly it
+    /// cannot be trusted. Default 0.25.
+    pub max_convicted_fraction: f64,
+    /// Length of the reported ranking (the accusation *count* always
+    /// considers the whole population). Default 8.
+    pub top_k: usize,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            min_evidence: 16,
+            sigma: 3.5,
+            max_convicted_fraction: 0.25,
+            top_k: 8,
+        }
+    }
+}
+
+impl TraceParams {
+    /// The containment a buyer must reach to convict, given `s` surviving
+    /// evidence wires. Infinite when `s = 0` (no evidence convicts no
+    /// one).
+    pub fn containment_threshold(&self, evidence_wires: usize) -> f64 {
+        if evidence_wires == 0 {
+            f64::INFINITY
+        } else {
+            0.5 + self.sigma * 0.5 / (evidence_wires as f64).sqrt()
+        }
+    }
+
+    /// The agreement a buyer must reach to convict, given `locations`
+    /// bits per code.
+    pub fn agreement_threshold(&self, locations: usize) -> f64 {
+        if locations == 0 {
+            f64::INFINITY
+        } else {
+            0.5 + self.sigma * 0.5 / (locations as f64).sqrt()
+        }
+    }
+}
+
+/// The statistical outcome of a trace — see [`TracerIndex::verdict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOutcome {
+    /// At least one buyer sits provably above the innocent baseline.
+    Convicted,
+    /// Nobody clears the threshold, or the evidence is too thin to
+    /// support any accusation.
+    Inconclusive,
+    /// The threshold accuses an implausibly large share of the
+    /// population; treating the ranking as convictions would accuse
+    /// innocents.
+    InnocentRisk,
+}
+
+impl TraceOutcome {
+    /// Stable lowercase name (used in traces and scorecards).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceOutcome::Convicted => "convicted",
+            TraceOutcome::Inconclusive => "inconclusive",
+            TraceOutcome::InnocentRisk => "innocent-risk",
+        }
+    }
+}
+
+/// A structured tracing decision: the interpreted outcome plus the
+/// bit-identical ranking it interprets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceVerdict {
+    /// The statistical decision.
+    pub outcome: TraceOutcome,
+    /// Buyers above the conviction threshold, most suspicious first.
+    /// Empty unless `outcome` is [`TraceOutcome::Convicted`].
+    pub convicted: Vec<SuspectScore>,
+    /// The top of the underlying ranking (identical to
+    /// [`TracerIndex::trace_top`]), reported regardless of outcome.
+    pub ranking: Vec<SuspectScore>,
+    /// Surviving evidence wires (set bits in the recovered string).
+    pub evidence_wires: usize,
+    /// The containment threshold that was applied.
+    pub threshold: f64,
+    /// The agreement threshold that was applied.
+    pub agreement_threshold: f64,
 }
 
 #[cfg(test)]
@@ -652,6 +829,98 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn verdict_ranking_is_bit_identical_to_pairwise_oracle() {
+        // The structured verdict interprets the ranking, it must not
+        // perturb it: element-for-element equality with the pairwise
+        // oracle's sort, f64 bits included.
+        for (seed, n, l) in [(11u64, 40usize, 33usize), (12, 65, 80), (13, 129, 129)] {
+            let (registry, forged) = random_population(seed, n, l);
+            let index = TracerIndex::from_registry(&registry);
+            let params = TraceParams { top_k: n, ..TraceParams::default() };
+            let verdict = index.verdict(&forged, &params);
+            let mut oracle = score_suspects(&forged, &registry);
+            oracle.sort_by(|a, b| {
+                (b.containment, b.agreement)
+                    .partial_cmp(&(a.containment, a.agreement))
+                    .expect("finite scores")
+            });
+            assert_eq!(verdict.ranking.len(), oracle.len());
+            for (v, o) in verdict.ranking.iter().zip(&oracle) {
+                assert_eq!(v.buyer, o.buyer);
+                assert_eq!(v.containment.to_bits(), o.containment.to_bits());
+                assert_eq!(v.agreement.to_bits(), o.agreement.to_bits());
+            }
+            assert_eq!(verdict.ranking, index.trace_top(&forged, n));
+        }
+    }
+
+    #[test]
+    fn verdict_convicts_clear_exposed_coalition_without_innocents() {
+        // Needs enough locations that the coalition's hidden-one residue
+        // clears `min_evidence`; the default 120-gate DAG is too small.
+        let lib = CellLibrary::standard();
+        let base = random_dag(
+            lib,
+            DagParams {
+                inputs: 16,
+                gates: 1400,
+                outputs: 12,
+                window: 40,
+                seed: 778,
+            },
+        );
+        let fp = Fingerprinter::new(base).unwrap();
+        assert!(
+            fp.locations().len() >= 100,
+            "need a realistic code length, got {}",
+            fp.locations().len()
+        );
+        let copies: Vec<_> = (0..10u64).map(|s| fp.embed_seeded(s * 17 + 2).unwrap()).collect();
+        let registry: Vec<Vec<bool>> = copies.iter().map(|c| c.bits().to_vec()).collect();
+        let index = TracerIndex::from_registry(&registry);
+        let colluders = [1usize, 4];
+        let held: Vec<&Netlist> = colluders.iter().map(|&i| copies[i].netlist()).collect();
+        let forged = forge(&fp, &held, ForgeStrategy::ClearExposed).unwrap();
+        let recovered = fp.extract(forged.netlist());
+        let verdict = index.verdict(&recovered, &TraceParams::default());
+        assert_eq!(verdict.outcome, TraceOutcome::Convicted, "{verdict:?}");
+        let accused: Vec<usize> = verdict.convicted.iter().map(|s| s.buyer).collect();
+        for b in &accused {
+            assert!(colluders.contains(b), "innocent buyer {b} accused: {verdict:?}");
+        }
+        assert!(!accused.is_empty());
+    }
+
+    #[test]
+    fn verdict_is_inconclusive_on_stripped_fingerprint() {
+        let (registry, _) = random_population(21, 30, 100);
+        let index = TracerIndex::from_registry(&registry);
+        let stripped = vec![false; 100];
+        let verdict = index.verdict(&stripped, &TraceParams::default());
+        assert_eq!(verdict.outcome, TraceOutcome::Inconclusive);
+        assert!(verdict.convicted.is_empty());
+        assert_eq!(verdict.evidence_wires, 0);
+        // The ranking is still reported (everyone at containment 1.0),
+        // which is exactly the misreading the outcome guards against.
+        assert!(!verdict.ranking.is_empty());
+    }
+
+    #[test]
+    fn verdict_flags_innocent_risk_when_threshold_floods() {
+        // Every buyer carries every wire: the evidence "convicts" the
+        // whole population, which must be reported as innocent risk.
+        let registry: Vec<Vec<bool>> = vec![vec![true; 64]; 12];
+        let index = TracerIndex::from_registry(&registry);
+        let mut forged = vec![false; 64];
+        for b in forged.iter_mut().take(32) {
+            *b = true;
+        }
+        let verdict = index.verdict(&forged, &TraceParams::default());
+        assert_eq!(verdict.outcome, TraceOutcome::InnocentRisk);
+        assert!(verdict.convicted.is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use odcfp_analysis::{sta, DesignMetrics};
 use odcfp_logic::rng::Xoshiro256;
 use odcfp_netlist::Netlist;
 
+use crate::attack::SurvivalStats;
 use crate::{apply_modification, FingerprintError, Fingerprinter, FingerprintedCopy, VerifyLevel};
 
 /// Options for [`reactive_delay_reduction`].
@@ -174,18 +175,109 @@ pub fn proactive_delay_embedding(
     fp: &Fingerprinter,
     max_delay_overhead_pct: f64,
 ) -> Result<ConstrainedEmbedding, FingerprintError> {
-    let n = fp.locations().len();
-    let base_metrics = DesignMetrics::measure(fp.base());
-    let limit = base_metrics.delay * (1.0 + max_delay_overhead_pct / 100.0);
-
     // Order locations by target slack in the base design, descending.
     let timing = sta::analyze(fp.base()).expect("valid base");
-    let mut order: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..fp.locations().len()).collect();
     order.sort_by(|&a, &b| {
         let sa = timing.slack(fp.selected_modifications()[a].target());
         let sb = timing.slack(fp.selected_modifications()[b].target());
         sb.partial_cmp(&sa).expect("finite slack")
     });
+    proactive_with_order(fp, max_delay_overhead_pct, &order)
+}
+
+/// Location indices ordered most-attack-survivable first (ties broken by
+/// slack-free index order, so the result is deterministic).
+///
+/// Scores come from [`SurvivalStats`] measured by an attack battery
+/// ([`crate::attack::run_battery`]); a location that was never embedded
+/// during the battery, or whose widened shape is structurally
+/// unidentifiable, scores `0` — the battery produced no evidence it can
+/// survive anything.
+pub fn robust_location_order(stats: &SurvivalStats) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..stats.len()).collect();
+    order.sort_by(|&a, &b| {
+        stats
+            .score(b)
+            .partial_cmp(&stats.score(a))
+            .expect("scores are finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// The proactive method with attack-survival feedback — the
+/// `--robust-locations` CLI path.
+///
+/// Two rules close the loop from attack evidence to embedding policy:
+///
+/// * **Skip proven-fragile wires.** A location whose widened shape is
+///   structurally unidentifiable, or that was attacked and never
+///   survived, is never embedded — delay budget spent there buys
+///   evidence an attacker demonstrably erases. Locations the battery
+///   never exercised are kept with a neutral `0.5` prior (absence of
+///   evidence is not evidence of fragility).
+/// * **Try survivors first.** Remaining locations are ordered by
+///   measured survival rate, slack-rich first among equals, so a tight
+///   budget goes to the wires most likely to outlive resynthesis.
+///
+/// `stats` must describe the same location list as `fp` (same circuit,
+/// same engine).
+///
+/// # Errors
+///
+/// Propagates embedding errors.
+///
+/// # Panics
+///
+/// Panics if `stats` has a different location count than `fp`.
+pub fn proactive_robust_embedding(
+    fp: &Fingerprinter,
+    max_delay_overhead_pct: f64,
+    stats: &SurvivalStats,
+) -> Result<ConstrainedEmbedding, FingerprintError> {
+    let n = fp.locations().len();
+    assert_eq!(
+        stats.len(),
+        n,
+        "survival statistics describe a different location list"
+    );
+    let rank = |i: usize| -> Option<f64> {
+        if !stats.identifiable.get(i).copied().unwrap_or(false) {
+            return None; // structurally invisible: useless as evidence
+        }
+        if stats.tested[i] == 0 {
+            return Some(0.5); // untested: neutral prior
+        }
+        if stats.survived[i] == 0 {
+            return None; // attacked and always stripped: proven fragile
+        }
+        Some(f64::from(stats.survived[i]) / f64::from(stats.tested[i]))
+    };
+    let timing = sta::analyze(fp.base()).expect("valid base");
+    let mut order: Vec<(usize, f64)> =
+        (0..n).filter_map(|i| rank(i).map(|s| (i, s))).collect();
+    order.sort_by(|&(a, score_a), &(b, score_b)| {
+        let slack_a = timing.slack(fp.selected_modifications()[a].target());
+        let slack_b = timing.slack(fp.selected_modifications()[b].target());
+        score_b
+            .partial_cmp(&score_a)
+            .expect("finite score")
+            .then(slack_b.partial_cmp(&slack_a).expect("finite slack"))
+            .then(a.cmp(&b))
+    });
+    let order: Vec<usize> = order.into_iter().map(|(i, _)| i).collect();
+    proactive_with_order(fp, max_delay_overhead_pct, &order)
+}
+
+fn proactive_with_order(
+    fp: &Fingerprinter,
+    max_delay_overhead_pct: f64,
+    order: &[usize],
+) -> Result<ConstrainedEmbedding, FingerprintError> {
+    let n = fp.locations().len();
+    let base_metrics = DesignMetrics::measure(fp.base());
+    let limit = base_metrics.delay * (1.0 + max_delay_overhead_pct / 100.0);
 
     // Grow one netlist through an incremental session instead of rebuilding
     // the whole embedding for every trial: each candidate is tried on a
@@ -194,7 +286,7 @@ pub fn proactive_delay_embedding(
     // order-independent and matches the batch rebuild below.
     let mut kept = vec![false; n];
     let mut session = fp.embed_session()?;
-    for i in order {
+    for &i in order {
         let mut trial = session.netlist().clone();
         apply_modification(&mut trial, &fp.selected_modifications()[i])?;
         if delay_of(&trial) <= limit {
@@ -298,6 +390,84 @@ mod tests {
         let verdict =
             odcfp_sat::check_equivalence(fp.base(), r.copy.netlist(), None).unwrap();
         assert_eq!(verdict, odcfp_sat::EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn robust_order_ranks_by_survival_score() {
+        let stats = SurvivalStats {
+            attacks: 2,
+            survived: vec![0, 2, 1, 0],
+            tested: vec![2, 2, 2, 0],
+            identifiable: vec![true, true, true, true],
+        };
+        assert_eq!(robust_location_order(&stats), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn robust_feedback_shifts_selection_toward_surviving_wires() {
+        let fp = engine(106);
+        let n = fp.locations().len();
+        assert!(n >= 4, "need a few locations, got {n}");
+
+        // Baseline: plain proactive under a moderate budget, keeping at
+        // least two locations so there is a set to poison.
+        let (pct, plain) = [10.0, 5.0, 2.0, 1.0]
+            .into_iter()
+            .find_map(|pct| {
+                let r = proactive_delay_embedding(&fp, pct).unwrap();
+                (r.kept_locations() >= 2).then_some((pct, r))
+            })
+            .expect("some budget keeps at least two locations");
+        let plain_kept: Vec<usize> = plain
+            .copy
+            .bits()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+
+        // Feedback: every other wire the plain method embedded turns out
+        // to be strippable (attacked once, never survived); everything
+        // else survived its attack.
+        let mut survived = vec![1u32; n];
+        for (j, &i) in plain_kept.iter().enumerate() {
+            if j % 2 == 0 {
+                survived[i] = 0;
+            }
+        }
+        let stats = SurvivalStats {
+            attacks: 1,
+            survived,
+            tested: vec![1; n],
+            identifiable: vec![true; n],
+        };
+        let robust = proactive_robust_embedding(&fp, pct, &stats).unwrap();
+        let robust_kept: Vec<usize> = robust
+            .copy
+            .bits()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        assert!(!robust_kept.is_empty(), "robust mode kept nothing");
+        for &i in &robust_kept {
+            assert_eq!(
+                stats.score(i),
+                1.0,
+                "robust mode embedded proven-strippable location {i}"
+            );
+        }
+
+        let mean = |kept: &[usize]| {
+            kept.iter().map(|&i| stats.score(i)).sum::<f64>() / kept.len() as f64
+        };
+        assert!(
+            mean(&robust_kept) > mean(&plain_kept),
+            "robust selection must shift toward surviving wires \
+             (robust mean {}, plain mean {})",
+            mean(&robust_kept),
+            mean(&plain_kept)
+        );
     }
 
     #[test]

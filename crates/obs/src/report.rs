@@ -202,6 +202,8 @@ pub fn summarize(trace: &TraceData) -> String {
             out.push_str(&format!("  {v:<20}  {n}\n"));
         }
     }
+    summarize_attack(trace, &mut out);
+
     let quarantined = trace
         .events
         .iter()
@@ -218,6 +220,132 @@ pub fn summarize(trace: &TraceData) -> String {
         }
     }
     out
+}
+
+/// The `attack.*` sections of [`summarize`]: per-pass resynthesis
+/// survival, the collusion conviction table, and side-channel
+/// detectability. Each is omitted when the trace holds no such events.
+fn summarize_attack(trace: &TraceData, out: &mut String) {
+    use crate::event::Value;
+
+    // Resynthesis survival histogram, one row per effort level.
+    #[derive(Default)]
+    struct LevelAgg {
+        passes: u64,
+        surviving: u64,
+        identifiable: u64,
+        phantom: u64,
+        convicted: u64,
+    }
+    let mut levels: BTreeMap<&str, LevelAgg> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.kind != Kind::Point || ev.name != "attack.resynth.survival" {
+            continue;
+        }
+        let level = ev.field_str("level").unwrap_or("?");
+        let agg = levels.entry(level).or_default();
+        agg.passes += 1;
+        agg.surviving += ev.field_u64("surviving").unwrap_or(0);
+        agg.identifiable += ev.field_u64("identifiable").unwrap_or(0);
+        agg.phantom += ev.field_u64("phantom").unwrap_or(0);
+        if matches!(ev.field("victim_convicted"), Some(Value::Bool(true))) {
+            agg.convicted += 1;
+        }
+    }
+    if !levels.is_empty() {
+        let total_passes: u64 = levels.values().map(|a| a.passes).sum();
+        out.push_str(&format!(
+            "\nattack resynthesis survival ({total_passes} pass{}):\n",
+            if total_passes == 1 { "" } else { "es" }
+        ));
+        out.push_str(&format!(
+            "  {:<8}  {:>6}  {:>12}  {:>9}  {:>8}  {:>9}\n",
+            "level", "passes", "surviving", "survival", "phantoms", "convicted"
+        ));
+        for (level, agg) in &levels {
+            let rate = if agg.identifiable == 0 {
+                100.0
+            } else {
+                100.0 * agg.surviving as f64 / agg.identifiable as f64
+            };
+            out.push_str(&format!(
+                "  {:<8}  {:>6}  {:>6}/{:<5}  {:>8.1}%  {:>8}  {:>9}\n",
+                level, agg.passes, agg.surviving, agg.identifiable, rate, agg.phantom, agg.convicted
+            ));
+        }
+    }
+
+    // Collusion conviction table, one row per (coalition, strategy) cell.
+    #[derive(Default)]
+    struct CellAgg {
+        cells: u64,
+        convicted: u64,
+        innocents: u64,
+        outcomes: BTreeMap<String, u64>,
+    }
+    let mut cells: BTreeMap<(u64, String), CellAgg> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.kind != Kind::Point || ev.name != "attack.collusion.verdict" {
+            continue;
+        }
+        let n = ev.field_u64("coalition").unwrap_or(0);
+        let strategy = ev.field_str("strategy").unwrap_or("?").to_owned();
+        let agg = cells.entry((n, strategy)).or_default();
+        agg.cells += 1;
+        agg.convicted += ev.field_u64("colluders_convicted").unwrap_or(0);
+        agg.innocents += ev.field_u64("innocents_accused").unwrap_or(0);
+        *agg.outcomes
+            .entry(ev.field_str("outcome").unwrap_or("?").to_owned())
+            .or_default() += 1;
+    }
+    if !cells.is_empty() {
+        let runs: u64 = cells.values().map(|a| a.cells).sum();
+        let framed: u64 = cells.values().map(|a| a.innocents).sum();
+        out.push_str(&format!(
+            "\nattack collusion verdicts ({runs} cell{}, {framed} innocents accused):\n",
+            if runs == 1 { "" } else { "s" }
+        ));
+        out.push_str(&format!(
+            "  {:<4}  {:<10}  {:>9}  {:>9}  outcomes\n",
+            "n", "strategy", "convicted", "innocents"
+        ));
+        for ((n, strategy), agg) in &cells {
+            let outcomes: Vec<String> = agg
+                .outcomes
+                .iter()
+                .map(|(o, c)| if *c == 1 { o.clone() } else { format!("{o}×{c}") })
+                .collect();
+            out.push_str(&format!(
+                "  {:<4}  {:<10}  {:>9}  {:>9}  {}\n",
+                n,
+                strategy,
+                agg.convicted,
+                agg.innocents,
+                outcomes.join(", ")
+            ));
+        }
+    }
+
+    // Side-channel detectability.
+    let mut copies = 0u64;
+    let mut detectable = 0u64;
+    let mut max_ppm = 0u64;
+    for ev in &trace.events {
+        if ev.kind != Kind::Point || ev.name != "attack.sidechannel.copy" {
+            continue;
+        }
+        copies += 1;
+        if matches!(ev.field("detectable"), Some(Value::Bool(true))) {
+            detectable += 1;
+        }
+        max_ppm = max_ppm.max(ev.field_u64("distance_ppm").unwrap_or(0));
+    }
+    if copies > 0 {
+        out.push_str(&format!(
+            "\nattack side-channel: {detectable}/{copies} copies detectable \
+             (max distance {max_ppm} ppm)\n"
+        ));
+    }
 }
 
 /// Convenience: total self time in microseconds per span name.
@@ -343,6 +471,56 @@ mod tests {
         let hot = s.find("  hot").expect("hot listed");
         let wrapper = s.find("  wrapper").expect("wrapper listed");
         assert!(hot < wrapper, "self-time ordering:\n{s}");
+    }
+
+    #[test]
+    fn attack_sections_summarize_through_the_lossy_reader() {
+        // Fixture: the attack battery's det points, with a line torn
+        // mid-write (killed run) between them — the same lossy path PR 6
+        // built for campaign journals must carry attack traces too.
+        let resynth = |level: &str, surviving: u64, identifiable: u64, convicted: bool| {
+            let mut e = Event::new(Kind::Point, "attack.resynth.survival", true);
+            e.fields.push(("level".into(), Value::Str(level.into())));
+            e.fields.push(("surviving".into(), Value::U64(surviving)));
+            e.fields.push(("identifiable".into(), Value::U64(identifiable)));
+            e.fields.push(("phantom".into(), Value::U64(0)));
+            e.fields.push(("victim_convicted".into(), Value::Bool(convicted)));
+            e.to_json_line()
+        };
+        let collusion = {
+            let mut e = Event::new(Kind::Point, "attack.collusion.verdict", true);
+            e.fields.push(("coalition".into(), Value::U64(4)));
+            e.fields.push(("strategy".into(), Value::Str("random".into())));
+            e.fields.push(("outcome".into(), Value::Str("convicted".into())));
+            e.fields.push(("colluders_convicted".into(), Value::U64(2)));
+            e.fields.push(("innocents_accused".into(), Value::U64(0)));
+            e.to_json_line()
+        };
+        let sidechannel = {
+            let mut e = Event::new(Kind::Point, "attack.sidechannel.copy", true);
+            e.fields.push(("buyer".into(), Value::U64(0)));
+            e.fields.push(("distance_ppm".into(), Value::U64(137)));
+            e.fields.push(("detectable".into(), Value::Bool(true)));
+            e.to_json_line()
+        };
+        let text = format!(
+            "{}\n{{\"seq\":7,\"t_us\":3,\"name\":\"attack.resy\n{}\n{}\n{}\n",
+            resynth("opt", 70, 73, true),
+            resynth("remap", 51, 73, false),
+            collusion,
+            sidechannel,
+        );
+        let data = parse_trace(&text);
+        assert_eq!(data.events.len(), 4);
+        assert_eq!(data.skipped_lines, 1, "torn line skipped, not fatal");
+        let s = summarize(&data);
+        assert!(s.contains("attack resynthesis survival (2 passes)"), "{s}");
+        assert!(s.contains("opt"), "{s}");
+        assert!(s.contains("95.9%"), "opt row 70/73:\n{s}");
+        assert!(s.contains("attack collusion verdicts (1 cell, 0 innocents accused)"), "{s}");
+        assert!(s.contains("random"), "{s}");
+        assert!(s.contains("attack side-channel: 1/1 copies detectable"), "{s}");
+        assert!(s.contains("137 ppm"), "{s}");
     }
 
     #[test]

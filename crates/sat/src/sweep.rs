@@ -409,6 +409,56 @@ impl SweepEngine {
     /// Interns every net of `netlist` and returns the primary-output node
     /// ids, by position.
     fn strash(&mut self, netlist: &Netlist) -> Vec<u32> {
+        let net_node = self.strash_nets(netlist);
+        netlist
+            .primary_outputs()
+            .iter()
+            .map(|&po| {
+                let node = net_node[po.index()];
+                assert!(node != u32::MAX, "undriven output (validate first)");
+                node
+            })
+            .collect()
+    }
+
+    /// Interns every net of `netlist` and returns, for each net (indexed
+    /// by `NetId` position), its current class representative.
+    ///
+    /// This runs only the hash-consing front half of the sweep — no SAT
+    /// queries are issued and no solver state is created — so the call is
+    /// cheap and fully deterministic. Two nets carry equal representatives
+    /// iff the engine considers them structurally equivalent: identical up
+    /// to the canonicalizer's rewrites (buffer/inverter collapse,
+    /// commutative sorting and deduplication, constant folding, XOR pair
+    /// cancellation) or merged by a proof from an earlier
+    /// [`SweepEngine::check`] on this engine. Representatives are only
+    /// meaningful *within* one engine, but they are comparable across
+    /// calls on the same engine, which is what makes this usable as a
+    /// structural matcher: intern two netlists and intersect their class
+    /// sets to find logic that survives a rewrite.
+    ///
+    /// Undriven nets (possible only in unvalidated netlists) map to
+    /// `u32::MAX`, which never names a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist` has more primary inputs than the golden
+    /// netlist or contains a combinational cycle (validate first).
+    pub fn net_classes(&mut self, netlist: &Netlist) -> Vec<u32> {
+        assert!(
+            netlist.primary_inputs().len() <= self.input_nodes.len(),
+            "candidate has more primary inputs than the golden netlist"
+        );
+        let net_node = self.strash_nets(netlist);
+        net_node
+            .iter()
+            .map(|&n| if n == u32::MAX { n } else { self.find(n) })
+            .collect()
+    }
+
+    /// Interns every net of `netlist`; returns the interned node id per
+    /// net (indexed by `NetId` position).
+    fn strash_nets(&mut self, netlist: &Netlist) -> Vec<u32> {
         let mut net_node = vec![u32::MAX; netlist.num_nets()];
         for (k, &pi) in netlist.primary_inputs().iter().enumerate() {
             net_node[pi.index()] = self.input_nodes[k];
@@ -433,15 +483,7 @@ impl SweepEngine {
             }
             net_node[gate.output().index()] = self.intern_gate(f, &children);
         }
-        netlist
-            .primary_outputs()
-            .iter()
-            .map(|&po| {
-                let node = net_node[po.index()];
-                assert!(node != u32::MAX, "undriven output (validate first)");
-                node
-            })
-            .collect()
+        net_node
     }
 
     /// Interns a childless node (constant or primary input).
@@ -921,6 +963,34 @@ mod tests {
         let f = n.add_gate("gf", and2, &[n.gate_output(x), n.gate_output(y)]);
         n.set_primary_output(n.gate_output(f));
         n
+    }
+
+    #[test]
+    fn net_classes_match_structure_across_netlists() {
+        let golden = fig1(false);
+        let marked = fig1(true);
+        let mut eng = SweepEngine::new(&golden, SweepOptions::default());
+        let base = eng.net_classes(&golden);
+        let fp = eng.net_classes(&marked);
+
+        // Same-shape logic lands in the same class: the Y = C+D gate is
+        // untouched by the fingerprint, so its output nets agree.
+        let y_of = |n: &Netlist, cls: &[u32]| {
+            let g = n.gates().find(|(_, g)| g.name() == "gy").unwrap().0;
+            cls[n.gate_output(g).index()]
+        };
+        assert_eq!(y_of(&golden, &base), y_of(&marked, &fp));
+
+        // The widened X' = A·B·Y is a new structure: its class appears in
+        // the fingerprinted copy but nowhere in the base netlist.
+        let x_of = |n: &Netlist, cls: &[u32]| {
+            let g = n.gates().find(|(_, g)| g.name() == "gx").unwrap().0;
+            cls[n.gate_output(g).index()]
+        };
+        let xp = x_of(&marked, &fp);
+        assert!(!base.contains(&xp), "widened gate must form a fresh class");
+        // Re-interning is idempotent: same classes on a second pass.
+        assert_eq!(eng.net_classes(&marked), fp);
     }
 
     #[test]

@@ -25,5 +25,7 @@ pub mod benchmarks;
 pub mod builder;
 mod map;
 pub mod opt;
+pub mod resynth;
 
 pub use map::{map_network, MapError};
+pub use resynth::{resynthesize, unmap, ResynthError, ResynthLevel, ResynthStats};

@@ -1,6 +1,6 @@
 //! Technology mapping: SOP logic networks onto the standard-cell library.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -84,8 +84,17 @@ pub fn map_network(
         let out = map_node(&mut b, &node.cover, &fanins);
         signals.insert(node.output.as_str(), out);
     }
+    let mut emitted: HashSet<NetId> = HashSet::new();
     for name in network.outputs() {
-        let id = *signals.get(name.as_str()).expect("validated");
+        let mut id = *signals.get(name.as_str()).expect("validated");
+        // Sharing (the inverter cache, aliased covers) can resolve two
+        // output signals to the same net, but a net carries at most one
+        // primary-output marking — split duplicates through a buffer so
+        // the mapped netlist keeps the network's output arity.
+        if !emitted.insert(id) {
+            id = b.gate(PrimitiveFn::Buf, &[id]);
+            emitted.insert(id);
+        }
         b.output(id);
     }
     Ok(b.finish())

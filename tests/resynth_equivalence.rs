@@ -1,0 +1,145 @@
+//! Differential property suite for the resynthesis attack transform:
+//! every [`ResynthLevel`] must be semantics-preserving on every circuit
+//! the attack battery can ever feed it. The battery in
+//! `odcfp_core::attack` grades *robustness* and deliberately tolerates
+//! lossy verification of minted copies, so this suite is the sole owner
+//! of the equivalence invariant — it proves each round-trip
+//! `Equivalent` with an unbudgeted SAT miter on the PR 1 fault-battery
+//! population: random-DAG bases, stuck-at and wrong-cell mutants of
+//! them, and fully fingerprinted copies.
+//!
+//! The property is checked at `ODCFP_THREADS=1` and `8` inside a single
+//! test body (the override is process-global, so the matrix must not
+//! race across the harness's test threads). Resynthesis itself is
+//! single-threaded; the thread axis exercises the sweep-backed SAT rung
+//! the proof runs on.
+
+use odcfp_core::faults::FaultInjector;
+use odcfp_core::Fingerprinter;
+use odcfp_netlist::{CellLibrary, Netlist};
+use odcfp_sat::{check_equivalence, EquivResult};
+use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+use odcfp_synth::{resynthesize, ResynthLevel};
+
+fn small_base(seed: u64) -> Netlist {
+    random_dag(CellLibrary::standard(), DagParams::small(seed))
+}
+
+/// Proves `original` equivalent to its resynthesized form at every
+/// level, and sanity-checks the rewritten netlist still validates and
+/// keeps the interface.
+fn assert_levels_preserve_function(original: &Netlist, label: &str) {
+    for level in ResynthLevel::ALL {
+        let (attacked, stats) = resynthesize(original, level)
+            .unwrap_or_else(|e| panic!("{label}/{}: resynthesis failed: {e}", level.name()));
+        attacked
+            .validate()
+            .unwrap_or_else(|e| panic!("{label}/{}: invalid netlist: {e}", level.name()));
+        assert_eq!(
+            attacked.primary_inputs().len(),
+            original.primary_inputs().len(),
+            "{label}/{}: input count changed",
+            level.name()
+        );
+        assert_eq!(
+            attacked.primary_outputs().len(),
+            original.primary_outputs().len(),
+            "{label}/{}: output count changed",
+            level.name()
+        );
+        assert!(
+            stats.gates_after > 0,
+            "{label}/{}: rewrite emptied the netlist",
+            level.name()
+        );
+        let verdict = check_equivalence(original, &attacked, None)
+            .unwrap_or_else(|e| panic!("{label}/{}: miter errored: {e}", level.name()));
+        assert!(
+            matches!(verdict, EquivResult::Equivalent),
+            "{label}/{}: resynthesis changed the function: {verdict:?}",
+            level.name()
+        );
+    }
+}
+
+/// Runs `body` once per thread setting, restoring the default even when
+/// a case panics partway would poison later tests in other files — the
+/// override is reset unconditionally at the end.
+fn across_thread_matrix(mut body: impl FnMut(usize)) {
+    for threads in [1usize, 8] {
+        odcfp_analysis::engine::set_thread_override(Some(threads));
+        body(threads);
+    }
+    odcfp_analysis::engine::set_thread_override(None);
+}
+
+#[test]
+fn resynth_preserves_fault_battery_bases() {
+    across_thread_matrix(|threads| {
+        for seed in 0..4 {
+            let base = small_base(40 + seed);
+            assert_levels_preserve_function(&base, &format!("base seed {seed} t{threads}"));
+        }
+    });
+}
+
+#[test]
+fn resynth_preserves_stuck_at_mutants() {
+    across_thread_matrix(|threads| {
+        for seed in 0..4 {
+            let base = small_base(40 + seed);
+            let mut inj = FaultInjector::new(seed);
+            let (faulty, net, value) = inj.random_stuck_at(&base).unwrap();
+            faulty.validate().unwrap();
+            // The mutant differs from the base; resynthesis must keep it
+            // differing in exactly the same way — equivalence is checked
+            // against the *mutant*, never the base.
+            assert_levels_preserve_function(
+                &faulty,
+                &format!("stuck-at seed {seed} ({net:?}={value}) t{threads}"),
+            );
+        }
+    });
+}
+
+#[test]
+fn resynth_preserves_wrong_cell_mutants() {
+    across_thread_matrix(|threads| {
+        for seed in 0..4 {
+            let base = small_base(60 + seed);
+            let mut inj = FaultInjector::new(seed);
+            let (faulty, gate) = inj.random_wrong_cell(&base).unwrap();
+            faulty.validate().unwrap();
+            assert_levels_preserve_function(
+                &faulty,
+                &format!("wrong-cell seed {seed} ({gate:?}) t{threads}"),
+            );
+        }
+    });
+}
+
+#[test]
+fn resynth_preserves_fingerprinted_copies() {
+    across_thread_matrix(|threads| {
+        for seed in 0..2 {
+            let base = small_base(80 + seed);
+            let fp = Fingerprinter::new(base).unwrap();
+            let n = fp.locations().len();
+            if n == 0 {
+                continue;
+            }
+            // An alternating code plus the all-ones code: the densest
+            // copy stresses the rewrite most (every FFC gate widened).
+            for (tag, bits) in [
+                ("alt", (0..n).map(|i| i % 2 == 0).collect::<Vec<bool>>()),
+                ("ones", vec![true; n]),
+            ] {
+                let copy = fp.embed(&bits).unwrap();
+                assert_levels_preserve_function(
+                    copy.netlist(),
+                    &format!("fingerprinted seed {seed} {tag} t{threads}"),
+                );
+            }
+        }
+    });
+}
