@@ -1,0 +1,529 @@
+//! Solver-tier benchmark: regenerates `BENCH_sat.json` at the
+//! repository root, measuring the CDCL profiles and the portfolio racer
+//! the verify ladder now runs on.
+//!
+//! Usage: `cargo run --release -p odcfp-bench --bin bench_sat
+//! [--fast] [--check]`
+//!
+//! Four sections:
+//!
+//! 1. **profiles** — the hard-instance set (pigeonhole formulas, a
+//!    deep xor-chain miter) solved unbounded under the `legacy` and
+//!    `modern` profiles, recording conflicts, wall time and
+//!    conflicts/sec. The headline number is the aggregate wall-time
+//!    speedup of `modern` (LBD-guided learnt-DB reduction + phase
+//!    saving) over `legacy` (the pre-trait fixed-heuristic solver).
+//! 2. **portfolio_rescue** — a calibrated random 3-SAT instance on
+//!    which a single `modern` backend exhausts a 4096-conflict budget
+//!    (`Undecided`) while a width-5 race decides it inside the same
+//!    per-racer budget: the rescue the verify ladder's `--portfolio`
+//!    hook performs on budget-starved obligations.
+//! 3. **des_sweep** — a strict fast-path verify sweep over
+//!    fingerprinted `des` buyers; the Undecided-rate must be zero.
+//! 4. **c6288_hard_miter** — the intractable multiplier cold miter,
+//!    conflict-capped exactly like `bench_verify`'s baseline, with a
+//!    wall-clock ceiling so a pathological backend regression (e.g.
+//!    propagation slowdown) fails CI even though the verdict is
+//!    honestly `undecided` at the cap.
+//!
+//! `--check` exits non-zero if: the modern/legacy aggregate speedup
+//! falls below 2x, the portfolio fails to rescue the calibrated
+//! instance, any des verdict is Undecided, or the capped c6288 miter
+//! misses its wall ceiling. `--fast` trims section 1 to its quickest
+//! instance (the CI smoke still runs every check).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use odcfp_bench::netlist_for;
+use odcfp_core::{verify_equivalent_report, Fingerprinter, Verdict, VerifyPolicy, VerifySession};
+use odcfp_sat::portfolio::{self, RaceOptions};
+use odcfp_sat::{CnfBuilder, Lit, SolveResult, Solver, SolverConfig};
+
+/// Wall-clock ceiling for the conflict-capped c6288 miter. The cap
+/// bounds the search at 2000 conflicts; at sane propagation speed that
+/// is far under a second, so the ceiling only trips on order-of-
+/// magnitude regressions while staying safe on slow CI machines.
+const C6288_CEILING_MS: f64 = 60_000.0;
+
+/// Conflict budget for the rescue scenario — calibrated so the single
+/// `modern` backend exhausts it while the width-5 race's best racer
+/// decides within one synchronized round (see `rescue()`).
+const RESCUE_BUDGET: u64 = 4096;
+
+// ---------------------------------------------------------------------
+// Instance generators (all deterministic; no clocks or OS randomness).
+// ---------------------------------------------------------------------
+
+/// Pigeonhole formula PHP(p, h): `p` pigeons into `h` holes, UNSAT for
+/// p > h. Variable (i, j) = pigeon i in hole j. Resolution-hard, so the
+/// learnt DB grows without bound — exactly the regime where the modern
+/// profile's LBD-guided reduction pays off.
+fn pigeonhole(pigeons: usize, holes: usize) -> CnfBuilder {
+    let mut cnf = CnfBuilder::new();
+    let vars: Vec<Vec<_>> = (0..pigeons).map(|_| cnf.new_vars(holes)).collect();
+    for row in &vars {
+        cnf.add_clause(row.iter().map(|&v| Lit::pos(v)).collect::<Vec<_>>());
+    }
+    for (a, row_a) in vars.iter().enumerate() {
+        for row_b in &vars[a + 1..] {
+            for (&va, &vb) in row_a.iter().zip(row_b) {
+                cnf.add_clause([Lit::neg(va), Lit::neg(vb)]);
+            }
+        }
+    }
+    cnf
+}
+
+/// An UNSAT xor-chain miter over `width` inputs (forward vs reversed
+/// association with the difference asserted) — the same shape the
+/// differential suite uses, scaled up to need real search.
+fn xor_miter(width: usize) -> CnfBuilder {
+    let mut cnf = CnfBuilder::new();
+    let inputs = cnf.new_vars(width);
+    let xor2 = |cnf: &mut CnfBuilder, a, b| {
+        let t = cnf.new_var();
+        cnf.add_clause([Lit::neg(t), Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(t), Lit::neg(a), Lit::neg(b)]);
+        cnf.add_clause([Lit::pos(t), Lit::neg(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::pos(t), Lit::pos(a), Lit::neg(b)]);
+        t
+    };
+    let mut acc = inputs[0];
+    for &i in &inputs[1..] {
+        acc = xor2(&mut cnf, acc, i);
+    }
+    let mut rev = inputs[width - 1];
+    for &i in inputs[..width - 1].iter().rev() {
+        rev = xor2(&mut cnf, rev, i);
+    }
+    let diff = xor2(&mut cnf, acc, rev);
+    cnf.add_clause([Lit::pos(diff)]);
+    cnf
+}
+
+/// Deterministic random 3-SAT at the phase-transition ratio (m/n =
+/// 4.26), xorshift64* keyed by `seed`. The rescue instance below was
+/// calibrated against this exact generator, so the bytes it produces
+/// must never change.
+fn rand3sat(n: usize, m: usize, seed: u64) -> CnfBuilder {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ seed.wrapping_mul(0x0DCF_5EED);
+    if state == 0 {
+        state = 1;
+    }
+    let mut nxt = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut cnf = CnfBuilder::new();
+    let vars = cnf.new_vars(n);
+    for _ in 0..m {
+        let mut picked: Vec<usize> = Vec::with_capacity(3);
+        while picked.len() < 3 {
+            let v = (nxt() % n as u64) as usize;
+            if !picked.contains(&v) {
+                picked.push(v);
+            }
+        }
+        let clause: Vec<Lit> = picked
+            .into_iter()
+            .map(|v| {
+                if nxt() & 1 == 1 {
+                    Lit::pos(vars[v])
+                } else {
+                    Lit::neg(vars[v])
+                }
+            })
+            .collect();
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+/// Deterministic per-buyer fingerprint bits — same scheme as
+/// `bench_verify`, so the des sweep describes the same workload.
+fn buyer_bits(buyer: u64, n: usize) -> Vec<bool> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (buyer + 1).wrapping_mul(0x0DCF_5EED);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Section 1: profile comparison on the hard set.
+// ---------------------------------------------------------------------
+
+struct ProfileRun {
+    instance: String,
+    profile: &'static str,
+    verdict: &'static str,
+    conflicts: u64,
+    wall_ms: f64,
+}
+
+impl ProfileRun {
+    fn conflicts_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.conflicts as f64 / (self.wall_ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn result_name(r: &SolveResult) -> &'static str {
+    match r {
+        SolveResult::Sat(_) => "sat",
+        SolveResult::Unsat => "unsat",
+        SolveResult::Unknown => "unknown",
+    }
+}
+
+fn profile_runs(fast: bool) -> Vec<ProfileRun> {
+    let mut set: Vec<(String, CnfBuilder)> = vec![("php_8_7".into(), pigeonhole(8, 7))];
+    if !fast {
+        set.push(("php_9_8".into(), pigeonhole(9, 8)));
+        set.push(("xor_miter_64".into(), xor_miter(64)));
+        set.push(("rand3sat_n200_m852_s5".into(), rand3sat(200, 852, 5)));
+    }
+    let mut runs = Vec::new();
+    for (name, cnf) in &set {
+        for (profile, config) in [
+            ("legacy", SolverConfig::from_profile("legacy").expect("profile")),
+            ("modern", SolverConfig::from_profile("modern").expect("profile")),
+        ] {
+            eprintln!("profiles: {name} under {profile}...");
+            let mut solver = Solver::from_cnf_with(cnf, config);
+            let t0 = Instant::now();
+            let result = solver.solve();
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            runs.push(ProfileRun {
+                instance: name.clone(),
+                profile,
+                verdict: result_name(&result),
+                conflicts: solver.stats().conflicts,
+                wall_ms,
+            });
+        }
+    }
+    runs
+}
+
+/// Aggregate wall-time speedup of `modern` over `legacy` on the set.
+fn speedup(runs: &[ProfileRun]) -> f64 {
+    let wall = |p: &str| -> f64 {
+        runs.iter()
+            .filter(|r| r.profile == p)
+            .map(|r| r.wall_ms)
+            .sum()
+    };
+    wall("legacy") / wall("modern").max(1e-9)
+}
+
+// ---------------------------------------------------------------------
+// Section 2: portfolio rescue on the calibrated instance.
+// ---------------------------------------------------------------------
+
+struct Rescue {
+    instance: &'static str,
+    budget: u64,
+    single_verdict: &'static str,
+    single_conflicts: u64,
+    race_verdict: &'static str,
+    winner: Option<usize>,
+    winner_backend: Option<&'static str>,
+    rounds: u64,
+    race_conflicts: u64,
+    wall_ms: f64,
+    rescued: bool,
+}
+
+fn rescue() -> Rescue {
+    // Calibrated against the committed generator: at 4096 conflicts the
+    // single modern backend returns Unknown (it needs ~8k single-shot),
+    // while racer #1 of a width-5 race (reseeded cdcl-modern) decides in
+    // one synchronized round (~3.1k chunked conflicts).
+    let cnf = rand3sat(200, 852, 5);
+    let config = SolverConfig::from_profile("modern").expect("profile");
+
+    eprintln!("rescue: single modern backend @{RESCUE_BUDGET} conflicts...");
+    let mut solo = Solver::from_cnf_with(&cnf, config);
+    solo.set_conflict_budget(RESCUE_BUDGET);
+    let single = solo.solve();
+
+    eprintln!("rescue: width-5 portfolio @{RESCUE_BUDGET} conflicts per racer...");
+    let opts = RaceOptions::new(5).with_base(config);
+    let t0 = Instant::now();
+    let (result, report) = portfolio::race(&cnf, &[], &opts, Some(RESCUE_BUDGET), None, None);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let rescued =
+        matches!(single, SolveResult::Unknown) && !matches!(result, SolveResult::Unknown);
+    Rescue {
+        instance: "rand3sat_n200_m852_s5",
+        budget: RESCUE_BUDGET,
+        single_verdict: result_name(&single),
+        single_conflicts: solo.stats().conflicts,
+        race_verdict: result_name(&result),
+        winner: report.winner,
+        winner_backend: report.winner_backend,
+        rounds: report.rounds,
+        race_conflicts: report.conflicts,
+        wall_ms,
+        rescued,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section 3: des fast-path sweep — the Undecided-rate acceptance.
+// ---------------------------------------------------------------------
+
+struct DesSweep {
+    buyers: usize,
+    proven: usize,
+    undecided: usize,
+    wall_ms: f64,
+}
+
+fn des_sweep(buyers: usize) -> DesSweep {
+    let base = netlist_for("des");
+    let fp = Fingerprinter::new(base.clone()).expect("valid benchmark");
+    let n_loc = fp.locations().len();
+    eprintln!("des_sweep: verifying {buyers} fingerprinted buyers ({n_loc} locations)...");
+    let policy = VerifyPolicy::strict();
+    let t0 = Instant::now();
+    let mut session = VerifySession::new(&base).expect("valid benchmark");
+    let (mut proven, mut undecided) = (0, 0);
+    for b in 0..buyers as u64 {
+        let copy = fp.embed(&buyer_bits(b, n_loc)).expect("embed preserves function");
+        match session.verify(copy.netlist(), &policy).expect("verify").verdict {
+            Verdict::Proven => proven += 1,
+            Verdict::Undecided { .. } => undecided += 1,
+            other => panic!("des buyer {b}: fingerprinted copy came back {other}"),
+        }
+    }
+    DesSweep {
+        buyers,
+        proven,
+        undecided,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section 4: conflict-capped c6288 cold miter under a wall ceiling.
+// ---------------------------------------------------------------------
+
+struct HardMiter {
+    cap: u64,
+    verdict: &'static str,
+    conflicts: u64,
+    wall_ms: f64,
+    ceiling_ms: f64,
+}
+
+impl HardMiter {
+    fn conflicts_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.conflicts as f64 / (self.wall_ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn hard_miter() -> HardMiter {
+    let cap = 2000u64;
+    let base = netlist_for("c6288");
+    let fp = Fingerprinter::new(base.clone()).expect("valid benchmark");
+    let n_loc = fp.locations().len();
+    let copy = fp.embed(&buyer_bits(0, n_loc)).expect("embed preserves function");
+    eprintln!("c6288: cold whole-circuit miter capped at {cap} conflicts...");
+    let policy = VerifyPolicy {
+        use_fast_path: false,
+        sat_initial_conflicts: Some(cap),
+        sat_conflict_cap: Some(cap),
+        ..VerifyPolicy::strict()
+    };
+    let t0 = Instant::now();
+    let report = verify_equivalent_report(&base, copy.netlist(), &policy).expect("verify");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let verdict = match report.verdict {
+        Verdict::Proven => "proven",
+        Verdict::Refuted { .. } => panic!("c6288: fingerprinted copy refuted"),
+        Verdict::ProbablyEquivalent { .. } => "probably_equivalent",
+        Verdict::Undecided { .. } => "undecided",
+    };
+    HardMiter {
+        cap,
+        verdict,
+        conflicts: report.stats.sat_conflicts,
+        wall_ms,
+        ceiling_ms: C6288_CEILING_MS,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report.
+// ---------------------------------------------------------------------
+
+fn write_json(
+    runs: &[ProfileRun],
+    speedup: f64,
+    rescue: &Rescue,
+    des: &DesSweep,
+    hard: &HardMiter,
+) {
+    let undecided_rate = runs.iter().filter(|r| r.verdict == "unknown").count() as f64
+        / runs.len().max(1) as f64;
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"odcfp-bench-sat/1\",\n");
+    json.push_str("  \"profiles\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"instance\": \"{}\", \"profile\": \"{}\", \"verdict\": \"{}\", \
+             \"conflicts\": {}, \"wall_ms\": {:.3}, \"conflicts_per_sec\": {:.0} }}{}\n",
+            r.instance,
+            r.profile,
+            r.verdict,
+            r.conflicts,
+            r.wall_ms,
+            r.conflicts_per_sec(),
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"profile_undecided_rate\": {undecided_rate:.3},\n\
+         \"profile_speedup_modern_vs_legacy\": {speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"portfolio_rescue\": {{ \"instance\": \"{}\", \"budget\": {}, \
+         \"single_verdict\": \"{}\", \"single_conflicts\": {}, \
+         \"race_verdict\": \"{}\", \"winner\": {}, \"winner_backend\": {}, \
+         \"rounds\": {}, \"race_conflicts\": {}, \"wall_ms\": {:.3}, \
+         \"rescued\": {} }},\n",
+        rescue.instance,
+        rescue.budget,
+        rescue.single_verdict,
+        rescue.single_conflicts,
+        rescue.race_verdict,
+        rescue.winner.map_or("null".into(), |w| w.to_string()),
+        rescue
+            .winner_backend
+            .map_or("null".into(), |b| format!("\"{b}\"")),
+        rescue.rounds,
+        rescue.race_conflicts,
+        rescue.wall_ms,
+        rescue.rescued,
+    ));
+    json.push_str(&format!(
+        "  \"des_sweep\": {{ \"buyers\": {}, \"proven\": {}, \"undecided\": {}, \
+         \"undecided_rate\": {:.3}, \"wall_ms\": {:.3} }},\n",
+        des.buyers,
+        des.proven,
+        des.undecided,
+        des.undecided as f64 / des.buyers.max(1) as f64,
+        des.wall_ms,
+    ));
+    json.push_str(&format!(
+        "  \"c6288_hard_miter\": {{ \"cap\": {}, \"verdict\": \"{}\", \"conflicts\": {}, \
+         \"wall_ms\": {:.3}, \"conflicts_per_sec\": {:.0}, \"ceiling_ms\": {:.0} }}\n}}\n",
+        hard.cap,
+        hard.verdict,
+        hard.conflicts,
+        hard.wall_ms,
+        hard.conflicts_per_sec(),
+        hard.ceiling_ms,
+    ));
+
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_sat.json"]
+        .iter()
+        .collect();
+    std::fs::write(&out, &json).expect("write BENCH_sat.json");
+    eprintln!("wrote {}", out.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let check = args.iter().any(|a| a == "--check");
+
+    let runs = profile_runs(fast);
+    let speedup = speedup(&runs);
+    let rescue = rescue();
+    let des = des_sweep(if fast { 2 } else { 4 });
+    let hard = hard_miter();
+
+    write_json(&runs, speedup, &rescue, &des, &hard);
+
+    println!("| section | result |");
+    println!("|---------|--------|");
+    println!("| modern vs legacy wall speedup | {speedup:.2}x |");
+    println!(
+        "| portfolio rescue @{} | single={} race={} winner={} |",
+        rescue.budget,
+        rescue.single_verdict,
+        rescue.race_verdict,
+        rescue
+            .winner_backend
+            .map_or("none".into(), |b| format!(
+                "#{} {b}",
+                rescue.winner.unwrap_or(0)
+            )),
+    );
+    println!(
+        "| des sweep | {}/{} proven, {} undecided |",
+        des.proven, des.buyers, des.undecided
+    );
+    println!(
+        "| c6288 capped miter | {} in {:.0} ms ({:.0} conflicts/s) |",
+        hard.verdict,
+        hard.wall_ms,
+        hard.conflicts_per_sec()
+    );
+
+    if check {
+        let mut failures = Vec::new();
+        // The smoke thresholds from the acceptance criteria. The
+        // speedup check only runs on the full set: --fast keeps the one
+        // instance where legacy and modern behave alike.
+        if !fast && speedup < 2.0 {
+            failures.push(format!(
+                "modern profile speedup {speedup:.2}x is below the 2x floor"
+            ));
+        }
+        if !rescue.rescued {
+            failures.push(format!(
+                "portfolio failed to rescue {} (single={}, race={})",
+                rescue.instance, rescue.single_verdict, rescue.race_verdict
+            ));
+        }
+        if des.undecided != 0 {
+            failures.push(format!(
+                "des sweep left {} of {} buyers Undecided",
+                des.undecided, des.buyers
+            ));
+        }
+        if hard.wall_ms > hard.ceiling_ms {
+            failures.push(format!(
+                "c6288 capped miter took {:.0} ms (ceiling {:.0} ms)",
+                hard.wall_ms, hard.ceiling_ms
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("all checks passed");
+    }
+}

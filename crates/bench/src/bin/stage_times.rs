@@ -11,8 +11,9 @@
 //! the spans the pipeline itself emits, grouped by namespace, so the
 //! table is exactly what `odcfp report` would print for a
 //! `--trace-out` run of the same flow. Self time excludes enclosed
-//! child spans, so the stage columns are disjoint and sum to the
-//! traced total.
+//! child spans, so the stage columns are disjoint; the `other` column
+//! is the wall-clock total minus the staged sums (untraced setup work),
+//! which keeps the columns summing to the measured total.
 
 use std::path::PathBuf;
 
@@ -66,6 +67,7 @@ fn bench_circuit(name: &str) -> Row {
     let gates = base.num_gates();
     eprintln!("{name}: tracing locate + embed + verify ({gates} gates)...");
 
+    let wall = std::time::Instant::now();
     let ((locations, verdict_ok), events) = odcfp_obs::capture(|| {
         let fp = Fingerprinter::new(base.clone()).expect("valid benchmark");
         let n_loc = fp.locations().len();
@@ -79,20 +81,28 @@ fn bench_circuit(name: &str) -> Row {
         (n_loc, matches!(report.verdict, Verdict::Proven))
     })
     .expect("no competing trace sink");
+    let total_ms = wall.elapsed().as_secs_f64() * 1e3;
     assert!(verdict_ok, "{name}: fast path failed to prove the fingerprinted copy");
 
     let mut ms = std::collections::BTreeMap::new();
     for (span, self_us) in odcfp_obs::report::span_self_us(&events) {
         *ms.entry(stage_of(&span)).or_insert(0.0) += self_us as f64 / 1e3;
     }
+    let locate_ms = ms.get("locate").copied().unwrap_or(0.0);
+    let embed_ms = ms.get("embed").copied().unwrap_or(0.0);
+    let verify_ms = ms.get("verify").copied().unwrap_or(0.0);
     Row {
         name: name.to_owned(),
         gates,
         locations,
-        locate_ms: ms.get("locate").copied().unwrap_or(0.0),
-        embed_ms: ms.get("embed").copied().unwrap_or(0.0),
-        verify_ms: ms.get("verify").copied().unwrap_or(0.0),
-        other_ms: ms.get("other").copied().unwrap_or(0.0),
+        locate_ms,
+        embed_ms,
+        verify_ms,
+        // Everything the named stages don't account for: untraced setup
+        // (netlist clones, session construction) plus any span outside the
+        // three namespaces. Wall total minus the staged sums — previously
+        // this read only the (empty) "other" span bucket and printed 0.
+        other_ms: (total_ms - locate_ms - embed_ms - verify_ms).max(0.0),
     }
 }
 

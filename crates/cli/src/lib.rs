@@ -11,6 +11,10 @@
 //! odcfp extract    <base.(blif|v)> <suspect.v>   recover a fingerprint
 //! odcfp verify     <golden.(blif|v)> <candidate.(blif|v)>
 //!                  [--verify-budget N] [--verify-timeout SECS] [--stats]
+//!                  [--solver-profile P] [--portfolio N]
+//! odcfp solve      <in.dimacs>                    decide one DIMACS CNF
+//!                  [--solver-profile P] [--portfolio N] (debug tool;
+//!                  exit codes 0 sat / 1 unsat / 2 undecided)
 //! odcfp constrain  <in.(blif|v)> -o <out.v>      delay-constrained embedding
 //!                  --delay-pct P [--method reactive|proactive]
 //! odcfp dot        <in.(blif|v)> -o <out.dot>    Graphviz export
@@ -62,7 +66,7 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use odcfp_analysis::DesignMetrics;
 use odcfp_core::campaign::{
@@ -78,6 +82,10 @@ use odcfp_core::{
     verify_equivalent_report, Fingerprinter, Verdict, VerifyLevel, VerifyPolicy, VerifyStats,
 };
 use odcfp_netlist::{genlib, CellLibrary, Netlist};
+use odcfp_sat::{
+    backend_from_cnf, parse_dimacs, portfolio, RaceOptions, RaceReport, SolveResult, SolverConfig,
+    SolverStats, Var,
+};
 use odcfp_verilog::{parse_verilog, write_verilog};
 
 /// A CLI failure: message already formatted for the user, plus the process
@@ -196,12 +204,34 @@ struct Options {
     detect_threshold: Option<f64>,
     survival_out: Option<String>,
     robust_locations: Option<String>,
+    // solver tier (verify / solve).
+    solver_profile: Option<String>,
+    portfolio: Option<usize>,
 }
 
 impl Options {
+    /// The SAT backend configuration `--solver-profile` names (default
+    /// profile when the flag is absent).
+    fn solver_config(&self) -> Result<SolverConfig, CliError> {
+        match &self.solver_profile {
+            None => Ok(SolverConfig::default()),
+            Some(name) => SolverConfig::from_profile(name).ok_or_else(|| {
+                usage(format!(
+                    "unknown solver profile {name:?} (expected one of: {})",
+                    SolverConfig::profiles()
+                        .into_iter()
+                        .map(|(n, _)| n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }),
+        }
+    }
+
     /// The equivalence-checking policy the flags ask for: `--verify-budget`
-    /// overrides `base`, and `--verify-timeout` adds a deadline.
-    fn verify_policy(&self, base: VerifyPolicy) -> VerifyPolicy {
+    /// overrides `base`, `--verify-timeout` adds a deadline, and
+    /// `--solver-profile` / `--portfolio` configure the SAT tier.
+    fn verify_policy(&self, base: VerifyPolicy) -> Result<VerifyPolicy, CliError> {
         let mut policy = match self.verify_budget {
             Some(budget) => VerifyPolicy::budgeted(budget),
             None => base,
@@ -209,7 +239,11 @@ impl Options {
         if let Some(secs) = self.verify_timeout {
             policy = policy.with_time_limit(Duration::from_secs_f64(secs));
         }
-        policy
+        policy.solver = self.solver_config()?;
+        if let Some(width) = self.portfolio {
+            policy.portfolio = width;
+        }
+        Ok(policy)
     }
 }
 
@@ -249,6 +283,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         detect_threshold: None,
         survival_out: None,
         robust_locations: None,
+        solver_profile: None,
+        portfolio: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -398,6 +434,13 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 o.detect_threshold = Some(t);
             }
             "--survival-out" => o.survival_out = Some(take("--survival-out")?),
+            "--solver-profile" => o.solver_profile = Some(take("--solver-profile")?),
+            "--portfolio" => {
+                let n: usize = take("--portfolio")?
+                    .parse()
+                    .map_err(|_| usage("--portfolio needs a racer count"))?;
+                o.portfolio = Some(n);
+            }
             "--robust-locations" => o.robust_locations = Some(take("--robust-locations")?),
             "--threads" => {
                 let n: usize = take("--threads")?
@@ -546,7 +589,8 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             let copy = match o.verify.policy() {
                 None => fp.embed_verified(&bits, VerifyLevel::None)?,
                 Some(level_policy) => {
-                    let (copy, verdict) = fp.embed_with_policy(&bits, &o.verify_policy(level_policy))?;
+                    let (copy, verdict) =
+                        fp.embed_with_policy(&bits, &o.verify_policy(level_policy)?)?;
                     if let Verdict::Undecided { .. } = verdict {
                         eprintln!("warning: equivalence {verdict}; output is unverified");
                         code = verdict_exit_code(&verdict);
@@ -579,7 +623,7 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             let report = verify_equivalent_report(
                 &golden,
                 &candidate,
-                &o.verify_policy(VerifyPolicy::strict()),
+                &o.verify_policy(VerifyPolicy::strict())?,
             )?;
             writeln!(out, "{}", report.verdict)?;
             if o.stats {
@@ -587,6 +631,7 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
             }
             Ok(verdict_exit_code(&report.verdict))
         }
+        "solve" => run_solve(&o, out),
         "constrain" => {
             let design = load_design(required_input(&o, "input design")?, library)?;
             let pct = o
@@ -982,6 +1027,135 @@ fn report_trace(
     Ok(0)
 }
 
+/// The `solve` subcommand: decide one DIMACS CNF file with the configured
+/// backend (`--solver-profile`), optionally as a portfolio race
+/// (`--portfolio N`), bounded by `--verify-budget` conflicts and
+/// `--verify-timeout` seconds.
+///
+/// This is a solver debug tool, so unlike the netlist commands it uses
+/// the SAT-competition exit-code convention: `0` satisfiable, `1`
+/// unsatisfiable, `2` undecided (budget or deadline exhausted).
+fn run_solve(o: &Options, out: &mut impl std::io::Write) -> Result<i32, CliError> {
+    let path = required_input(o, "input .dimacs file")?;
+    let text =
+        fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let cnf = parse_dimacs(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+    let config = o.solver_config()?;
+    let budget = o.verify_budget;
+    let deadline = o
+        .verify_timeout
+        .map(|secs| Instant::now() + Duration::from_secs_f64(secs));
+    let width = o.portfolio.unwrap_or(1);
+    let (result, stats, race) = if width >= 2 {
+        let opts = RaceOptions::new(width).with_base(config);
+        let (result, report) = portfolio::race(&cnf, &[], &opts, budget, deadline, None);
+        let stats = report
+            .winner
+            .map(|w| report.racers[w].stats)
+            .unwrap_or_default();
+        (result, stats, Some(report))
+    } else {
+        let mut backend = backend_from_cnf(&cnf, config);
+        if let Some(b) = budget {
+            backend.set_conflict_budget(b);
+        }
+        if let Some(d) = deadline {
+            backend.set_deadline(d);
+        }
+        let result = backend.solve();
+        let stats = backend.stats();
+        (result, stats, None)
+    };
+    let code = match &result {
+        SolveResult::Sat(model) => {
+            writeln!(out, "s SATISFIABLE")?;
+            let lits: Vec<String> = (0..cnf.num_vars())
+                .map(|i| {
+                    let v = i + 1;
+                    if model.value(Var::from_index(i)) {
+                        v.to_string()
+                    } else {
+                        format!("-{v}")
+                    }
+                })
+                .collect();
+            writeln!(out, "v {} 0", lits.join(" "))?;
+            0
+        }
+        SolveResult::Unsat => {
+            writeln!(out, "s UNSATISFIABLE")?;
+            1
+        }
+        SolveResult::Unknown => {
+            writeln!(out, "s UNKNOWN")?;
+            2
+        }
+    };
+    if o.stats {
+        write_solver_line(out, &stats)?;
+        if let Some(report) = &race {
+            write_race_lines(out, report)?;
+        }
+    }
+    Ok(code)
+}
+
+/// Prints the one-line solver block: classic counters plus the modern-CDCL
+/// heuristics accounting (learnt-DB reductions, average LBD, rephasings,
+/// chronological backtracks).
+fn write_solver_line(
+    out: &mut impl std::io::Write,
+    s: &SolverStats,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "solver: conflicts={} decisions={} propagations={} restarts={} learnt={}",
+        s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt_clauses,
+    )?;
+    writeln!(
+        out,
+        "heuristics: avg-lbd={:.2} db-reductions={} learnt-deleted={} rephases={} \
+         chrono-backtracks={}",
+        s.avg_lbd(),
+        s.db_reductions,
+        s.learnt_deleted,
+        s.rephases,
+        s.chrono_backtracks,
+    )?;
+    Ok(())
+}
+
+/// Prints the portfolio-race block: the deterministic winner line plus one
+/// line per racer (racer conflict counts are timing-dependent — see
+/// `odcfp_sat::portfolio`).
+fn write_race_lines(
+    out: &mut impl std::io::Write,
+    report: &RaceReport,
+) -> Result<(), CliError> {
+    match (report.winner, report.winner_backend) {
+        (Some(idx), Some(backend)) => writeln!(
+            out,
+            "race: winner=#{idx} backend={backend} rounds={} conflicts={}",
+            report.rounds, report.conflicts,
+        )?,
+        _ => writeln!(
+            out,
+            "race: no winner (rounds={} conflicts={}{})",
+            report.rounds,
+            report.conflicts,
+            if report.cancelled { ", cancelled" } else { "" },
+        )?,
+    }
+    for (idx, racer) in report.racers.iter().enumerate() {
+        writeln!(
+            out,
+            "race[{idx}]: backend={} seed={:#x} outcome={} conflicts={} restarts={}",
+            racer.backend, racer.seed, racer.outcome, racer.stats.conflicts, racer.stats.restarts,
+        )?;
+    }
+    Ok(())
+}
+
 /// Prints the `--stats` effort-accounting block after a verify verdict.
 fn write_verify_stats(
     out: &mut impl std::io::Write,
@@ -1017,12 +1191,11 @@ fn write_verify_stats(
         if s.conflicts == 0 && s.decisions == 0 && s.propagations == 0 {
             writeln!(out, "solver: no SAT calls (proved structurally)")?;
         } else {
-            writeln!(
-                out,
-                "solver: conflicts={} decisions={} propagations={} restarts={} learnt={}",
-                s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt_clauses,
-            )?;
+            write_solver_line(out, s)?;
         }
+    }
+    if let Some(report) = &stats.race {
+        write_race_lines(out, report)?;
     }
     Ok(())
 }
@@ -1038,6 +1211,13 @@ commands:
   extract   <base.(blif|v)> <suspect.v>         recover a fingerprint
   verify    <golden.(blif|v)> <candidate.(blif|v)>   equivalence check
             [--verify-budget N] [--verify-timeout SECS] [--stats]
+            [--solver-profile legacy|modern|glucose|phased|chrono]
+            [--portfolio N] (race N configured backends when an attempt
+             stalls; verdicts are identical at any width)
+  solve     <in.dimacs>                         decide one DIMACS CNF (debug)
+            [--solver-profile P] [--portfolio N] [--verify-budget N]
+            [--verify-timeout SECS] [--stats]
+            (SAT-competition exit codes: 0 sat, 1 unsat, 2 undecided)
   constrain <in.(blif|v)> --delay-pct P         delay-constrained embedding
             [--method reactive|proactive] [-o out.v]
             [--robust-locations <survival-file>] (survival-aware selection:
@@ -1069,6 +1249,8 @@ options: --genlib <file> to use a custom cell library
          --trace-out <path> records a structured JSONL trace of the run
                      (ODCFP_TRACE is the lower-precedence equivalent)
          --verify-budget / --verify-timeout bound SAT effort (embed, verify)
+         --solver-profile picks the CDCL heuristics profile (verify, solve)
+         --portfolio N races N backends on stalled obligations (verify, solve)
          --stats prints verification effort accounting (verify)
 exit codes: 0 ok/proven, 1 error, 2 usage,
             3 refuted, 4 undecided, 5 probably-equivalent,
@@ -1509,6 +1691,125 @@ mod tests {
             !text.contains("conflicts=0 decisions=0"),
             "all-zero solver block must be suppressed:\n{text}"
         );
+    }
+
+    /// An unsatisfiable xor-chain miter in DIMACS: the forward and
+    /// reversed association of an XOR chain over `width` inputs, with the
+    /// difference bit asserted. Refuting it needs genuine CDCL search.
+    fn xor_miter_dimacs(width: i32) -> String {
+        let mut clauses: Vec<String> = Vec::new();
+        let mut next = width + 1;
+        let mut xor2 = |a: i32, b: i32, clauses: &mut Vec<String>| {
+            let t = next;
+            next += 1;
+            clauses.push(format!("{} {} {} 0", -t, a, b));
+            clauses.push(format!("{} {} {} 0", -t, -a, -b));
+            clauses.push(format!("{} {} {} 0", t, -a, b));
+            clauses.push(format!("{} {} {} 0", t, a, -b));
+            t
+        };
+        let mut acc = 1;
+        for i in 2..=width {
+            acc = xor2(acc, i, &mut clauses);
+        }
+        let mut rev = width;
+        for i in (1..width).rev() {
+            rev = xor2(rev, i, &mut clauses);
+        }
+        let diff = xor2(acc, rev, &mut clauses);
+        clauses.push(format!("{diff} 0"));
+        format!("p cnf {} {}\n{}\n", next - 1, clauses.len(), clauses.join("\n"))
+    }
+
+    #[test]
+    fn solve_subcommand_uses_sat_competition_exit_codes() {
+        let sat = tmp("solve_sat.dimacs", "p cnf 2 2\n1 -2 0\n2 0\n");
+        let unsat = tmp("solve_unsat.dimacs", "p cnf 1 2\n1 0\n-1 0\n");
+        let mut out = Vec::new();
+        assert_eq!(run("solve", &[sat], &mut out).unwrap(), 0);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("s SATISFIABLE"), "{text}");
+        assert!(text.contains("v 1 2 0"), "model line:\n{text}");
+
+        let mut out = Vec::new();
+        assert_eq!(run("solve", std::slice::from_ref(&unsat), &mut out).unwrap(), 1);
+        assert!(String::from_utf8_lossy(&out).contains("s UNSATISFIABLE"));
+
+        // A zero-conflict budget cannot refute a miter that needs search.
+        let hard = tmp("solve_hard.dimacs", &xor_miter_dimacs(16));
+        let mut out = Vec::new();
+        let code = run(
+            "solve",
+            &[hard, "--verify-budget".into(), "0".into()],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 2, "{}", String::from_utf8_lossy(&out));
+        assert!(String::from_utf8_lossy(&out).contains("s UNKNOWN"));
+
+        // Unknown profiles are usage errors.
+        let e = run(
+            "solve",
+            &[unsat, "--solver-profile".into(), "psychic".into()],
+            &mut Vec::new(),
+        )
+        .expect_err("unknown profile must fail");
+        assert_eq!(e.exit_code(), 2, "{}", e.0);
+    }
+
+    #[test]
+    fn solve_portfolio_agrees_with_single_backend_and_prints_race_stats() {
+        let path = tmp("solve_race.dimacs", &xor_miter_dimacs(8));
+        let mut out = Vec::new();
+        assert_eq!(run("solve", std::slice::from_ref(&path), &mut out).unwrap(), 1);
+        let mut out = Vec::new();
+        let code = run(
+            "solve",
+            &[
+                path,
+                "--portfolio".into(),
+                "3".into(),
+                "--stats".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("s UNSATISFIABLE"), "{text}");
+        assert!(text.contains("race: winner=#"), "{text}");
+        assert!(text.contains("race[2]: backend="), "three racers:\n{text}");
+        assert!(text.contains("heuristics: avg-lbd="), "{text}");
+    }
+
+    #[test]
+    fn verify_solver_profile_and_portfolio_flags_are_accepted() {
+        let golden = tmp("vprof_a.blif", BLIF);
+        let copy = tmp("vprof_b.blif", BLIF);
+        for profile in ["legacy", "modern", "glucose", "phased", "chrono"] {
+            let mut out = Vec::new();
+            let code = run(
+                "verify",
+                &[
+                    golden.clone(),
+                    copy.clone(),
+                    "--solver-profile".into(),
+                    profile.into(),
+                    "--portfolio".into(),
+                    "2".into(),
+                ],
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(code, 0, "{profile}: {}", String::from_utf8_lossy(&out));
+        }
+        let e = run(
+            "verify",
+            &[golden, copy, "--solver-profile".into(), "warp".into()],
+            &mut Vec::new(),
+        )
+        .expect_err("unknown profile must fail");
+        assert_eq!(e.exit_code(), 2, "{}", e.0);
     }
 
     #[test]

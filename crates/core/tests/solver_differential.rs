@@ -1,0 +1,122 @@
+//! Verify-ladder differential suite for the solver tier: on
+//! fault-battery circuits, every `--solver-profile`, every portfolio
+//! width, and every analysis thread count must produce the **same
+//! verdict** — and that verdict must match brute-force ground truth.
+//!
+//! This is the end-to-end face of the contract unit-tested in
+//! `crates/sat/tests/differential.rs`: heuristics and racing change the
+//! search, never the conclusion, so campaign journals and attack
+//! scorecards stay byte-identical whichever backend configuration runs.
+
+use odcfp_analysis::engine::set_thread_override;
+use odcfp_core::faults::FaultInjector;
+use odcfp_core::{verify_equivalent, Verdict, VerifyPolicy};
+use odcfp_logic::sim;
+use odcfp_netlist::{CellLibrary, Netlist};
+use odcfp_sat::SolverConfig;
+use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+
+/// Brute-force functional comparison — the independent ground truth.
+fn ground_truth_equal(a: &Netlist, b: &Netlist) -> bool {
+    let n = a.primary_inputs().len();
+    assert!(n <= 16, "ground truth requires a small input space");
+    let patterns = sim::exhaustive_patterns(n);
+    let va = a.simulate(&patterns);
+    let vb = b.simulate(&patterns);
+    a.primary_outputs()
+        .iter()
+        .zip(b.primary_outputs())
+        .all(|(&oa, &ob)| va[oa.index()] == vb[ob.index()])
+}
+
+/// The circuit pairs under test: clean copies and injected faults, some
+/// function-preserving (ODC-masked) and some function-changing.
+fn battery() -> Vec<(String, Netlist, Netlist)> {
+    let mut pairs = Vec::new();
+    for seed in [3u64, 7, 11] {
+        let base = random_dag(CellLibrary::standard(), DagParams::small(seed));
+        pairs.push((format!("clean_{seed}"), base.clone(), base.clone()));
+        let mut inj = FaultInjector::new(seed);
+        let (stuck, net, value) = inj.random_stuck_at(&base).expect("injectable");
+        pairs.push((format!("stuck_{seed}_{net:?}={value}"), base.clone(), stuck));
+        let (wrong, gate) = inj.random_wrong_cell(&base).expect("injectable");
+        pairs.push((format!("wrong_{seed}_{gate:?}"), base, wrong));
+    }
+    pairs
+}
+
+/// Verdicts compare by kind; refutations also prove themselves on the
+/// netlists, so two refuting configurations agree even when their
+/// counterexamples differ.
+fn check(golden: &Netlist, candidate: &Netlist, policy: &VerifyPolicy, label: &str) -> bool {
+    let truth = ground_truth_equal(golden, candidate);
+    match verify_equivalent(golden, candidate, policy).expect("valid pair") {
+        Verdict::Proven => {
+            assert!(truth, "{label}: proved a function-changing fault");
+            true
+        }
+        Verdict::Refuted { counterexample } => {
+            assert!(!truth, "{label}: refuted a harmless pair");
+            assert_ne!(
+                golden.eval(&counterexample),
+                candidate.eval(&counterexample),
+                "{label}: counterexample does not witness the difference"
+            );
+            false
+        }
+        other => panic!("{label}: unbounded verify returned {other}"),
+    }
+}
+
+/// One test (not one per axis) so the global thread override is never
+/// mutated concurrently by the harness's parallel test runner.
+#[test]
+fn profiles_portfolios_and_thread_counts_agree_with_ground_truth() {
+    let pairs = battery();
+    // The ladder is exercised on both rungs: the sweep fast path and the
+    // cold whole-circuit miter, with and without a portfolio.
+    let policies: Vec<(String, VerifyPolicy)> = {
+        let mut all = Vec::new();
+        for (profile, config) in SolverConfig::profiles() {
+            for fast in [true, false] {
+                all.push((
+                    format!("{profile}/{}", if fast { "fast" } else { "cold" }),
+                    VerifyPolicy {
+                        use_fast_path: fast,
+                        solver: config,
+                        ..VerifyPolicy::strict()
+                    },
+                ));
+            }
+        }
+        for width in [2usize, 4] {
+            all.push((
+                format!("portfolio_{width}"),
+                VerifyPolicy {
+                    use_fast_path: false,
+                    // Starve the first attempt so the race actually runs.
+                    sat_initial_conflicts: Some(1),
+                    sat_max_attempts: 1,
+                    portfolio: width,
+                    ..VerifyPolicy::strict()
+                },
+            ));
+        }
+        all
+    };
+    for threads in [1usize, 8] {
+        set_thread_override(Some(threads));
+        for (name, golden, candidate) in &pairs {
+            let mut reference: Option<bool> = None;
+            for (policy_name, policy) in &policies {
+                let label = format!("{name} @{threads}t {policy_name}");
+                let equal = check(golden, candidate, policy, &label);
+                match reference {
+                    None => reference = Some(equal),
+                    Some(expect) => assert_eq!(equal, expect, "{label}: verdict flipped"),
+                }
+            }
+        }
+    }
+    set_thread_override(None);
+}

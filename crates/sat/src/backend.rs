@@ -1,0 +1,220 @@
+//! The pluggable incremental-SAT backend interface.
+//!
+//! Every equivalence question in the workspace — the verify ladder's
+//! cold miter, [`SweepEngine`](crate::SweepEngine) cut-point validation,
+//! [`SharedMiter`](crate::SharedMiter) buyer probes and code-space
+//! proofs — bottoms out in one incremental solver. [`SatBackend`] is the
+//! seam between those consumers and the solver implementation: a small
+//! incremental interface (fresh variables, clause addition, solving
+//! under assumptions, model readback, budgets and cancellation) that the
+//! native CDCL [`Solver`] implements for every [`SolverConfig`] profile,
+//! and that alternative backends can slot into without touching the
+//! consumers.
+
+use std::fmt::Debug;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::tseitin::ClauseSink;
+use crate::{CnfBuilder, Lit, SolveResult, Solver, SolverConfig, SolverStats, Var};
+
+/// An incremental SAT solver usable by the miter, sweep and shared-miter
+/// engines.
+///
+/// The contract mirrors the solver it abstracts: clauses may be added at
+/// decision level zero between [`solve_under`](SatBackend::solve_under)
+/// calls, learnt knowledge persists across calls, `Unsat` under
+/// assumptions does not poison later queries, and budgets apply per
+/// call. Verdicts must depend only on the formula and the assumptions —
+/// never on wall-clock time or thread scheduling — except through the
+/// explicitly non-deterministic escape hatches (deadline, interrupt).
+pub trait SatBackend: Debug + Send {
+    /// A short name identifying the backend and its configuration
+    /// (e.g. `"cdcl-modern"`), surfaced by portfolio racing and
+    /// `verify --stats`.
+    fn backend_name(&self) -> &'static str;
+
+    /// The configuration this backend runs under.
+    fn config(&self) -> &SolverConfig;
+
+    /// Allocates and returns a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Ensures variables `0..n` exist.
+    fn reserve_vars(&mut self, n: usize);
+
+    /// The number of allocated variables.
+    fn num_vars(&self) -> usize;
+
+    /// The number of problem (non-learnt) clauses loaded.
+    fn num_problem_clauses(&self) -> usize;
+
+    /// Marks every clause added so far as a problem clause (see
+    /// [`Solver::rebase_problem_clauses`]).
+    fn rebase_problem_clauses(&mut self);
+
+    /// Adds a clause over already-allocated variables.
+    fn add_clause(&mut self, lits: &[Lit]);
+
+    /// Runs the search under `assumptions` (forced true for this call
+    /// only).
+    fn solve_under(&mut self, assumptions: &[Lit]) -> SolveResult;
+
+    /// The value `v` took in the most recent satisfying assignment, or
+    /// `None` when no `Sat` result has been produced yet.
+    fn model_value(&self, v: Var) -> Option<bool>;
+
+    /// Limits the next solve calls to `conflicts` conflicts each.
+    fn set_conflict_budget(&mut self, conflicts: u64);
+
+    /// Aborts solve calls once `deadline` passes.
+    fn set_deadline(&mut self, deadline: Instant);
+
+    /// Removes any conflict budget and deadline (the interrupt flag stays
+    /// armed).
+    fn clear_limits(&mut self);
+
+    /// Arms a cooperative interrupt flag (see [`Solver::set_interrupt`]).
+    fn set_interrupt(&mut self, flag: Arc<AtomicBool>);
+
+    /// Disarms the cooperative interrupt flag.
+    fn clear_interrupt(&mut self);
+
+    /// Search statistics so far.
+    fn stats(&self) -> SolverStats;
+
+    /// Runs the search with no assumptions.
+    fn solve(&mut self) -> SolveResult {
+        self.solve_under(&[])
+    }
+}
+
+impl SatBackend for Solver {
+    fn backend_name(&self) -> &'static str {
+        self.config().backend_name()
+    }
+
+    fn config(&self) -> &SolverConfig {
+        Solver::config(self)
+    }
+
+    fn new_var(&mut self) -> Var {
+        let n = Solver::num_vars(self);
+        Solver::reserve_vars(self, n + 1);
+        Var::from_index(n)
+    }
+
+    fn reserve_vars(&mut self, n: usize) {
+        Solver::reserve_vars(self, n);
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn num_problem_clauses(&self) -> usize {
+        Solver::num_problem_clauses(self)
+    }
+
+    fn rebase_problem_clauses(&mut self) {
+        Solver::rebase_problem_clauses(self);
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        Solver::add_clause(self, lits.iter().copied());
+    }
+
+    fn solve_under(&mut self, assumptions: &[Lit]) -> SolveResult {
+        Solver::solve_under(self, assumptions)
+    }
+
+    fn model_value(&self, v: Var) -> Option<bool> {
+        Solver::model_value(self, v)
+    }
+
+    fn set_conflict_budget(&mut self, conflicts: u64) {
+        Solver::set_conflict_budget(self, conflicts);
+    }
+
+    fn set_deadline(&mut self, deadline: Instant) {
+        Solver::set_deadline(self, deadline);
+    }
+
+    fn clear_limits(&mut self) {
+        Solver::clear_limits(self);
+    }
+
+    fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        Solver::set_interrupt(self, flag);
+    }
+
+    fn clear_interrupt(&mut self) {
+        Solver::clear_interrupt(self);
+    }
+
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
+    }
+}
+
+/// Tseitin clauses can be emitted straight into any backend.
+impl ClauseSink for dyn SatBackend + '_ {
+    fn fresh_var(&mut self) -> Var {
+        self.new_var()
+    }
+    fn emit(&mut self, lits: &[Lit]) {
+        self.add_clause(lits);
+    }
+}
+
+/// Builds an empty backend for `config` (the native CDCL solver — the
+/// only backend implementation today, but the one seam consumers go
+/// through).
+pub fn build_backend(config: SolverConfig) -> Box<dyn SatBackend> {
+    Box::new(Solver::with_config(config))
+}
+
+/// Builds a backend for `config` loaded with the formula in `cnf`.
+pub fn backend_from_cnf(cnf: &CnfBuilder, config: SolverConfig) -> Box<dyn SatBackend> {
+    Box::new(Solver::from_cnf_with(cnf, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_round_trips_a_tiny_formula() {
+        let mut b = build_backend(SolverConfig::modern());
+        let x = b.new_var();
+        let y = b.new_var();
+        b.add_clause(&[Lit::pos(x), Lit::pos(y)]);
+        b.add_clause(&[Lit::neg(x)]);
+        assert_eq!(b.num_vars(), 2);
+        assert_eq!(b.backend_name(), "cdcl-modern");
+        match b.solve() {
+            SolveResult::Sat(m) => {
+                assert!(!m.value(x));
+                assert!(m.value(y));
+            }
+            other => panic!("expected SAT: {other:?}"),
+        }
+        assert_eq!(b.model_value(x), Some(false));
+        assert_eq!(b.model_value(y), Some(true));
+        // Unsat under an assumption does not poison the instance.
+        assert_eq!(b.solve_under(&[Lit::pos(x)]), SolveResult::Unsat);
+        assert!(matches!(b.solve(), SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn backend_as_clause_sink_allocates_and_emits() {
+        let mut b = build_backend(SolverConfig::legacy());
+        let sink: &mut dyn SatBackend = &mut *b;
+        let v = ClauseSink::fresh_var(sink);
+        ClauseSink::emit(sink, &[Lit::pos(v)]);
+        assert_eq!(b.num_vars(), 1);
+        assert!(matches!(b.solve(), SolveResult::Sat(_)));
+        assert_eq!(b.model_value(v), Some(true));
+    }
+}

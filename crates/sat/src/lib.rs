@@ -38,20 +38,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cnf;
+mod config;
 mod dimacs;
 mod equiv;
 mod heap;
 mod lit;
+pub mod portfolio;
 pub mod shared;
 mod solver;
 pub mod sweep;
 pub mod tseitin;
 
+pub use backend::{backend_from_cnf, build_backend, SatBackend};
 pub use cnf::CnfBuilder;
+pub use config::SolverConfig;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use equiv::{check_equivalence, probably_equivalent, EquivError, EquivResult, Miter, MiterOutcome};
 pub use lit::{Lit, Var};
+pub use portfolio::{RaceOptions, RaceReport, RacerReport};
 pub use shared::{SelectableInput, SelectableVariant, SharedMiter, VariantId};
 pub use solver::{Model, SolveResult, Solver, SolverStats};
 pub use sweep::{SweepEngine, SweepOptions, SweepReport};

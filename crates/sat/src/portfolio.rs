@@ -1,0 +1,479 @@
+//! Deterministic portfolio racing for hard obligations.
+//!
+//! When a single backend exhausts its conflict budget on a hard miter,
+//! [`race`] loads the same CNF into N differently-configured backends
+//! (see [`SolverConfig::portfolio_member`]) and runs them in parallel.
+//! The first definitive verdict wins and the remaining racers are
+//! cancelled.
+//!
+//! # Determinism contract
+//!
+//! The verdict — and the winning racer, its witness model, and the
+//! number of rounds — depend only on the formula, the assumptions and
+//! the [`RaceOptions`], never on thread scheduling or machine speed.
+//! This holds because the race is run in *synchronized conflict-chunk
+//! rounds*:
+//!
+//! 1. every live racer searches for at most `chunk_conflicts` conflicts,
+//! 2. all racers join at a barrier,
+//! 3. the winner is the **lowest-index** racer holding a definitive
+//!    result.
+//!
+//! A racer that finds a verdict mid-round only interrupts *higher*-index
+//! racers, so every racer at an index ≤ the eventual winner always runs
+//! its full deterministic chunk. What *is* timing-dependent: the
+//! conflict counts of interrupted losers, and everything after an
+//! external cancellation or deadline expiry (the same escape hatches a
+//! single solver has). Those per-racer numbers are emitted as
+//! `nondet` obs events so replay-stable payloads stay byte-identical.
+//!
+//! The external cancel flag (typically `CancelToken::flag()` from
+//! `odcfp-analysis`) is **read-only** here: the race forwards it into
+//! its racers' private interrupt flags but never stores to it, so a
+//! losing racer's cancellation cannot poison the caller's token for
+//! subsequent obligations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::{CnfBuilder, Lit, SolveResult, Solver, SolverConfig, SolverStats};
+
+/// How often the watcher thread polls the external cancel flag while a
+/// round is in flight.
+const EXTERNAL_POLL: Duration = Duration::from_micros(200);
+
+/// Shape of a portfolio race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceOptions {
+    /// Number of racers. Clamped to at least 1.
+    pub width: usize,
+    /// Configuration raced at position 0; later positions are derived
+    /// via [`SolverConfig::portfolio_member`].
+    pub base: SolverConfig,
+    /// Conflicts each racer may spend per synchronized round. Clamped to
+    /// at least 1. Larger chunks reduce barrier overhead; smaller chunks
+    /// cancel losers sooner.
+    pub chunk_conflicts: u64,
+}
+
+impl RaceOptions {
+    /// A race of `width` members of the default portfolio.
+    pub fn new(width: usize) -> RaceOptions {
+        RaceOptions {
+            width,
+            base: SolverConfig::default(),
+            chunk_conflicts: 4096,
+        }
+    }
+
+    /// Replaces the position-0 configuration.
+    pub fn with_base(mut self, base: SolverConfig) -> RaceOptions {
+        self.base = base;
+        self
+    }
+
+    /// Replaces the per-round conflict chunk.
+    pub fn with_chunk(mut self, chunk_conflicts: u64) -> RaceOptions {
+        self.chunk_conflicts = chunk_conflicts;
+        self
+    }
+}
+
+/// What one racer did during a race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RacerReport {
+    /// Backend name (e.g. `"cdcl-glucose"`).
+    pub backend: &'static str,
+    /// Phase seed the racer ran with.
+    pub seed: u64,
+    /// How the racer ended: `"sat"`, `"unsat"`, `"exhausted"` (budget
+    /// drained), `"cancelled"` (interrupted) or `"unknown"`.
+    pub outcome: &'static str,
+    /// The racer's solver statistics. Deterministic for the winner and
+    /// for budget-exhausted racers; timing-dependent for interrupted
+    /// losers.
+    pub stats: SolverStats,
+}
+
+/// The outcome of a [`race`], alongside the [`SolveResult`] itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Index of the winning racer, if any produced a definitive verdict.
+    pub winner: Option<usize>,
+    /// Backend name of the winning racer.
+    pub winner_backend: Option<&'static str>,
+    /// Synchronized rounds executed.
+    pub rounds: u64,
+    /// Total conflicts across all racers (timing-dependent when losers
+    /// were interrupted mid-chunk).
+    pub conflicts: u64,
+    /// Whether the race stopped because the external flag fired or the
+    /// deadline passed.
+    pub cancelled: bool,
+    /// Per-racer breakdown, in racer order.
+    pub racers: Vec<RacerReport>,
+}
+
+struct Racer {
+    solver: Solver,
+    flag: Arc<AtomicBool>,
+    budget_left: Option<u64>,
+    result: Option<SolveResult>,
+    interrupted: bool,
+}
+
+/// Races `opts.width` backends on `cnf` under `assumptions`; the first
+/// definitive verdict wins (ties broken by lowest racer index, which
+/// makes the outcome deterministic — see the module docs).
+///
+/// `per_racer_budget` bounds the total conflicts *each* racer may spend
+/// across all rounds; when every racer has drained its budget without a
+/// verdict the race returns [`SolveResult::Unknown`]. `deadline` and
+/// `external` are cooperative escape hatches: `external` is only ever
+/// read, never written.
+pub fn race(
+    cnf: &CnfBuilder,
+    assumptions: &[Lit],
+    opts: &RaceOptions,
+    per_racer_budget: Option<u64>,
+    deadline: Option<Instant>,
+    external: Option<Arc<AtomicBool>>,
+) -> (SolveResult, RaceReport) {
+    let width = opts.width.max(1);
+    let chunk = opts.chunk_conflicts.max(1);
+
+    let mut racers: Vec<Racer> = (0..width)
+        .map(|i| {
+            let config = SolverConfig::portfolio_member(opts.base, i);
+            let mut solver = Solver::from_cnf_with(cnf, config);
+            let flag = Arc::new(AtomicBool::new(false));
+            solver.set_interrupt(Arc::clone(&flag));
+            if let Some(d) = deadline {
+                solver.set_deadline(d);
+            }
+            Racer {
+                solver,
+                flag,
+                budget_left: per_racer_budget,
+                result: None,
+                interrupted: false,
+            }
+        })
+        .collect();
+
+    odcfp_obs::point("sat.race.start")
+        .field("width", width)
+        .field("chunk", chunk)
+        .field("budget", per_racer_budget.unwrap_or(0))
+        .emit();
+
+    let mut rounds = 0u64;
+    let mut cancelled = false;
+    loop {
+        if external
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Acquire))
+            || deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            cancelled = true;
+            break;
+        }
+        let live: Vec<bool> = racers
+            .iter()
+            .map(|r| r.result.is_none() && r.budget_left != Some(0))
+            .collect();
+        if !live.iter().any(|&l| l) {
+            break;
+        }
+        rounds += 1;
+        for racer in &mut racers {
+            racer.flag.store(false, Ordering::Release);
+        }
+        let flags: Vec<Arc<AtomicBool>> = racers.iter().map(|r| Arc::clone(&r.flag)).collect();
+        let round_done = AtomicBool::new(false);
+        thread::scope(|s| {
+            if let Some(ext) = external.as_ref() {
+                let ext = Arc::clone(ext);
+                let watcher_flags = flags.clone();
+                let round_done = &round_done;
+                s.spawn(move || {
+                    while !round_done.load(Ordering::Acquire) {
+                        if ext.load(Ordering::Acquire) {
+                            for f in &watcher_flags {
+                                f.store(true, Ordering::Release);
+                            }
+                            return;
+                        }
+                        thread::sleep(EXTERNAL_POLL);
+                    }
+                });
+            }
+            let handles: Vec<_> = racers
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| live[*i])
+                .map(|(i, racer)| {
+                    let flags = &flags;
+                    s.spawn(move || {
+                        let spend = match racer.budget_left {
+                            Some(left) => chunk.min(left),
+                            None => chunk,
+                        };
+                        racer.solver.set_conflict_budget(spend);
+                        let res = racer.solver.solve_under(assumptions);
+                        if let Some(left) = &mut racer.budget_left {
+                            *left = left.saturating_sub(spend);
+                        }
+                        match res {
+                            SolveResult::Sat(_) | SolveResult::Unsat => {
+                                racer.result = Some(res);
+                                for f in flags.iter().skip(i + 1) {
+                                    f.store(true, Ordering::Release);
+                                }
+                            }
+                            SolveResult::Unknown => {
+                                if racer.flag.load(Ordering::Acquire) {
+                                    racer.interrupted = true;
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("portfolio racer thread panicked");
+            }
+            round_done.store(true, Ordering::Release);
+        });
+        if racers.iter().any(|r| r.result.is_some()) {
+            break;
+        }
+    }
+
+    let winner = racers.iter().position(|r| r.result.is_some());
+    let verdict = match winner {
+        Some(i) => racers[i]
+            .result
+            .take()
+            .expect("winner index points at a definitive result"),
+        None => SolveResult::Unknown,
+    };
+
+    let reports: Vec<RacerReport> = racers
+        .iter()
+        .enumerate()
+        .map(|(i, r)| RacerReport {
+            backend: r.solver.config().backend_name(),
+            seed: r.solver.config().seed,
+            outcome: if winner == Some(i) {
+                match verdict {
+                    SolveResult::Sat(_) => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                }
+            } else if r.interrupted {
+                "cancelled"
+            } else if r.budget_left == Some(0) {
+                "exhausted"
+            } else {
+                "unknown"
+            },
+            stats: r.solver.stats(),
+        })
+        .collect();
+    let report = RaceReport {
+        winner,
+        winner_backend: winner.map(|i| reports[i].backend),
+        rounds,
+        conflicts: reports.iter().map(|r| r.stats.conflicts).sum(),
+        cancelled,
+        racers: reports,
+    };
+
+    if odcfp_obs::enabled() {
+        match report.winner {
+            Some(i) => odcfp_obs::point("sat.race.win")
+                .field("racer", i)
+                .field(
+                    "backend",
+                    report.winner_backend.unwrap_or("cdcl-custom"),
+                )
+                .field("rounds", report.rounds)
+                .emit(),
+            None => odcfp_obs::point("sat.race.exhausted")
+                .field("rounds", report.rounds)
+                .field("cancelled", report.cancelled)
+                .emit(),
+        }
+        for (i, r) in report.racers.iter().enumerate() {
+            odcfp_obs::point("sat.race.racer")
+                .nondet()
+                .field("racer", i)
+                .field("backend", r.backend)
+                .field("outcome", r.outcome)
+                .field("conflicts", r.stats.conflicts)
+                .emit();
+        }
+    }
+
+    (verdict, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    /// Two reversed xor chains over the same inputs, constrained to
+    /// differ: UNSAT, and hard enough to need real search at width `n`.
+    fn xor_miter(width: usize) -> CnfBuilder {
+        let mut cnf = CnfBuilder::new();
+        let inputs: Vec<Var> = (0..width).map(|_| cnf.new_var()).collect();
+        let chain = |cnf: &mut CnfBuilder, order: &[Var]| -> Var {
+            let mut acc = order[0];
+            for &x in &order[1..] {
+                let out = cnf.new_var();
+                // out = acc xor x
+                cnf.add_clause([Lit::neg(out), Lit::pos(acc), Lit::pos(x)]);
+                cnf.add_clause([Lit::neg(out), Lit::neg(acc), Lit::neg(x)]);
+                cnf.add_clause([Lit::pos(out), Lit::neg(acc), Lit::pos(x)]);
+                cnf.add_clause([Lit::pos(out), Lit::pos(acc), Lit::neg(x)]);
+                acc = out;
+            }
+            acc
+        };
+        let a = chain(&mut cnf, &inputs);
+        let rev: Vec<Var> = inputs.iter().rev().copied().collect();
+        let b = chain(&mut cnf, &rev);
+        // a != b
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::neg(b)]);
+        cnf
+    }
+
+    fn sat_instance() -> CnfBuilder {
+        let mut cnf = CnfBuilder::new();
+        let vars: Vec<Var> = (0..8).map(|_| cnf.new_var()).collect();
+        for w in vars.windows(2) {
+            cnf.add_clause([Lit::pos(w[0]), Lit::pos(w[1])]);
+        }
+        cnf
+    }
+
+    #[test]
+    fn race_proves_unsat_and_reports_a_winner() {
+        let cnf = xor_miter(24);
+        let opts = RaceOptions::new(3).with_chunk(64);
+        let (verdict, report) = race(&cnf, &[], &opts, None, None, None);
+        assert_eq!(verdict, SolveResult::Unsat);
+        let winner = report.winner.expect("a racer must win");
+        assert_eq!(report.winner_backend, Some(report.racers[winner].backend));
+        assert!(report.rounds >= 1);
+        assert!(!report.cancelled);
+        assert_eq!(report.racers.len(), 3);
+    }
+
+    #[test]
+    fn race_is_deterministic_across_repeats() {
+        let cnf = xor_miter(20);
+        let opts = RaceOptions::new(4).with_chunk(32);
+        let (v1, r1) = race(&cnf, &[], &opts, None, None, None);
+        let (v2, r2) = race(&cnf, &[], &opts, None, None, None);
+        assert_eq!(v1, SolveResult::Unsat);
+        assert_eq!(v1, v2);
+        assert_eq!(r1.winner, r2.winner);
+        assert_eq!(r1.winner_backend, r2.winner_backend);
+        assert_eq!(r1.rounds, r2.rounds);
+    }
+
+    #[test]
+    fn race_finds_models_deterministically() {
+        let cnf = sat_instance();
+        let opts = RaceOptions::new(3).with_chunk(16);
+        let (v1, r1) = race(&cnf, &[], &opts, None, None, None);
+        let (v2, r2) = race(&cnf, &[], &opts, None, None, None);
+        assert!(matches!(v1, SolveResult::Sat(_)));
+        assert_eq!(v1, v2, "winner model must be deterministic");
+        assert_eq!(r1.winner, r2.winner);
+    }
+
+    #[test]
+    fn race_respects_assumptions() {
+        let mut cnf = CnfBuilder::new();
+        let x = cnf.new_var();
+        let y = cnf.new_var();
+        cnf.add_clause([Lit::pos(x), Lit::pos(y)]);
+        let opts = RaceOptions::new(2);
+        let (v, _) = race(
+            &cnf,
+            &[Lit::neg(x), Lit::neg(y)],
+            &opts,
+            None,
+            None,
+            None,
+        );
+        assert_eq!(v, SolveResult::Unsat);
+        // ...and the same racers would find the relaxed instance SAT.
+        let (v, _) = race(&cnf, &[Lit::neg(x)], &opts, None, None, None);
+        assert!(matches!(v, SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn exhausted_budget_returns_unknown_with_deterministic_rounds() {
+        let cnf = xor_miter(40);
+        let opts = RaceOptions::new(2).with_chunk(4);
+        let (v1, r1) = race(&cnf, &[], &opts, Some(8), None, None);
+        let (v2, r2) = race(&cnf, &[], &opts, Some(8), None, None);
+        assert_eq!(v1, SolveResult::Unknown);
+        assert_eq!(v2, SolveResult::Unknown);
+        assert_eq!(r1.winner, None);
+        assert_eq!(r1.rounds, r2.rounds);
+        assert!(r1.racers.iter().all(|r| r.outcome == "exhausted"));
+    }
+
+    #[test]
+    fn external_flag_stops_the_race_and_is_never_written() {
+        let cnf = xor_miter(60);
+        let flag = Arc::new(AtomicBool::new(true)); // already cancelled
+        let opts = RaceOptions::new(2);
+        let (v, report) = race(&cnf, &[], &opts, None, None, Some(Arc::clone(&flag)));
+        assert_eq!(v, SolveResult::Unknown);
+        assert!(report.cancelled);
+        assert_eq!(report.rounds, 0);
+        assert!(flag.load(Ordering::Acquire), "flag still set by caller only");
+
+        // A completed race must never have stored to the caller's flag.
+        let clean = Arc::new(AtomicBool::new(false));
+        let small = xor_miter(10);
+        let (v, _) = race(
+            &small,
+            &[],
+            &RaceOptions::new(3),
+            None,
+            None,
+            Some(Arc::clone(&clean)),
+        );
+        assert_eq!(v, SolveResult::Unsat);
+        assert!(
+            !clean.load(Ordering::Acquire),
+            "race must not poison the external cancel flag"
+        );
+    }
+
+    #[test]
+    fn width_one_race_matches_plain_solver() {
+        let cnf = xor_miter(16);
+        let base = SolverConfig::modern();
+        let opts = RaceOptions {
+            width: 1,
+            base,
+            chunk_conflicts: 4096,
+        };
+        let (v, report) = race(&cnf, &[], &opts, None, None, None);
+        let mut solo = Solver::from_cnf_with(&cnf, base);
+        assert_eq!(v, solo.solve());
+        assert_eq!(report.winner, Some(0));
+    }
+}

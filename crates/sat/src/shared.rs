@@ -35,7 +35,7 @@ use odcfp_netlist::{GateId, NetDriver, Netlist};
 
 use crate::equiv::{EquivError, MiterOutcome};
 use crate::tseitin::{encode_gate, encode_netlist, ClauseSink};
-use crate::{CnfBuilder, Lit, SolveResult, Solver, SolverStats, Var};
+use crate::{backend_from_cnf, CnfBuilder, Lit, SatBackend, SolveResult, SolverConfig, SolverStats, Var};
 
 /// Handle to a variant registered with [`SharedMiter::add_variant`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,19 +102,19 @@ struct Variant {
 /// A clause sink that guards every emitted clause with `¬act`, making the
 /// clauses conditional on the variant's activation literal.
 struct GuardedSink<'a> {
-    solver: &'a mut Solver,
+    solver: &'a mut dyn SatBackend,
     guard: Lit,
 }
 
 impl ClauseSink for GuardedSink<'_> {
     fn fresh_var(&mut self) -> Var {
-        self.solver.fresh_var()
+        self.solver.new_var()
     }
     fn emit(&mut self, lits: &[Lit]) {
         let mut clause: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
         clause.push(self.guard);
         clause.extend_from_slice(lits);
-        self.solver.add_clause(clause);
+        self.solver.add_clause(&clause);
     }
 }
 
@@ -150,7 +150,7 @@ impl ClauseSink for GuardedSink<'_> {
 /// ```
 #[derive(Debug)]
 pub struct SharedMiter {
-    solver: Solver,
+    solver: Box<dyn SatBackend>,
     /// CNF variable of each base net, by net index.
     base_vars: Vec<Var>,
     /// Driver shape of each base net, for structural delta detection.
@@ -165,13 +165,25 @@ pub struct SharedMiter {
 }
 
 impl SharedMiter {
-    /// Tseitin-encodes `base` once into a fresh persistent solver.
+    /// Tseitin-encodes `base` once into a fresh persistent backend running
+    /// the default [`SolverConfig`].
     ///
     /// # Panics
     ///
     /// Panics if `base` has undriven nets or a combinational cycle
     /// (validate first).
     pub fn build(base: &Netlist) -> SharedMiter {
+        SharedMiter::build_with(base, SolverConfig::default())
+    }
+
+    /// Tseitin-encodes `base` once into a fresh persistent backend running
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` has undriven nets or a combinational cycle
+    /// (validate first).
+    pub fn build_with(base: &Netlist, config: SolverConfig) -> SharedMiter {
         let mut cnf = CnfBuilder::new();
         let enc = encode_netlist(&mut cnf, base);
         let base_vars: Vec<Var> = (0..base.num_nets())
@@ -193,7 +205,7 @@ impl SharedMiter {
             })
             .collect();
         SharedMiter {
-            solver: Solver::from_cnf(&cnf),
+            solver: backend_from_cnf(&cnf, config),
             base_vars,
             base_shapes,
             input_vars: base.primary_inputs().iter().map(|&p| enc.var(p)).collect(),
@@ -272,9 +284,9 @@ impl SharedMiter {
                 right: variant.primary_outputs().len(),
             });
         }
-        let act = self.solver.fresh_var();
+        let act = self.solver.new_var();
         let guard = Lit::neg(act);
-        let selectors: Vec<Var> = (0..groups).map(|_| self.solver.fresh_var()).collect();
+        let selectors: Vec<Var> = (0..groups).map(|_| self.solver.new_var()).collect();
         // (gate index, position) -> (selector, neutral), validated.
         let mut gated: std::collections::HashMap<(usize, usize), (Var, bool)> =
             std::collections::HashMap::with_capacity(selectable.len());
@@ -307,10 +319,10 @@ impl SharedMiter {
                 if i < self.base_shapes.len() && self.base_shapes[i] == NetShape::Const(v) {
                     var_of[i] = Some(self.base_vars[i]);
                 } else {
-                    let fresh = self.solver.fresh_var();
+                    let fresh = self.solver.new_var();
                     var_of[i] = Some(fresh);
                     self.solver
-                        .add_clause([guard, Lit::with_polarity(fresh, v)]);
+                        .add_clause(&[guard, Lit::with_polarity(fresh, v)]);
                 }
             }
         }
@@ -334,20 +346,20 @@ impl SharedMiter {
                     // other delta clause. With neutral = true that is
                     // e <-> (x | !sel); with neutral = false, e <-> (x & sel).
                     let x = *v;
-                    let e = self.solver.fresh_var();
+                    let e = self.solver.new_var();
                     if neutral {
-                        self.solver.add_clause([guard, Lit::neg(x), Lit::pos(e)]);
-                        self.solver.add_clause([guard, Lit::pos(sel), Lit::pos(e)]);
-                        self.solver.add_clause([
+                        self.solver.add_clause(&[guard, Lit::neg(x), Lit::pos(e)]);
+                        self.solver.add_clause(&[guard, Lit::pos(sel), Lit::pos(e)]);
+                        self.solver.add_clause(&[
                             guard,
                             Lit::neg(e),
                             Lit::pos(x),
                             Lit::neg(sel),
                         ]);
                     } else {
-                        self.solver.add_clause([guard, Lit::neg(e), Lit::pos(x)]);
-                        self.solver.add_clause([guard, Lit::neg(e), Lit::pos(sel)]);
-                        self.solver.add_clause([
+                        self.solver.add_clause(&[guard, Lit::neg(e), Lit::pos(x)]);
+                        self.solver.add_clause(&[guard, Lit::neg(e), Lit::pos(sel)]);
+                        self.solver.add_clause(&[
                             guard,
                             Lit::pos(e),
                             Lit::neg(x),
@@ -373,10 +385,10 @@ impl SharedMiter {
             if shared {
                 var_of[out] = Some(self.base_vars[out]);
             } else {
-                let fresh = self.solver.fresh_var();
+                let fresh = self.solver.new_var();
                 var_of[out] = Some(fresh);
                 let mut sink = GuardedSink {
-                    solver: &mut self.solver,
+                    solver: &mut *self.solver,
                     guard,
                 };
                 encode_gate(&mut sink, f, fresh, &ins);
@@ -392,16 +404,16 @@ impl SharedMiter {
             if a == b {
                 continue; // structurally identical output: can never differ
             }
-            let d = self.solver.fresh_var();
-            self.solver.add_clause([guard, Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
-            self.solver.add_clause([guard, Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
-            self.solver.add_clause([guard, Lit::pos(d), Lit::pos(a), Lit::neg(b)]);
-            self.solver.add_clause([guard, Lit::pos(d), Lit::neg(a), Lit::pos(b)]);
+            let d = self.solver.new_var();
+            self.solver.add_clause(&[guard, Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
+            self.solver.add_clause(&[guard, Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
+            self.solver.add_clause(&[guard, Lit::pos(d), Lit::pos(a), Lit::neg(b)]);
+            self.solver.add_clause(&[guard, Lit::pos(d), Lit::neg(a), Lit::pos(b)]);
             diffs.push(Lit::pos(d));
         }
         let trivial = diffs.len() == 1;
         if !trivial {
-            self.solver.add_clause(diffs);
+            self.solver.add_clause(&diffs);
         }
         // New variant clauses are problem clauses, not learnt ones.
         self.solver.rebase_problem_clauses();
@@ -533,7 +545,7 @@ impl SharedMiter {
         if !v.retired {
             v.retired = true;
             let act = v.act;
-            self.solver.add_clause([Lit::neg(act)]);
+            self.solver.add_clause(&[Lit::neg(act)]);
         }
     }
 

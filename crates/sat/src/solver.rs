@@ -4,8 +4,25 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::config::{splitmix64, SolverConfig};
 use crate::heap::VarHeap;
 use crate::{CnfBuilder, Lit, Var};
+
+/// Learnt clauses with LBD at or below this are "core" tier: kept forever.
+const CORE_LBD: u32 = 2;
+/// Learnt clauses with LBD at or below this are "mid" tier: they get one
+/// reprieve before a reduction may delete them.
+const MID_LBD: u32 = 6;
+/// First learnt-DB reduction fires once this many live learnt clauses
+/// accumulate; the limit then grows by [`REDUCE_GROWTH`] per reduction.
+const REDUCE_BASE: u64 = 2000;
+/// Learnt-DB growth allowance added after every reduction.
+const REDUCE_GROWTH: u64 = 300;
+/// Conflicts between rephasings (the interval then grows geometrically).
+const REPHASE_BASE: u64 = 1000;
+/// A backjump discarding more than this many decision levels backtracks
+/// chronologically (one level) instead, keeping the trail prefix warm.
+const CHRONO_JUMP: u32 = 100;
 
 /// The outcome of [`Solver::solve`].
 #[derive(Debug, Clone, PartialEq)]
@@ -49,13 +66,46 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Number of restarts performed.
     pub restarts: u64,
-    /// Number of learnt clauses currently stored.
+    /// Number of learnt clauses currently stored (live, excluding any
+    /// deleted by DB reduction).
     pub learnt_clauses: usize,
+    /// Sum of literal-block-distances over all scored learnt clauses
+    /// (zero unless LBD tracking or DB reduction is enabled).
+    pub lbd_sum: u64,
+    /// Number of learnt clauses scored with an LBD.
+    pub lbd_samples: u64,
+    /// Number of learnt-DB reductions performed.
+    pub db_reductions: u64,
+    /// Number of learnt clauses deleted by DB reductions.
+    pub learnt_deleted: u64,
+    /// Number of rephasings performed.
+    pub rephases: u64,
+    /// Number of conflicts resolved with a chronological (one-level)
+    /// backtrack instead of a full backjump.
+    pub chrono_backtracks: u64,
+}
+
+impl SolverStats {
+    /// Mean literal-block-distance of scored learnt clauses, or 0 when
+    /// none were scored.
+    pub fn avg_lbd(&self) -> f64 {
+        if self.lbd_samples == 0 {
+            0.0
+        } else {
+            self.lbd_sum as f64 / self.lbd_samples as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Literal-block-distance at learn time; 0 for problem clauses and
+    /// for learnt clauses when LBD scoring is off.
+    lbd: u32,
+    /// Mid-tier reprieve: set the first time a reduction would have
+    /// deleted this clause; a later reduction may then delete it.
+    protected: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -68,12 +118,15 @@ const UNASSIGNED: i8 = -1;
 
 /// A conflict-driven clause-learning SAT solver.
 ///
-/// Implements the MiniSat architecture: two-literal watching, VSIDS
+/// Implements the MiniSat architecture — two-literal watching, VSIDS
 /// activities with an indexed heap, phase saving, first-UIP conflict
-/// analysis and Luby-sequence restarts. See the
-/// [crate documentation](crate) for an example.
+/// analysis and Luby-sequence restarts — plus a modern-CDCL feature set
+/// (glucose-style LBD scoring, tiered learnt-DB reduction, best-phase
+/// rephasing, chronological backtracking) gated per-feature by a
+/// [`SolverConfig`]. See the [crate documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct Solver {
+    config: SolverConfig,
     clauses: Vec<Clause>,
     watches: Vec<Vec<Watch>>,
     /// Per-variable assignment: `UNASSIGNED`, 0 (false) or 1 (true).
@@ -90,6 +143,19 @@ pub struct Solver {
     seen: Vec<bool>,
     ok: bool,
     first_learnt: usize,
+    /// Deleted (tombstoned) clauses at indices `>= first_learnt`.
+    learnt_tombstones: usize,
+    /// Live learnt-clause count that triggers the next DB reduction.
+    reduce_limit: u64,
+    /// Cumulative conflict count that triggers the next rephasing.
+    next_rephase: u64,
+    rephase_interval: u64,
+    rephase_count: u64,
+    /// Saved phases at the deepest trail seen (target phasing source).
+    best_phase: Vec<bool>,
+    best_trail: usize,
+    /// The most recent satisfying assignment, for [`Solver::model_value`].
+    last_model: Option<Model>,
     stats: SolverStats,
     max_conflicts: Option<u64>,
     deadline: Option<Instant>,
@@ -97,9 +163,16 @@ pub struct Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver with no variables.
+    /// Creates an empty solver with no variables, using the default
+    /// ([modern](SolverConfig::modern)) configuration.
     pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
         Solver {
+            config,
             clauses: Vec::new(),
             watches: Vec::new(),
             assign: Vec::new(),
@@ -115,6 +188,14 @@ impl Solver {
             seen: Vec::new(),
             ok: true,
             first_learnt: 0,
+            learnt_tombstones: 0,
+            reduce_limit: REDUCE_BASE,
+            next_rephase: REPHASE_BASE,
+            rephase_interval: REPHASE_BASE,
+            rephase_count: 0,
+            best_phase: Vec::new(),
+            best_trail: 0,
+            last_model: None,
             stats: SolverStats::default(),
             max_conflicts: None,
             deadline: None,
@@ -122,15 +203,26 @@ impl Solver {
         }
     }
 
-    /// Builds a solver loaded with the formula in `cnf`.
+    /// Builds a solver loaded with the formula in `cnf`, using the
+    /// default configuration.
     pub fn from_cnf(cnf: &CnfBuilder) -> Self {
-        let mut s = Solver::new();
+        Solver::from_cnf_with(cnf, SolverConfig::default())
+    }
+
+    /// Builds a solver loaded with the formula in `cnf` under `config`.
+    pub fn from_cnf_with(cnf: &CnfBuilder, config: SolverConfig) -> Self {
+        let mut s = Solver::with_config(config);
         s.reserve_vars(cnf.num_vars());
         for clause in cnf.clauses() {
             s.add_clause(clause.iter().copied());
         }
         s.first_learnt = s.clauses.len();
         s
+    }
+
+    /// The configuration this solver runs under.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// Limits the search to `conflicts` conflicts; [`SolveResult::Unknown`]
@@ -173,8 +265,19 @@ impl Solver {
     /// Search statistics so far.
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
-        s.learnt_clauses = self.clauses.len().saturating_sub(self.first_learnt);
+        s.learnt_clauses = self
+            .clauses
+            .len()
+            .saturating_sub(self.first_learnt)
+            .saturating_sub(self.learnt_tombstones);
         s
+    }
+
+    /// The value `v` took in the most recent satisfying assignment, or
+    /// `None` when no `Sat` result has been produced yet. Variables never
+    /// constrained default to `false` (like [`Model::value`]).
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        self.last_model.as_ref().map(|m| m.value(v))
     }
 
     /// The number of allocated variables.
@@ -192,17 +295,26 @@ impl Solver {
     /// ([`crate::SharedMiter`]) use this after encoding a new variant.
     pub fn rebase_problem_clauses(&mut self) {
         self.first_learnt = self.clauses.len();
+        // Everything before the new base — including any tombstones — is
+        // now problem territory the reducer never revisits.
+        self.learnt_tombstones = 0;
     }
 
     /// Ensures variables `0..n` exist.
     pub fn reserve_vars(&mut self, n: usize) {
         while self.assign.len() < n {
             let v = Var::from_index(self.assign.len());
+            // A nonzero seed scatters initial phases so differently-seeded
+            // portfolio racers explore different trajectories; seed 0 keeps
+            // the legacy all-false start.
+            let init_phase = self.config.seed != 0
+                && splitmix64(self.config.seed ^ v.index() as u64) & 1 == 1;
             self.assign.push(UNASSIGNED);
             self.level.push(0);
             self.reason.push(None);
             self.activity.push(0.0);
-            self.phase.push(false);
+            self.phase.push(init_phase);
+            self.best_phase.push(init_phase);
             self.seen.push(false);
             self.watches.push(Vec::new());
             self.watches.push(Vec::new());
@@ -261,7 +373,11 @@ impl Solver {
                 let ci = self.clauses.len() as u32;
                 self.watch(clause[0], ci, clause[1]);
                 self.watch(clause[1], ci, clause[0]);
-                self.clauses.push(Clause { lits: clause });
+                self.clauses.push(Clause {
+                    lits: clause,
+                    lbd: 0,
+                    protected: false,
+                });
             }
         }
     }
@@ -463,7 +579,7 @@ impl Solver {
         self.qhead = self.qhead.min(self.trail.len());
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+    fn record_learnt(&mut self, learnt: Vec<Lit>, lbd: u32) {
         if learnt.len() == 1 {
             self.enqueue(learnt[0], None);
             return;
@@ -472,8 +588,109 @@ impl Solver {
         self.watch(learnt[0], ci, learnt[1]);
         self.watch(learnt[1], ci, learnt[0]);
         let asserting = learnt[0];
-        self.clauses.push(Clause { lits: learnt });
+        self.clauses.push(Clause {
+            lits: learnt,
+            lbd,
+            protected: false,
+        });
         self.enqueue(asserting, Some(ci));
+    }
+
+    /// Literal-block-distance of `lits`: the number of distinct decision
+    /// levels its literals span. Computed at learn time, before
+    /// backtracking.
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> =
+            lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// `true` when the clause is the reason of a currently assigned
+    /// literal — deleting it would leave a dangling reason.
+    fn is_locked(&self, ci: u32) -> bool {
+        let lits = &self.clauses[ci as usize].lits;
+        if lits.is_empty() {
+            return false;
+        }
+        self.value(lits[0]) == Some(true)
+            && self.reason[lits[0].var().index()] == Some(ci)
+    }
+
+    /// Deletes the worst half of the deletable learnt clauses (tiered
+    /// retention). Must run at decision level 0 so no reason above the
+    /// permanent trail can reference a deleted clause; locked clauses are
+    /// skipped regardless.
+    ///
+    /// Tiers: LBD <= [`CORE_LBD`] is kept forever; LBD <= [`MID_LBD`]
+    /// gets one reprieve (marked `protected` instead of deleted, fair
+    /// game next time); everything else is deletable immediately, worst
+    /// (highest-LBD, then oldest) first. Deletion tombstones the clause
+    /// (clears its literals) and filters the watch lists — indices are
+    /// never reused, so reasons and watches elsewhere stay valid.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut cands: Vec<(u32, u32)> = Vec::new();
+        for ci in self.first_learnt..self.clauses.len() {
+            let c = &self.clauses[ci];
+            if c.lits.is_empty() || c.lbd <= CORE_LBD || self.is_locked(ci as u32) {
+                continue;
+            }
+            cands.push((c.lbd, ci as u32));
+        }
+        // Worst first: highest LBD, oldest within a tie.
+        cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let target = cands.len() / 2;
+        let mut deleted = 0usize;
+        for &(lbd, ci) in &cands {
+            if deleted >= target {
+                break;
+            }
+            let c = &mut self.clauses[ci as usize];
+            if lbd <= MID_LBD && !c.protected {
+                c.protected = true;
+                continue;
+            }
+            c.lits = Vec::new();
+            deleted += 1;
+        }
+        if deleted > 0 {
+            self.learnt_tombstones += deleted;
+            let clauses = &self.clauses;
+            for ws in &mut self.watches {
+                ws.retain(|w| !clauses[w.clause as usize].lits.is_empty());
+            }
+        }
+        self.stats.db_reductions += 1;
+        self.stats.learnt_deleted += deleted as u64;
+    }
+
+    /// Re-seeds saved phases, cycling through four modes: the best-trail
+    /// snapshot (target phasing), no change (let the search drift), the
+    /// inverted snapshot, and a seed-derived random assignment.
+    fn rephase(&mut self) {
+        self.stats.rephases += 1;
+        let mode = self.rephase_count % 4;
+        self.rephase_count += 1;
+        match mode {
+            0 => self.phase.copy_from_slice(&self.best_phase),
+            1 => {}
+            2 => {
+                for (p, &b) in self.phase.iter_mut().zip(&self.best_phase) {
+                    *p = !b;
+                }
+            }
+            _ => {
+                let round = self.rephase_count;
+                for (i, p) in self.phase.iter_mut().enumerate() {
+                    *p = splitmix64(
+                        self.config.seed ^ (round << 32) ^ i as u64,
+                    ) & 1
+                        == 1;
+                }
+            }
+        }
     }
 
     fn pick_branch(&mut self) -> Option<Var> {
@@ -541,6 +758,9 @@ impl Solver {
             );
         }
         self.backtrack_to(0);
+        // The deepest-trail snapshot is assumption-relative; start fresh
+        // each call (the snapshot itself carries over as a warm start).
+        self.best_trail = 0;
         let start_conflicts = self.stats.conflicts;
         let mut luby_index = 0u32;
         let mut conflicts_until_restart = 100 * luby(luby_index);
@@ -551,9 +771,45 @@ impl Solver {
                     self.ok = false;
                     return SolveResult::Unsat;
                 }
+                // Target-phase snapshot: remember the polarities of the
+                // deepest trail reached — the closest the search came to a
+                // full assignment — as the rephasing anchor.
+                if self.config.rephasing && self.trail.len() > self.best_trail {
+                    self.best_trail = self.trail.len();
+                    for (i, &a) in self.assign.iter().enumerate() {
+                        if a != UNASSIGNED {
+                            self.best_phase[i] = a == 1;
+                        }
+                    }
+                }
                 let (learnt, bt) = self.analyze(confl);
-                self.backtrack_to(bt);
-                self.record_learnt(learnt);
+                let lbd = if self.config.lbd_tracking || self.config.db_reduction {
+                    let d = self.compute_lbd(&learnt);
+                    self.stats.lbd_sum += u64::from(d);
+                    self.stats.lbd_samples += 1;
+                    d
+                } else {
+                    0
+                };
+                // Chronological backtracking: when the backjump would
+                // discard a long suffix of still-useful levels, step back
+                // one level instead. The learnt clause is still unit there
+                // (every non-asserting literal sits at a level <= bt), so
+                // the asserting literal propagates exactly as it would
+                // after the full jump. Unit learnts always go to level 0 —
+                // a reason-less literal above level 0 would be
+                // unanalyzable.
+                let target = if self.config.chrono_backtrack
+                    && learnt.len() >= 2
+                    && self.decision_level() - bt > CHRONO_JUMP
+                {
+                    self.stats.chrono_backtracks += 1;
+                    self.decision_level() - 1
+                } else {
+                    bt
+                };
+                self.backtrack_to(target);
+                self.record_learnt(learnt, lbd);
                 self.decay_activities();
                 if let Some(budget) = self.max_conflicts {
                     if self.stats.conflicts - start_conflicts >= budget {
@@ -582,6 +838,27 @@ impl Solver {
                     luby_index += 1;
                     conflicts_until_restart = 100 * luby(luby_index);
                     self.backtrack_to(0);
+                    // Restart points are the safe moments for database
+                    // maintenance: the trail holds only the permanent
+                    // level-0 prefix.
+                    if self.config.db_reduction {
+                        let live = self
+                            .clauses
+                            .len()
+                            .saturating_sub(self.first_learnt)
+                            .saturating_sub(self.learnt_tombstones)
+                            as u64;
+                        if live >= self.reduce_limit {
+                            self.reduce_db();
+                            self.reduce_limit += REDUCE_GROWTH;
+                        }
+                    }
+                    if self.config.rephasing && self.stats.conflicts >= self.next_rephase
+                    {
+                        self.rephase();
+                        self.rephase_interval += self.rephase_interval / 2;
+                        self.next_rephase = self.stats.conflicts + self.rephase_interval;
+                    }
                 }
             } else if (self.decision_level() as usize) < assumptions.len() {
                 // Seat the next assumption as a decision.
@@ -608,7 +885,9 @@ impl Solver {
                     None => {
                         let values = self.assign.iter().map(|&a| a == 1).collect();
                         self.backtrack_to(0);
-                        return SolveResult::Sat(Model { values });
+                        let model = Model { values };
+                        self.last_model = Some(model.clone());
+                        return SolveResult::Sat(model);
                     }
                     Some(v) => {
                         self.stats.decisions += 1;
@@ -959,5 +1238,142 @@ mod tests {
         let _ = s.solve();
         let st = s.stats();
         assert!(st.propagations > 0);
+    }
+
+    /// Hand-built xor-chain miter CNF: two parity chains over the same
+    /// inputs (one reversed), outputs constrained to differ — UNSAT, and
+    /// proving it takes real search.
+    fn xor_miter_cnf(width: usize) -> CnfBuilder {
+        fn chain(cnf: &mut CnfBuilder, order: &[Var]) -> Var {
+            let mut acc = order[0];
+            for &x in &order[1..] {
+                let t = cnf.new_var();
+                cnf.add_clause([Lit::neg(t), Lit::pos(acc), Lit::pos(x)]);
+                cnf.add_clause([Lit::neg(t), Lit::neg(acc), Lit::neg(x)]);
+                cnf.add_clause([Lit::pos(t), Lit::pos(acc), Lit::neg(x)]);
+                cnf.add_clause([Lit::pos(t), Lit::neg(acc), Lit::pos(x)]);
+                acc = t;
+            }
+            acc
+        }
+        let mut cnf = CnfBuilder::new();
+        let xs = cnf.new_vars(width);
+        let a = chain(&mut cnf, &xs);
+        let rev: Vec<Var> = xs.iter().rev().copied().collect();
+        let b = chain(&mut cnf, &rev);
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::neg(b)]);
+        cnf
+    }
+
+    #[test]
+    fn every_profile_matches_brute_force_on_random_3sat() {
+        use odcfp_logic::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(4242);
+        for round in 0..20 {
+            let num_vars = 3 + rng.next_below(8);
+            let num_clauses = 2 + rng.next_below(5 * num_vars);
+            let mut cnf = CnfBuilder::new();
+            let vars = cnf.new_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + rng.next_below(3);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(Lit::with_polarity(
+                        vars[rng.next_below(num_vars)],
+                        rng.next_bool(),
+                    ));
+                }
+                cnf.add_clause(c);
+            }
+            let brute_sat = (0..(1usize << num_vars)).any(|m| {
+                let assignment: Vec<bool> =
+                    (0..num_vars).map(|v| (m >> v) & 1 == 1).collect();
+                cnf.eval(&assignment)
+            });
+            for (name, config) in SolverConfig::profiles() {
+                for seed in [0u64, 7] {
+                    let mut s =
+                        Solver::from_cnf_with(&cnf, config.with_seed(seed));
+                    match s.solve() {
+                        SolveResult::Sat(model) => {
+                            assert!(
+                                brute_sat,
+                                "round {round} {name} seed {seed}: SAT vs brute UNSAT"
+                            );
+                            let assignment: Vec<bool> = (0..num_vars)
+                                .map(|v| model.value(vars[v]))
+                                .collect();
+                            assert!(cnf.eval(&assignment), "model violates formula");
+                            // model_value reports the same assignment.
+                            for (k, &v) in vars.iter().enumerate() {
+                                assert_eq!(s.model_value(v), Some(assignment[k]));
+                            }
+                        }
+                        SolveResult::Unsat => assert!(
+                            !brute_sat,
+                            "round {round} {name} seed {seed}: UNSAT vs brute SAT"
+                        ),
+                        SolveResult::Unknown => panic!("no budget set"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn db_reduction_fires_and_search_stays_sound() {
+        let cnf = xor_miter_cnf(40);
+        let mut s = Solver::from_cnf_with(&cnf, SolverConfig::glucose());
+        s.reduce_limit = 1; // force a reduction at every restart
+        // Starve it first so the reduced database must survive a resume.
+        s.set_conflict_budget(200);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.clear_limits();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.db_reductions > 0, "reduction never fired: {st:?}");
+        assert!(st.learnt_deleted > 0, "nothing deleted: {st:?}");
+        assert!(st.lbd_samples > 0 && st.avg_lbd() > 0.0);
+    }
+
+    #[test]
+    fn rephasing_fires_and_search_stays_sound() {
+        let cnf = xor_miter_cnf(12);
+        let mut s = Solver::from_cnf_with(&cnf, SolverConfig::phased());
+        s.next_rephase = 1;
+        s.rephase_interval = 1;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().rephases > 0, "rephasing never fired");
+    }
+
+    #[test]
+    fn chrono_profile_agrees_on_deep_instances() {
+        // Wide xor miters build trails deep enough for chronological
+        // backtracking to be reachable; whatever it does, the verdict
+        // must not change.
+        for width in [12usize, 40, 120] {
+            let cnf = xor_miter_cnf(width);
+            let mut s = Solver::from_cnf_with(&cnf, SolverConfig::chrono());
+            assert_eq!(s.solve(), SolveResult::Unsat, "width {width}");
+        }
+    }
+
+    #[test]
+    fn legacy_profile_reproduces_original_search_exactly() {
+        // The legacy profile must be byte-identical to the pre-profile
+        // solver: same conflicts, decisions, propagations, restarts on a
+        // nontrivial proof.
+        let cnf = xor_miter_cnf(11);
+        let mut a = Solver::from_cnf_with(&cnf, SolverConfig::legacy());
+        let mut b = Solver::from_cnf_with(&cnf, SolverConfig::legacy());
+        assert_eq!(a.solve(), SolveResult::Unsat);
+        assert_eq!(b.solve(), SolveResult::Unsat);
+        assert_eq!(a.stats(), b.stats());
+        let st = a.stats();
+        assert_eq!(st.lbd_samples, 0, "legacy must not score LBD");
+        assert_eq!(st.db_reductions, 0);
+        assert_eq!(st.rephases, 0);
+        assert_eq!(st.chrono_backtracks, 0);
     }
 }

@@ -41,8 +41,8 @@ use odcfp_logic::PrimitiveFn;
 use odcfp_netlist::{NetDriver, Netlist};
 
 use crate::equiv::{EquivError, MiterOutcome};
-use crate::tseitin::{encode_gate, ClauseSink};
-use crate::{Lit, SolveResult, Solver, SolverStats, Var};
+use crate::tseitin::encode_gate;
+use crate::{build_backend, Lit, SatBackend, SolveResult, SolverConfig, SolverStats, Var};
 
 /// The semantic class of a strash node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +86,8 @@ pub struct SweepOptions {
     /// Cap on candidate pairs drawn from one signature group, guarding
     /// against quadratic blowup on degenerate signatures.
     pub max_pairs_per_group: usize,
+    /// Configuration of the persistent backend answering the SAT queries.
+    pub solver: SolverConfig,
 }
 
 impl Default for SweepOptions {
@@ -95,6 +97,7 @@ impl Default for SweepOptions {
             seed: 0x0DCF_5EED,
             cut_conflicts: 2_000,
             max_pairs_per_group: 8,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -182,7 +185,7 @@ pub struct SweepEngine {
     /// Node id of each golden primary output, by position.
     golden_pos: Vec<u32>,
     // ---- solving ----
-    solver: Solver,
+    solver: Box<dyn SatBackend>,
     interrupt: Option<Arc<AtomicBool>>,
     rng: Xoshiro256,
 }
@@ -196,6 +199,7 @@ impl SweepEngine {
     /// (validate first), or if `opts.sim_words` is zero.
     pub fn new(golden: &Netlist, opts: SweepOptions) -> SweepEngine {
         assert!(opts.sim_words > 0, "signatures need at least one word");
+        let solver = build_backend(opts.solver);
         let mut eng = SweepEngine {
             rng: Xoshiro256::seed_from_u64(opts.seed),
             opts,
@@ -213,7 +217,7 @@ impl SweepEngine {
             num_pos: golden.primary_outputs().len(),
             input_nodes: Vec::new(),
             golden_pos: Vec::new(),
-            solver: Solver::new(),
+            solver,
             interrupt: None,
         };
         eng.input_nodes = (0..eng.num_pis)
@@ -743,8 +747,8 @@ impl SweepEngine {
             match (self.var[keep as usize], self.var[retire as usize]) {
                 (Some(vk), Some(vr)) => {
                     // Both classes already encoded: tie them in the solver.
-                    self.solver.add_clause([Lit::neg(vk), Lit::pos(vr)]);
-                    self.solver.add_clause([Lit::pos(vk), Lit::neg(vr)]);
+                    self.solver.add_clause(&[Lit::neg(vk), Lit::pos(vr)]);
+                    self.solver.add_clause(&[Lit::pos(vk), Lit::neg(vr)]);
                 }
                 (None, Some(vr)) => self.var[keep as usize] = Some(vr),
                 _ => {}
@@ -863,12 +867,12 @@ impl SweepEngine {
                 stack.extend_from_slice(&pending);
                 continue;
             }
-            let v = self.solver.fresh_var();
+            let v = self.solver.new_var();
             self.var[n as usize] = Some(v);
             match self.kind[n as usize] {
                 NodeKind::Input(_) => {}
                 NodeKind::Const(val) => {
-                    self.solver.add_clause([Lit::with_polarity(v, val)]);
+                    self.solver.add_clause(&[Lit::with_polarity(v, val)]);
                 }
                 NodeKind::Gate(f) => {
                     let ins: Vec<Var> = (0..self.children(n).len())
@@ -898,7 +902,7 @@ impl SweepEngine {
         if va == vb {
             return Query::Equal;
         }
-        let d = self.solver.fresh_var();
+        let d = self.solver.new_var();
         encode_gate(&mut self.solver, PrimitiveFn::Xor, d, &[va, vb]);
         self.solver.clear_limits();
         if let Some(budget) = conflict_budget {
@@ -910,7 +914,7 @@ impl SweepEngine {
         match self.solver.solve_under(&[Lit::pos(d)]) {
             SolveResult::Unsat => {
                 // Retire the query variable; equality is recorded by union.
-                self.solver.add_clause([Lit::neg(d)]);
+                self.solver.add_clause(&[Lit::neg(d)]);
                 Query::Equal
             }
             SolveResult::Sat(model) => {

@@ -35,6 +35,24 @@ impl ClauseSink for Solver {
     }
 }
 
+impl<S: ClauseSink + ?Sized> ClauseSink for &mut S {
+    fn fresh_var(&mut self) -> Var {
+        (**self).fresh_var()
+    }
+    fn emit(&mut self, lits: &[Lit]) {
+        (**self).emit(lits);
+    }
+}
+
+impl<S: ClauseSink + ?Sized> ClauseSink for Box<S> {
+    fn fresh_var(&mut self) -> Var {
+        (**self).fresh_var()
+    }
+    fn emit(&mut self, lits: &[Lit]) {
+        (**self).emit(lits);
+    }
+}
+
 /// The CNF image of a netlist: one variable per net.
 #[derive(Debug, Clone)]
 pub struct Encoding {

@@ -1,0 +1,157 @@
+//! Differential suite for the solver tier: every [`SolverConfig`]
+//! profile and every portfolio width must return the **same verdict** on
+//! the same formula. The heuristics (LBD tracking, DB reduction,
+//! rephasing, chronological backtracking, racing) may only change how the
+//! search runs, never what it concludes — this is the determinism
+//! contract `odcfp verify --solver-profile/--portfolio` relies on.
+
+use odcfp_sat::portfolio::{self, RaceOptions};
+use odcfp_sat::{parse_dimacs, CnfBuilder, SolveResult, Solver, SolverConfig};
+
+/// The DIMACS corpus: inline instances mirroring the fixtures in
+/// `crates/sat/src/dimacs.rs`, spanning trivially SAT, trivially UNSAT,
+/// propagation-only, and search-requiring formulas.
+const CORPUS: &[(&str, &str)] = &[
+    ("unit_sat", "p cnf 2 2\n1 -2 0\n2 0\n"),
+    ("unit_unsat", "p cnf 1 2\n1 0\n-1 0\n"),
+    (
+        "chain_sat",
+        "p cnf 5 5\n1 2 0\n-1 3 0\n-3 4 0\n-4 5 0\n-5 -2 0\n",
+    ),
+    (
+        "tiny_unsat",
+        "p cnf 3 8\n1 2 3 0\n1 2 -3 0\n1 -2 3 0\n1 -2 -3 0\n\
+         -1 2 3 0\n-1 2 -3 0\n-1 -2 3 0\n-1 -2 -3 0\n",
+    ),
+    (
+        "pigeonhole_3_2",
+        // 3 pigeons, 2 holes: p_ij = pigeon i in hole j. UNSAT.
+        "p cnf 6 9\n1 2 0\n3 4 0\n5 6 0\n\
+         -1 -3 0\n-1 -5 0\n-3 -5 0\n-2 -4 0\n-2 -6 0\n-4 -6 0\n",
+    ),
+];
+
+/// An UNSAT xor-chain miter over `width` inputs: forward vs reversed
+/// association with the difference asserted. Needs genuine CDCL search.
+fn xor_miter(width: usize) -> CnfBuilder {
+    use odcfp_sat::Lit;
+    let mut cnf = CnfBuilder::new();
+    let inputs = cnf.new_vars(width);
+    let xor2 = |cnf: &mut CnfBuilder, a, b| {
+        let t = cnf.new_var();
+        cnf.add_clause([Lit::neg(t), Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(t), Lit::neg(a), Lit::neg(b)]);
+        cnf.add_clause([Lit::pos(t), Lit::neg(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::pos(t), Lit::pos(a), Lit::neg(b)]);
+        t
+    };
+    let mut acc = inputs[0];
+    for &i in &inputs[1..] {
+        acc = xor2(&mut cnf, acc, i);
+    }
+    let mut rev = inputs[width - 1];
+    for &i in inputs[..width - 1].iter().rev() {
+        rev = xor2(&mut cnf, rev, i);
+    }
+    let diff = xor2(&mut cnf, acc, rev);
+    cnf.add_clause([Lit::pos(diff)]);
+    cnf
+}
+
+/// The full instance set: the DIMACS corpus plus generated hard miters.
+fn instances() -> Vec<(String, CnfBuilder)> {
+    let mut all: Vec<(String, CnfBuilder)> = CORPUS
+        .iter()
+        .map(|(name, text)| ((*name).to_string(), parse_dimacs(text).expect("corpus parses")))
+        .collect();
+    for width in [8, 16, 24] {
+        all.push((format!("xor_miter_{width}"), xor_miter(width)));
+    }
+    all
+}
+
+/// SAT models differ across profiles; compare verdict kinds, and check
+/// any model against the formula itself instead of against a reference.
+fn verdict_kind(result: &SolveResult, cnf: &CnfBuilder, label: &str) -> &'static str {
+    match result {
+        SolveResult::Sat(model) => {
+            for i in 0..cnf.num_clauses() {
+                assert!(
+                    cnf.clause(i).iter().any(|&l| model.satisfies(l)),
+                    "{label}: model violates clause {i}"
+                );
+            }
+            "sat"
+        }
+        SolveResult::Unsat => "unsat",
+        SolveResult::Unknown => "unknown",
+    }
+}
+
+#[test]
+fn every_profile_reaches_the_same_verdict_on_the_corpus() {
+    for (name, cnf) in instances() {
+        let mut reference: Option<&'static str> = None;
+        for (profile, config) in SolverConfig::profiles() {
+            let mut solver = Solver::from_cnf_with(&cnf, config);
+            let kind = verdict_kind(&solver.solve(), &cnf, &format!("{name}/{profile}"));
+            assert_ne!(kind, "unknown", "{name}/{profile}: unbounded solve decided");
+            match reference {
+                None => reference = Some(kind),
+                Some(expect) => {
+                    assert_eq!(kind, expect, "{name}: profile {profile} disagrees")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_portfolio_width_reaches_the_same_verdict_on_the_corpus() {
+    for (name, cnf) in instances() {
+        let mut solo = Solver::from_cnf(&cnf);
+        let expect = verdict_kind(&solo.solve(), &cnf, &name);
+        for width in [1, 2, 3, 5] {
+            let opts = RaceOptions::new(width);
+            let (result, report) = portfolio::race(&cnf, &[], &opts, None, None, None);
+            let kind = verdict_kind(&result, &cnf, &format!("{name}/width{width}"));
+            assert_eq!(kind, expect, "{name}: portfolio width {width} disagrees");
+            assert_eq!(report.racers.len(), width);
+            assert!(report.winner.is_some(), "{name}/width{width}: someone won");
+        }
+    }
+}
+
+#[test]
+fn race_winner_and_verdict_are_stable_across_repeats() {
+    // The portfolio's synchronized-round design makes the winner (and
+    // therefore any witness) a pure function of the formula — re-running
+    // the same race must reproduce it exactly, regardless of OS thread
+    // scheduling.
+    for (name, cnf) in instances() {
+        let opts = RaceOptions::new(4);
+        let (first_result, first) = portfolio::race(&cnf, &[], &opts, None, None, None);
+        for _ in 0..3 {
+            let (result, report) = portfolio::race(&cnf, &[], &opts, None, None, None);
+            assert_eq!(report.winner, first.winner, "{name}: winner changed");
+            assert_eq!(
+                report.winner_backend, first.winner_backend,
+                "{name}: winning backend changed"
+            );
+            assert_eq!(report.rounds, first.rounds, "{name}: round count changed");
+            match (&result, &first_result) {
+                (SolveResult::Sat(a), SolveResult::Sat(b)) => {
+                    let vars = (0..cnf.num_vars()).map(odcfp_sat::Var::from_index);
+                    for v in vars {
+                        assert_eq!(a.value(v), b.value(v), "{name}: witness changed");
+                    }
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "{name}: verdict changed"
+                ),
+            }
+        }
+    }
+}
