@@ -1,0 +1,803 @@
+//! End-to-end serving benchmark: reactor scalability, loadgen-style
+//! throughput, and batched-vs-unbatched verification.
+//!
+//! Usage: `cargo run --release -p odcfp-bench --bin bench_serve [-- --fast --check]`
+//!
+//! Three sections, each against a real in-process `odcfp_serve::Server`
+//! driven over loopback TCP:
+//!
+//! 1. **Connection scaling** — open N idle connections against a
+//!    reactor-mode and a threaded-mode server and measure the resident
+//!    memory and thread count each mode pays per connection (from
+//!    `/proc/self/status`, so the server must share our process). The
+//!    headline number is the multiplier: how many reactor connections
+//!    fit in the memory one threaded connection costs.
+//! 2. **Throughput** — an open-loop generator (the `odcfp loadgen`
+//!    schedule: fixed send times, never gated on replies) drives a
+//!    mixed ping/locations workload at a target RPS and reports
+//!    achieved RPS and p50/p99 latency plus the full histogram.
+//! 3. **Batch verification** — the same closed-loop verify workload
+//!    (one warm golden, distinct fingerprinted candidates) against a
+//!    `batch_max = 1` server and a batching server, both single-worker
+//!    so the comparison isolates the coalescing benefit rather than
+//!    scheduling luck. Verdicts must be identical per candidate;
+//!    per-worker throughput of the coalesced path is the payoff.
+//!
+//! Results go to `BENCH_serve.json` at the repo root. `--fast` shrinks
+//! connection counts and durations for CI smoke; `--check` exits
+//! nonzero if the reactor multiplier drops below 4x, any verdict
+//! diverges between the batched and unbatched runs, or throughput
+//! collapses below conservative floors.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use odcfp_core::codebook::CodeSpace;
+use odcfp_core::Fingerprinter;
+use odcfp_netlist::CellLibrary;
+use odcfp_serve::proto::{request_line, FieldValue};
+use odcfp_serve::{ConnMode, Reply, ServeSummary, Server, ServerConfig};
+use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+use odcfp_verilog::write_verilog;
+
+// ---------------------------------------------------------------------
+// Harness: in-process server + wire client.
+// ---------------------------------------------------------------------
+
+struct BenchServer {
+    addr: String,
+    handle: JoinHandle<ServeSummary>,
+}
+
+fn start(config: ServerConfig) -> BenchServer {
+    let server = Server::bind(config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve run"));
+    BenchServer { addr, handle }
+}
+
+impl BenchServer {
+    fn connect(&self) -> Wire {
+        Wire::connect(&self.addr)
+    }
+
+    fn shutdown(self) -> ServeSummary {
+        let mut c = self.connect();
+        let reply = c.roundtrip(&request_line("shutdown", "admin", None, "shutdown", &[]));
+        assert!(reply.ok, "shutdown accepted: {reply:?}");
+        drop(c);
+        self.handle.join().expect("server thread")
+    }
+}
+
+struct Wire {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Wire {
+    fn connect(addr: &str) -> Wire {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        Wire {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send nl");
+    }
+
+    fn read_reply(&mut self) -> Reply {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        Reply::parse_line(line.trim_end())
+            .unwrap_or_else(|| panic!("parseable reply: {line:?}"))
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Reply {
+        self.send(line);
+        self.read_reply()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic workload: one golden, distinct fingerprinted copies.
+// ---------------------------------------------------------------------
+
+struct Workload {
+    golden: String,
+    codes: Vec<String>,
+}
+
+/// Same per-buyer bit scheme as `bench_sat`/`bench_verify`, so the
+/// serving numbers describe the workload the rest of the suite uses.
+fn buyer_bits(buyer: u64, n: usize) -> Vec<bool> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (buyer + 1).wrapping_mul(0x0DCF_5EED);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        })
+        .collect()
+}
+
+fn workload(copies: usize) -> Workload {
+    // Big enough that the warm state (fingerprint analysis + code-space
+    // proof) is real, small enough for CI smoke. The batch workload is
+    // the fleet-scale shape from the ISSUE: one warm golden, many
+    // per-buyer candidate *codes* decided by assumption against the
+    // cached code-space proof.
+    let params = DagParams {
+        inputs: 64,
+        gates: 600,
+        outputs: 32,
+        window: 80,
+        seed: 0x0DCF,
+    };
+    let base = random_dag(CellLibrary::standard(), params);
+    let fp = Fingerprinter::new(base.clone()).expect("valid base");
+    let groups = CodeSpace::build(&fp).expect("code space").num_groups();
+    let codes = (0..copies as u64)
+        .map(|b| {
+            buyer_bits(b, groups)
+                .into_iter()
+                .map(|bit| if bit { '1' } else { '0' })
+                .collect()
+        })
+        .collect();
+    Workload {
+        golden: write_verilog(&base),
+        codes,
+    }
+}
+
+fn verify_line(w: &Workload, code: usize, id: &str, tenant: &str) -> String {
+    request_line(
+        id,
+        tenant,
+        None,
+        "verify",
+        &[
+            ("golden_text", FieldValue::from(w.golden.as_str())),
+            ("golden_format", "v".into()),
+            ("candidate_bits", FieldValue::from(w.codes[code].as_str())),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Section 1: connection scaling (memory per idle connection).
+// ---------------------------------------------------------------------
+
+struct MemSample {
+    rss_bytes: u64,
+    threads: u64,
+}
+
+fn mem_sample() -> MemSample {
+    let status = std::fs::read_to_string("/proc/self/status")
+        .expect("connection scaling needs /proc/self/status (linux)");
+    let mut rss_bytes = 0u64;
+    let mut threads = 0u64;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .expect("VmRSS kB");
+            rss_bytes = kb * 1024;
+        } else if let Some(rest) = line.strip_prefix("Threads:") {
+            threads = rest.trim().parse().expect("Threads count");
+        }
+    }
+    MemSample { rss_bytes, threads }
+}
+
+struct ModeMem {
+    rss_delta_bytes: u64,
+    rss_per_conn: u64,
+    threads_added: u64,
+}
+
+/// A held connection that allocates nothing on our side of the wire,
+/// so the RSS delta attributes to the server alone: raw socket, reply
+/// read into a stack buffer.
+fn bare_ping(stream: &mut TcpStream, id: &str) {
+    let line = request_line(id, "scale", None, "ping", &[]);
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send nl");
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf).expect("read reply");
+        assert!(n > 0, "server closed during ping");
+        if buf[..n].contains(&b'\n') {
+            return;
+        }
+    }
+}
+
+fn measure_mode(mode: ConnMode, label: &'static str, conns: usize) -> ModeMem {
+    eprintln!("connections: opening {conns} idle conns against {label} server...");
+    let srv = start(ServerConfig {
+        workers: 1,
+        mode,
+        max_conns: conns + 32,
+        ..ServerConfig::default()
+    });
+
+    // Warm the allocator and the accept path so the measured delta is
+    // connection state, not first-touch arena growth.
+    {
+        let mut warm: Vec<TcpStream> = (0..conns.min(32))
+            .map(|_| TcpStream::connect(&srv.addr).expect("connect"))
+            .collect();
+        for (i, stream) in warm.iter_mut().enumerate() {
+            bare_ping(stream, &format!("w{i}"));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let base = mem_sample();
+
+    let mut held: Vec<TcpStream> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let mut stream = TcpStream::connect(&srv.addr).expect("connect");
+        bare_ping(&mut stream, &format!("c{i}"));
+        held.push(stream);
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let after = mem_sample();
+    drop(held);
+    srv.shutdown();
+
+    let rss_delta_bytes = after.rss_bytes.saturating_sub(base.rss_bytes);
+    ModeMem {
+        rss_delta_bytes,
+        // Floor at 256 B so an unmeasurably cheap mode cannot divide by
+        // (near) zero; this only ever understates the multiplier.
+        rss_per_conn: (rss_delta_bytes / conns as u64).max(256),
+        threads_added: after.threads.saturating_sub(base.threads),
+    }
+}
+
+struct ConnScaling {
+    conns: usize,
+    reactor: ModeMem,
+    threaded: ModeMem,
+    multiplier: f64,
+    equal_memory_conns: u64,
+}
+
+fn connection_scaling(fast: bool) -> ConnScaling {
+    let conns = if fast { 64 } else { 256 };
+    // Reactor first: it measures on the colder heap, which can only
+    // overstate its per-connection cost and understate the multiplier.
+    let reactor = measure_mode(ConnMode::Reactor, "reactor", conns);
+    let threaded = measure_mode(ConnMode::Threaded, "threaded", conns);
+    let multiplier = threaded.rss_per_conn as f64 / reactor.rss_per_conn as f64;
+    ConnScaling {
+        conns,
+        multiplier,
+        equal_memory_conns: (conns as f64 * multiplier) as u64,
+        reactor,
+        threaded,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section 2: open-loop throughput (the loadgen schedule).
+// ---------------------------------------------------------------------
+
+struct Throughput {
+    target_rps: u64,
+    achieved_rps: f64,
+    sent: u64,
+    ok: u64,
+    errors: u64,
+    p50_us: u64,
+    p99_us: u64,
+    histogram: Vec<(u64, u64)>,
+}
+
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Power-of-two `latency <= bound` buckets, same shape `odcfp loadgen`
+/// emits, so the two histograms can be overlaid directly.
+fn histogram_le_us(sorted: &[u64]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    if sorted.is_empty() {
+        return out;
+    }
+    let max = *sorted.last().expect("non-empty");
+    let mut bound = 1u64;
+    loop {
+        let count = sorted.partition_point(|&v| v <= bound) as u64;
+        out.push((bound, count));
+        if bound >= max {
+            break;
+        }
+        bound = bound.saturating_mul(2);
+    }
+    out
+}
+
+fn throughput(w: &Workload, fast: bool) -> Throughput {
+    let target_rps: u64 = if fast { 300 } else { 600 };
+    let conns = 4usize;
+    let duration = Duration::from_secs(if fast { 2 } else { 5 });
+    eprintln!(
+        "throughput: open-loop ping/locations mix at {target_rps} rps over {conns} conns..."
+    );
+
+    let srv = start(ServerConfig {
+        workers: 2,
+        queue_depth: 256,
+        ..ServerConfig::default()
+    });
+
+    let sent = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for conn in 0..conns {
+            let addr = srv.addr.clone();
+            let per_conn = target_rps / conns as u64;
+            let (sent, ok, errors, latencies) = (&sent, &ok, &errors, &latencies);
+            scope.spawn(move || {
+                let wire = Wire::connect(&addr);
+                let in_flight: Mutex<BTreeMap<String, Instant>> = Mutex::new(BTreeMap::new());
+
+                std::thread::scope(|inner| {
+                    // Writer: fixed schedule, never gated on replies.
+                    let mut tx = wire.stream.try_clone().expect("clone");
+                    let pending = &in_flight;
+                    let golden = &w.golden;
+                    inner.spawn(move || {
+                        let interval = Duration::from_secs(1).div_f64(per_conn as f64);
+                        let t0 = Instant::now();
+                        let mut next = t0;
+                        let mut i = 0u64;
+                        while t0.elapsed() < duration {
+                            let now = Instant::now();
+                            if now < next {
+                                std::thread::sleep(next - now);
+                            }
+                            next += interval;
+                            let id = format!("tp{conn}-{i}");
+                            // 3:1 ping:locations — framing overhead plus
+                            // one op that touches the warm cache.
+                            let line = if i % 4 == 3 {
+                                request_line(
+                                    &id,
+                                    &format!("tenant-{conn}"),
+                                    None,
+                                    "locations",
+                                    &[
+                                        ("design_text", FieldValue::from(golden.as_str())),
+                                        ("design_format", "v".into()),
+                                    ],
+                                )
+                            } else {
+                                request_line(&id, &format!("tenant-{conn}"), None, "ping", &[])
+                            };
+                            pending.lock().unwrap().insert(id, Instant::now());
+                            sent.fetch_add(1, Ordering::Relaxed);
+                            tx.write_all(line.as_bytes()).expect("send");
+                            tx.write_all(b"\n").expect("send nl");
+                            i += 1;
+                        }
+                        tx.shutdown(std::net::Shutdown::Write).ok();
+                    });
+
+                    // Reader: match replies back to send times.
+                    let mut reader = wire.reader;
+                    let in_flight = &in_flight;
+                    inner.spawn(move || {
+                        let mut line = String::new();
+                        loop {
+                            line.clear();
+                            match reader.read_line(&mut line) {
+                                Ok(0) | Err(_) => break,
+                                Ok(_) => {}
+                            }
+                            let Some(reply) = Reply::parse_line(line.trim_end()) else {
+                                continue;
+                            };
+                            let sent_at = in_flight.lock().unwrap().remove(&reply.id);
+                            if let Some(t) = sent_at {
+                                if reply.ok {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                    latencies
+                                        .lock()
+                                        .unwrap()
+                                        .push(t.elapsed().as_micros() as u64);
+                                } else {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            if in_flight.lock().unwrap().is_empty()
+                                && reader.get_ref().peer_addr().is_err()
+                            {
+                                break;
+                            }
+                        }
+                    });
+                });
+            });
+        }
+    });
+    srv.shutdown();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let sent = sent.into_inner();
+    Throughput {
+        target_rps,
+        achieved_rps: sent as f64 / duration.as_secs_f64(),
+        sent,
+        ok: ok.into_inner(),
+        errors: errors.into_inner(),
+        p50_us: pct(&lat, 0.50),
+        p99_us: pct(&lat, 0.99),
+        histogram: histogram_le_us(&lat),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section 3: batched vs unbatched verification.
+// ---------------------------------------------------------------------
+
+struct VerifyRun {
+    served: u64,
+    rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    batched_requests: u64,
+    max_batch: u64,
+    /// Verdict per candidate index; a candidate whose verdict ever
+    /// flapped within the run is recorded as `"divergent"`.
+    verdicts: Vec<String>,
+}
+
+fn verify_run(
+    w: &Workload,
+    label: &'static str,
+    config: ServerConfig,
+    conns: usize,
+    duration: Duration,
+) -> VerifyRun {
+    eprintln!("batch_verify: closed-loop verify sweep against {label} server...");
+    let srv = start(config);
+
+    // Warm the golden once so both runs race with a hot cache and the
+    // first request's fingerprint analysis is off the clock.
+    {
+        let mut c = srv.connect();
+        let r = c.roundtrip(&verify_line(w, 0, "warmup", "warm"));
+        assert!(r.ok, "warmup verify: {r:?}");
+    }
+
+    let served = AtomicU64::new(0);
+    let batched_requests = AtomicU64::new(0);
+    let max_batch = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let verdicts: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; w.codes.len()]);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for conn in 0..conns {
+            let addr = srv.addr.clone();
+            let (served, batched_requests, max_batch, latencies, verdicts) =
+                (&served, &batched_requests, &max_batch, &latencies, &verdicts);
+            scope.spawn(move || {
+                let mut wire = Wire::connect(&addr);
+                let mut i = 0u64;
+                while t0.elapsed() < duration {
+                    let candidate = (conn + i as usize * conns) % w.codes.len();
+                    let sent_at = Instant::now();
+                    let reply = wire.roundtrip(&verify_line(
+                        w,
+                        candidate,
+                        &format!("b{conn}-{i}"),
+                        &format!("tenant-{conn}"),
+                    ));
+                    assert!(reply.ok, "verify answered: {reply:?}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                    latencies
+                        .lock()
+                        .unwrap()
+                        .push(sent_at.elapsed().as_micros() as u64);
+                    if reply.field_bool("batched") == Some(true) {
+                        batched_requests.fetch_add(1, Ordering::Relaxed);
+                        max_batch
+                            .fetch_max(reply.field_u64("batch").unwrap_or(0), Ordering::Relaxed);
+                    }
+                    let verdict = reply
+                        .field_str("verdict")
+                        .unwrap_or("missing")
+                        .to_owned();
+                    let mut slots = verdicts.lock().unwrap();
+                    match &slots[candidate] {
+                        None => slots[candidate] = Some(verdict),
+                        Some(prev) if *prev != verdict => {
+                            slots[candidate] = Some("divergent".to_owned());
+                        }
+                        Some(_) => {}
+                    }
+                    i += 1;
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    srv.shutdown();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let served = served.into_inner();
+    VerifyRun {
+        served,
+        rps: served as f64 / elapsed.as_secs_f64(),
+        p50_us: pct(&lat, 0.50),
+        p99_us: pct(&lat, 0.99),
+        batched_requests: batched_requests.into_inner(),
+        max_batch: max_batch.into_inner(),
+        verdicts: verdicts
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|v| v.unwrap_or_else(|| "unvisited".to_owned()))
+            .collect(),
+    }
+}
+
+struct BatchVerify {
+    conns: usize,
+    unbatched: VerifyRun,
+    batched: VerifyRun,
+    speedup: f64,
+    verdicts_equal: bool,
+}
+
+fn batch_verify(w: &Workload, fast: bool) -> BatchVerify {
+    // Fleet shape: concurrency well above the batch size, so the
+    // gather always finds a full cohort waiting and never sleeps out
+    // its window. One worker on both sides: the comparison is
+    // per-worker verify throughput.
+    let conns = 24usize;
+    let duration = Duration::from_secs(if fast { 2 } else { 5 });
+    let base = ServerConfig {
+        workers: 1,
+        queue_depth: 256,
+        ..ServerConfig::default()
+    };
+    let unbatched = verify_run(
+        w,
+        "unbatched",
+        ServerConfig {
+            batch_max: 1,
+            ..base.clone()
+        },
+        conns,
+        duration,
+    );
+    let batched = verify_run(
+        w,
+        "batched",
+        ServerConfig {
+            batch_window: Duration::from_millis(4),
+            batch_max: 8,
+            ..base
+        },
+        conns,
+        duration,
+    );
+    let verdicts_equal = unbatched
+        .verdicts
+        .iter()
+        .zip(&batched.verdicts)
+        .all(|(a, b)| {
+            // A candidate one short run never reached proves nothing
+            // either way; any visited verdict must match exactly.
+            a == "unvisited" || b == "unvisited" || (a == b && a != "divergent")
+        });
+    BatchVerify {
+        conns,
+        speedup: batched.rps / unbatched.rps.max(f64::MIN_POSITIVE),
+        unbatched,
+        batched,
+        verdicts_equal,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report.
+// ---------------------------------------------------------------------
+
+fn json_histogram(hist: &[(u64, u64)]) -> String {
+    let entries: Vec<String> = hist
+        .iter()
+        .map(|(le, n)| format!("{{ \"le_us\": {le}, \"count\": {n} }}"))
+        .collect();
+    format!("[ {} ]", entries.join(", "))
+}
+
+fn json_verify_run(r: &VerifyRun) -> String {
+    let verdicts: Vec<String> = r.verdicts.iter().map(|v| format!("\"{v}\"")).collect();
+    format!(
+        "{{ \"served\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+         \"batched_requests\": {}, \"max_batch\": {}, \"verdicts\": [{}] }}",
+        r.served,
+        r.rps,
+        r.p50_us,
+        r.p99_us,
+        r.batched_requests,
+        r.max_batch,
+        verdicts.join(", "),
+    )
+}
+
+fn write_json(fast: bool, scale: &ConnScaling, tp: &Throughput, bv: &BatchVerify) {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"odcfp-bench-serve/1\",\n");
+    json.push_str(&format!("  \"fast\": {fast},\n"));
+    json.push_str(&format!(
+        "  \"connections\": {{ \"conns\": {}, \"reactor\": {{ \"rss_delta_bytes\": {}, \
+         \"rss_per_conn_bytes\": {}, \"threads_added\": {} }}, \"threaded\": {{ \
+         \"rss_delta_bytes\": {}, \"rss_per_conn_bytes\": {}, \"threads_added\": {} }}, \
+         \"multiplier_at_equal_memory\": {:.1}, \"reactor_conns_at_equal_memory\": {} }},\n",
+        scale.conns,
+        scale.reactor.rss_delta_bytes,
+        scale.reactor.rss_per_conn,
+        scale.reactor.threads_added,
+        scale.threaded.rss_delta_bytes,
+        scale.threaded.rss_per_conn,
+        scale.threaded.threads_added,
+        scale.multiplier,
+        scale.equal_memory_conns,
+    ));
+    json.push_str(&format!(
+        "  \"throughput\": {{ \"target_rps\": {}, \"achieved_rps\": {:.1}, \"sent\": {}, \
+         \"ok\": {}, \"errors\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+         \"histogram_le_us\": {} }},\n",
+        tp.target_rps,
+        tp.achieved_rps,
+        tp.sent,
+        tp.ok,
+        tp.errors,
+        tp.p50_us,
+        tp.p99_us,
+        json_histogram(&tp.histogram),
+    ));
+    json.push_str(&format!(
+        "  \"batch_verify\": {{ \"conns\": {}, \"candidates\": {}, \"unbatched\": {}, \
+         \"batched\": {}, \"speedup\": {:.2}, \"verdicts_equal\": {} }}\n}}\n",
+        bv.conns,
+        bv.unbatched.verdicts.len(),
+        json_verify_run(&bv.unbatched),
+        json_verify_run(&bv.batched),
+        bv.speedup,
+        bv.verdicts_equal,
+    ));
+
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_serve.json"]
+        .iter()
+        .collect();
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", out.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let check = args.iter().any(|a| a == "--check");
+
+    let w = workload(if fast { 6 } else { 12 });
+    let scale = connection_scaling(fast);
+    let tp = throughput(&w, fast);
+    let bv = batch_verify(&w, fast);
+
+    write_json(fast, &scale, &tp, &bv);
+
+    println!("| section | result |");
+    println!("|---------|--------|");
+    println!(
+        "| connections ({}) | reactor {} B/conn (+{} threads), threaded {} B/conn \
+         (+{} threads), {:.0}x at equal memory |",
+        scale.conns,
+        scale.reactor.rss_per_conn,
+        scale.reactor.threads_added,
+        scale.threaded.rss_per_conn,
+        scale.threaded.threads_added,
+        scale.multiplier,
+    );
+    println!(
+        "| open-loop throughput | {:.0}/{} rps, p50 {} us, p99 {} us, {} errors |",
+        tp.achieved_rps, tp.target_rps, tp.p50_us, tp.p99_us, tp.errors,
+    );
+    println!(
+        "| verify unbatched | {:.1} rps, p50 {} us, p99 {} us |",
+        bv.unbatched.rps, bv.unbatched.p50_us, bv.unbatched.p99_us,
+    );
+    println!(
+        "| verify batched | {:.1} rps, p50 {} us, p99 {} us, max batch {}, \
+         {:.2}x, verdicts equal: {} |",
+        bv.batched.rps,
+        bv.batched.p50_us,
+        bv.batched.p99_us,
+        bv.batched.max_batch,
+        bv.speedup,
+        bv.verdicts_equal,
+    );
+
+    if check {
+        let mut failures = Vec::new();
+        if scale.multiplier < 4.0 {
+            failures.push(format!(
+                "reactor holds only {:.1}x the connections of threaded at equal memory \
+                 (floor 4x)",
+                scale.multiplier
+            ));
+        }
+        if !bv.verdicts_equal {
+            failures.push(format!(
+                "batched verdicts diverge from unbatched: {:?} vs {:?}",
+                bv.batched.verdicts, bv.unbatched.verdicts
+            ));
+        }
+        if tp.errors > 0 {
+            failures.push(format!("{} throughput requests errored", tp.errors));
+        }
+        // Conservative floors: a debug-grade machine still clears these
+        // by an order of magnitude in release.
+        if tp.achieved_rps < tp.target_rps as f64 * 0.5 {
+            failures.push(format!(
+                "open-loop generator achieved {:.0} of {} target rps",
+                tp.achieved_rps, tp.target_rps
+            ));
+        }
+        if bv.unbatched.served == 0 || bv.batched.served == 0 {
+            failures.push("verify sweep served zero requests".to_owned());
+        }
+        // The headline batching claim only gates the full run: --fast
+        // sweeps are too short for a stable ratio.
+        if !fast && bv.speedup < 1.05 {
+            failures.push(format!(
+                "coalesced verification is not measurably faster: {:.2}x",
+                bv.speedup
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("all checks passed");
+    }
+}

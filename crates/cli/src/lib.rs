@@ -29,9 +29,14 @@
 //! odcfp report     <trace.jsonl>                 summarize an observability trace
 //! odcfp serve      [--listen ADDR] [--root DIR]  resident multi-tenant engine
 //!                  [--workers N] [--queue-depth N] [--cache-budget-mb N]
-//!                  [--drain-secs S]               (see docs/SERVING.md)
+//!                  [--drain-secs S] [--threaded] [--max-conns N]
+//!                  [--batch-window-ms MS] [--batch-max N]
+//!                  [--stream-threshold BYTES]
+//!                  (protocol: docs/PROTOCOL.md; operations: docs/SERVING.md)
 //! odcfp client     <addr> <op> [args]            one request against a server
 //!                  [--tenant NAME] [--deadline-ms N]
+//! odcfp loadgen    <addr> [--rps R] [--conns N]  deterministic open-loop load
+//!                  [--duration-secs S] [--mix op:W,..] [-o hist.json]
 //! ```
 //!
 //! Every command accepts `--genlib <file>` to use a custom cell library
@@ -184,7 +189,7 @@ struct Options {
     resume: bool,
     max_jobs: Option<usize>,
     trace_out: Option<String>,
-    // serve / client (see `remote`).
+    // serve / client / loadgen (see `remote`).
     listen: Option<String>,
     workers: Option<usize>,
     queue_depth: Option<usize>,
@@ -194,6 +199,15 @@ struct Options {
     tenant: Option<String>,
     deadline_ms: Option<u64>,
     policy: Option<String>,
+    threaded: bool,
+    max_conns: Option<usize>,
+    batch_window_ms: Option<f64>,
+    batch_max: Option<usize>,
+    stream_threshold: Option<usize>,
+    rps: Option<f64>,
+    duration_secs: Option<f64>,
+    conns: Option<usize>,
+    mix: Option<String>,
     // attack / constrain --robust-locations.
     manifest: Option<String>,
     buyers: Option<usize>,
@@ -274,6 +288,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         tenant: None,
         deadline_ms: None,
         policy: None,
+        threaded: false,
+        max_conns: None,
+        batch_window_ms: None,
+        batch_max: None,
+        stream_threshold: None,
+        rps: None,
+        duration_secs: None,
+        conns: None,
+        mix: None,
         manifest: None,
         buyers: None,
         copies: None,
@@ -394,6 +417,69 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--policy" => o.policy = Some(take("--policy")?),
+            "--threaded" => o.threaded = true,
+            "--max-conns" => {
+                let n: usize = take("--max-conns")?
+                    .parse()
+                    .map_err(|_| usage("--max-conns needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--max-conns needs a positive integer"));
+                }
+                o.max_conns = Some(n);
+            }
+            "--batch-window-ms" => {
+                let ms: f64 = take("--batch-window-ms")?
+                    .parse()
+                    .map_err(|_| usage("--batch-window-ms needs milliseconds"))?;
+                if !ms.is_finite() || ms < 0.0 {
+                    return Err(usage("--batch-window-ms needs non-negative milliseconds"));
+                }
+                o.batch_window_ms = Some(ms);
+            }
+            "--batch-max" => {
+                let n: usize = take("--batch-max")?
+                    .parse()
+                    .map_err(|_| usage("--batch-max needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--batch-max needs a positive integer"));
+                }
+                o.batch_max = Some(n);
+            }
+            "--stream-threshold" => {
+                o.stream_threshold = Some(
+                    take("--stream-threshold")?
+                        .parse()
+                        .map_err(|_| usage("--stream-threshold needs a byte count"))?,
+                )
+            }
+            "--rps" => {
+                let rps: f64 = take("--rps")?
+                    .parse()
+                    .map_err(|_| usage("--rps needs a rate"))?;
+                if !rps.is_finite() || rps <= 0.0 {
+                    return Err(usage("--rps needs a positive rate"));
+                }
+                o.rps = Some(rps);
+            }
+            "--duration-secs" => {
+                let secs: f64 = take("--duration-secs")?
+                    .parse()
+                    .map_err(|_| usage("--duration-secs needs seconds"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(usage("--duration-secs needs positive seconds"));
+                }
+                o.duration_secs = Some(secs);
+            }
+            "--conns" => {
+                let n: usize = take("--conns")?
+                    .parse()
+                    .map_err(|_| usage("--conns needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage("--conns needs a positive integer"));
+                }
+                o.conns = Some(n);
+            }
+            "--mix" => o.mix = Some(take("--mix")?),
             "--manifest" => o.manifest = Some(take("--manifest")?),
             "--buyers" => {
                 let n: usize = take("--buyers")?
@@ -737,6 +823,7 @@ pub fn run(command: &str, args: &[String], out: &mut impl std::io::Write) -> Res
         "campaign" => run_campaign(&o, library, out),
         "serve" => remote::run_serve(&o, out),
         "client" => remote::run_client(&o, out),
+        "loadgen" => remote::run_loadgen(&o, out),
         other => Err(usage(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }
@@ -1239,10 +1326,18 @@ commands:
   report    <trace.jsonl>                       summarize an observability trace
   serve     [--listen ADDR] [--workers N]       resident multi-tenant engine
             [--queue-depth N] [--cache-budget-mb N] [--drain-secs S] [--root DIR]
-            (newline-delimited JSON protocol; see docs/SERVING.md)
+            [--threaded] [--max-conns N] [--batch-window-ms MS] [--batch-max N]
+            [--stream-threshold BYTES]
+            (event-driven multiplexing with streaming replies and batched
+             verification; protocol spec in docs/PROTOCOL.md, operations
+             guide in docs/SERVING.md)
   client    <addr> <op> [args]                  one request against a server
             ops: ping locations embed verify campaign report probe shutdown
             [--tenant NAME] [--deadline-ms N] [--policy quick|strict|budgeted:N]
+            (verify accepts <golden> <candidate> or <golden> --bits S)
+  loadgen   <addr>                              deterministic open-loop load
+            [--rps R] [--duration-secs S] [--conns N] [--seed N]
+            [--mix ping:W,locations:W,embed:W,verify:W] [-o hist.json]
 options: --genlib <file> to use a custom cell library
          --threads N to pin the analysis worker count (default: all cores,
                      or ODCFP_THREADS; results are identical at any setting)

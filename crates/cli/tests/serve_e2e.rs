@@ -420,3 +420,271 @@ fn serve_sigkill_restart_resumes_campaign_to_batch_identical_state() {
     }
     assert_eq!(served, reference, "served campaign must converge to the batch run");
 }
+
+use odcfp_serve::proto::{escape_json, payload_digest, request_line, Frame, Reply};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+
+/// A raw protocol connection to a spawned server, for conformance
+/// checks below the `odcfp client` abstraction.
+struct Wire {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Wire {
+    fn connect(addr: &str) -> Wire {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Wire {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send nl");
+        self.stream.flush().expect("flush");
+    }
+
+    fn read_reply(&mut self) -> Reply {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        Reply::parse_line(line.trim_end())
+            .unwrap_or_else(|| panic!("parseable reply: {line:?}"))
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Reply {
+        self.send(line);
+        self.read_reply()
+    }
+
+    fn expect_error(&mut self, line: &str, code: &str) -> Reply {
+        let reply = self.roundtrip(line);
+        assert!(!reply.ok, "expected {code}: {reply:?}");
+        assert_eq!(reply.error.as_deref(), Some(code), "{reply:?}");
+        reply
+    }
+}
+
+/// PROTOCOL.md conformance against the real binary: every structured
+/// error code is reachable and correctly shaped, and a chunked reply
+/// reassembles with an intact digest.
+#[test]
+fn protocol_conformance_every_error_code_and_chunked_reply() {
+    let root = workdir("conformance");
+    fs::write(root.join("design.blif"), BLIF).expect("fixture");
+    // Tiny pool/queue so overload is reachable; threshold 1 so every
+    // netlist payload streams; an occupied path for the internal error.
+    fs::write(root.join("occupied"), b"not a directory").expect("fixture");
+    let srv = Serve::start(
+        &root,
+        &["--workers", "1", "--queue-depth", "1", "--stream-threshold", "1"],
+    );
+    let mut w = Wire::connect(&srv.addr);
+
+    // bad_request — three shapes: not JSON, unknown op, missing field.
+    w.expect_error("not json at all", "bad_request");
+    w.expect_error("{\"v\":2,\"id\":\"x\",\"op\":\"frobnicate\"}", "bad_request");
+    w.expect_error("{\"v\":2,\"id\":\"x\",\"op\":\"embed\"}", "bad_request");
+
+    // unsupported_version — replies stamp the safe common denominator.
+    let e = w.expect_error("{\"v\":99,\"id\":\"x\",\"op\":\"ping\"}", "unsupported_version");
+    assert_eq!(e.v, 1, "error replies to unknown versions speak v1");
+
+    // deadline — a spin probe cancelled by its own deadline.
+    w.expect_error(
+        &request_line("dl", "t", Some(150), "probe", &[("mode", "spin".into())]),
+        "deadline",
+    );
+
+    // panic — isolated, answered, diagnostic preserved.
+    let e = w.expect_error(
+        &request_line("pp", "t", None, "probe", &[("mode", "panic".into())]),
+        "panic",
+    );
+    assert!(e.message.as_deref().unwrap().contains("deliberate panic"), "{e:?}");
+
+    // quarantined — three attributed panics strike the circuit out;
+    // the next request against it is refused without execution.
+    let probe_args: Vec<(&str, odcfp_serve::proto::FieldValue)> = vec![
+        ("mode", "panic".into()),
+        ("design_path", "design.blif".into()),
+    ];
+    for i in 0..3 {
+        let line = request_line(&format!("q{i}"), "t", None, "probe", &probe_args);
+        let e = w.expect_error(&line, "panic");
+        assert!(
+            e.message.as_deref().unwrap().contains(&format!("strike {}/3", i + 1)),
+            "{e:?}"
+        );
+    }
+    let e = w.expect_error(
+        &request_line(
+            "q3",
+            "t",
+            None,
+            "verify",
+            &[
+                ("golden_path", "design.blif".into()),
+                ("candidate_path", "design.blif".into()),
+            ],
+        ),
+        "quarantined",
+    );
+    assert!(e.message.as_deref().unwrap().contains("quarantined"), "{e:?}");
+
+    // internal — the campaign journal cannot land on an occupied path.
+    w.expect_error(
+        &request_line(
+            "io",
+            "t",
+            None,
+            "campaign",
+            &[
+                ("manifest", "circuit one path:design.blif\nbuyers 1\nseed 1\n".into()),
+                ("out_dir", "occupied".into()),
+            ],
+        ),
+        "internal",
+    );
+
+    // Chunked reply — embed streams its netlist as chunk…done; the
+    // reassembled payload passes the digest in the trailer. The design
+    // text rides inline so no fresh digest is touched (the path-based
+    // fixture above is quarantined, the text-based one is distinct).
+    let design_text = format!("{BLIF}\n");
+    w.send(&request_line(
+        "ch",
+        "t",
+        None,
+        "embed",
+        &[
+            ("design_text", design_text.as_str().into()),
+            ("design_format", "blif".into()),
+            ("seed", 7u64.into()),
+        ],
+    ));
+    let mut assembled = String::new();
+    let mut chunks_seen = 0u64;
+    let done = loop {
+        let mut line = String::new();
+        w.reader.read_line(&mut line).expect("frame");
+        match Frame::parse_line(line.trim_end()).expect("parseable frame") {
+            Frame::Chunk { seq, data, .. } => {
+                assert_eq!(seq, chunks_seen);
+                chunks_seen += 1;
+                assembled.push_str(&data);
+            }
+            Frame::Done { reply, stream, chunks, bytes, digest } => {
+                assert_eq!(stream, "netlist");
+                assert_eq!(chunks, chunks_seen);
+                assert_eq!(bytes as usize, assembled.len());
+                assert_eq!(digest, payload_digest(assembled.as_bytes()));
+                break reply;
+            }
+            Frame::Reply(r) => panic!("threshold 1 must stream: {r:?}"),
+        }
+    };
+    assert!(done.ok, "{done:?}");
+    assert!(chunks_seen >= 1);
+    assert!(done.field_str("bits").is_some(), "scalars ride the done frame");
+
+    // overloaded — pin the worker and fill the one-slot queue, then the
+    // next queued op sheds. Separate connections so replies don't race.
+    let mut pin = Wire::connect(&srv.addr);
+    pin.send(&request_line("pin", "p", Some(1200), "probe", &[("mode", "spin".into())]));
+    std::thread::sleep(Duration::from_millis(250));
+    let mut fill = Wire::connect(&srv.addr);
+    fill.send(&request_line("fill", "f", Some(1200), "probe", &[("mode", "spin".into())]));
+    std::thread::sleep(Duration::from_millis(150));
+    let e = w.expect_error(
+        &request_line(
+            "shed",
+            "s",
+            None,
+            "embed",
+            &[
+                ("design_text", design_text.as_str().into()),
+                ("design_format", "blif".into()),
+                ("seed", 1u64.into()),
+            ],
+        ),
+        "overloaded",
+    );
+    assert!(e.message.as_deref().unwrap().contains("queue full"), "{e:?}");
+    assert_eq!(pin.read_reply().error.as_deref(), Some("deadline"));
+    assert_eq!(fill.read_reply().error.as_deref(), Some("deadline"));
+
+    // draining — in-flight work keeps the server alive while drain
+    // closes the queue; a request arriving after the transition is
+    // refused with `draining` (work admitted *before* it still drains).
+    let mut holder = Wire::connect(&srv.addr);
+    holder.send(&request_line("hold", "h", Some(1500), "probe", &[("mode", "spin".into())]));
+    std::thread::sleep(Duration::from_millis(250));
+    let bye = w.roundtrip(&request_line("bye", "admin", None, "shutdown", &[]));
+    assert!(bye.ok, "{bye:?}");
+    std::thread::sleep(Duration::from_millis(250));
+    let late = w.roundtrip(&request_line(
+        "late",
+        "t",
+        None,
+        "embed",
+        &[
+            ("design_text", design_text.as_str().into()),
+            ("design_format", "blif".into()),
+            ("seed", 2u64.into()),
+        ],
+    ));
+    assert_eq!(late.error.as_deref(), Some("draining"), "{late:?}");
+    assert_eq!(holder.read_reply().error.as_deref(), Some("deadline"));
+
+    let status = wait_timeout(&mut { srv }.child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0), "shutdown drains cleanly");
+}
+
+/// Regression: a server that hangs up before completing a reply must
+/// produce a structured `connection-closed` error and a nonzero exit —
+/// never a hang, never a success.
+#[test]
+fn client_reports_connection_closed_when_server_drops_mid_reply() {
+    // Scenario 1: the "server" accepts and closes without replying.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let silent = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("request read");
+        // Drop: connection closes with zero reply bytes.
+    });
+    let out = odcfp(&["client", &addr, "ping"]);
+    silent.join().expect("fake server");
+    assert_eq!(out.status.code(), Some(1), "hangup is a failure, not a hang");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("connection-closed"), "{stderr}");
+
+    // Scenario 2: the stream dies mid-chunk — a chunk frame arrives,
+    // the `done` trailer never does.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let truncating = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("request read");
+        let chunk = format!(
+            "{{\"v\":2,\"id\":\"cli-1\",\"ok\":true,\"frame\":\"chunk\",\"seq\":0,\"data\":\"{}\"}}\n",
+            escape_json("module truncated")
+        );
+        stream.write_all(chunk.as_bytes()).expect("chunk write");
+        stream.flush().expect("flush");
+        // Drop mid-stream.
+    });
+    let out = odcfp(&["client", &addr, "ping"]);
+    truncating.join().expect("fake server");
+    assert_eq!(out.status.code(), Some(1), "truncated stream is a failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("connection-closed"), "{stderr}");
+}

@@ -1,0 +1,108 @@
+//! Batch-verification differential suite: for every circuit pair in the
+//! fault battery, [`VerifySession::verify_many_cancellable`] — the one
+//! warm-miter probe pass `odcfp serve` uses to coalesce concurrent
+//! verify requests — must return exactly the verdicts the per-request
+//! [`VerifySession::verify_cancellable`] path returns, at every
+//! analysis thread count. Batching buys throughput, never answers.
+
+use odcfp_analysis::engine::set_thread_override;
+use odcfp_core::faults::FaultInjector;
+use odcfp_core::{CancelToken, Verdict, VerifyPolicy, VerifySession};
+use odcfp_logic::sim;
+use odcfp_netlist::{CellLibrary, Netlist};
+use odcfp_synth::benchmarks::random::{random_dag, DagParams};
+
+/// Brute-force functional comparison — the independent ground truth.
+fn ground_truth_equal(a: &Netlist, b: &Netlist) -> bool {
+    let n = a.primary_inputs().len();
+    assert!(n <= 16, "ground truth requires a small input space");
+    let patterns = sim::exhaustive_patterns(n);
+    let va = a.simulate(&patterns);
+    let vb = b.simulate(&patterns);
+    a.primary_outputs()
+        .iter()
+        .zip(b.primary_outputs())
+        .all(|(&oa, &ob)| va[oa.index()] == vb[ob.index()])
+}
+
+/// Candidate batteries per golden: the golden itself, a stuck-at fault,
+/// and a wrong-cell fault — mixing proven and refuted slots in one
+/// batch, the shape the serve gather window produces.
+fn battery(seed: u64) -> (Netlist, Vec<(String, Netlist)>) {
+    let base = random_dag(CellLibrary::standard(), DagParams::small(seed));
+    let mut inj = FaultInjector::new(seed);
+    let (stuck, net, value) = inj.random_stuck_at(&base).expect("injectable");
+    let (wrong, gate) = inj.random_wrong_cell(&base).expect("injectable");
+    let candidates = vec![
+        ("clean_a".to_owned(), base.clone()),
+        (format!("stuck_{net:?}={value}"), stuck),
+        ("clean_b".to_owned(), base.clone()),
+        (format!("wrong_{gate:?}"), wrong),
+    ];
+    (base, candidates)
+}
+
+/// One test (not one per axis) so the global thread override is never
+/// mutated concurrently by the harness's parallel test runner.
+#[test]
+fn batched_verdicts_match_per_candidate_and_ground_truth() {
+    for threads in [1usize, 8] {
+        set_thread_override(Some(threads));
+        for seed in [3u64, 7, 11] {
+            let (golden, candidates) = battery(seed);
+            let policy = VerifyPolicy::strict();
+
+            // Per-candidate reference, each on a fresh token.
+            let mut session = VerifySession::new(&golden).expect("valid golden");
+            let single: Vec<Verdict> = candidates
+                .iter()
+                .map(|(name, candidate)| {
+                    session
+                        .verify_cancellable(candidate, &policy, &CancelToken::new())
+                        .unwrap_or_else(|e| panic!("{name} @{threads}t: {e}"))
+                        .verdict
+                })
+                .collect();
+
+            // The same candidates through one warm batch pass.
+            let mut session = VerifySession::new(&golden).expect("valid golden");
+            let tokens: Vec<CancelToken> =
+                candidates.iter().map(|_| CancelToken::new()).collect();
+            let refs: Vec<(&Netlist, &CancelToken)> = candidates
+                .iter()
+                .zip(&tokens)
+                .map(|((_, candidate), token)| (candidate, token))
+                .collect();
+            let batched = session.verify_many_cancellable(&refs, &policy);
+            assert_eq!(batched.len(), candidates.len(), "one verdict per slot");
+
+            for (((name, candidate), single), batched) in
+                candidates.iter().zip(&single).zip(batched)
+            {
+                let label = format!("seed {seed} {name} @{threads}t");
+                let batched = batched
+                    .unwrap_or_else(|e| panic!("{label}: batch slot failed: {e}"))
+                    .verdict;
+                let truth = ground_truth_equal(&golden, candidate);
+                match (&batched, single) {
+                    (Verdict::Proven, Verdict::Proven) => {
+                        assert!(truth, "{label}: both paths proved a real fault");
+                    }
+                    (
+                        Verdict::Refuted { counterexample },
+                        Verdict::Refuted { .. },
+                    ) => {
+                        assert!(!truth, "{label}: both paths refuted a harmless pair");
+                        assert_ne!(
+                            golden.eval(counterexample),
+                            candidate.eval(counterexample),
+                            "{label}: batch counterexample must witness the difference"
+                        );
+                    }
+                    (b, s) => panic!("{label}: batch said {b}, per-candidate said {s}"),
+                }
+            }
+        }
+    }
+    set_thread_override(None);
+}

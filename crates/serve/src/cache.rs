@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
-use odcfp_core::{Fingerprinter, VerifySession};
+use odcfp_core::{CodeSpaceProof, Fingerprinter, VerifySession};
 use odcfp_netlist::Digest;
 
 /// Panics tolerated per circuit digest before requests against it are
@@ -41,6 +41,11 @@ pub struct CircuitState {
     pub fingerprinter: Arc<Fingerprinter>,
     /// Persistent strash + shared-miter session for the base netlist.
     pub session: VerifySession,
+    /// Lazily built code-space proof (PR 7's batched algebra): one
+    /// free-selector solve that afterwards decides any fingerprint code
+    /// by assumption. Built on the first `candidate_bits` verify against
+    /// this circuit and reused for the cache entry's lifetime.
+    pub codespace: Option<CodeSpaceProof>,
 }
 
 /// A cache hit/miss disposition, reported back to clients so tests (and
@@ -246,6 +251,7 @@ mod tests {
         CircuitState {
             fingerprinter,
             session,
+            codespace: None,
         }
     }
 

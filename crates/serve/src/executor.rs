@@ -1,0 +1,1093 @@
+//! Request execution: the worker pool, per-request isolation, the
+//! operation implementations, and cross-request batch verification.
+//!
+//! Workers are connection-agnostic. They pop [`Job`]s from the
+//! tenant-fair queue, execute under `catch_unwind` with a composed
+//! drain + deadline [`CancelToken`], and hand the finished
+//! [`Response`] back through the job's [`ReplyTo`] — a direct socket
+//! write in the legacy threaded mode, or a mailbox handoff to the
+//! reactor in event-driven mode. A worker never blocks on a client
+//! socket: large payloads leave the worker as a whole `Response::Stream`
+//! and are chunked out by the reactor under socket-writability
+//! backpressure.
+//!
+//! # Cross-request batch verification
+//!
+//! Verify requests are stamped at admission with a `batch_key` — a
+//! digest of their golden design reference and policy. When a worker
+//! pops a verify job it drains same-key jobs already queued, waits one
+//! configurable gather window for stragglers, and executes the whole
+//! batch through one warm `SharedMiter` probe pass
+//! ([`VerifySession::verify_many_cancellable`]); fingerprint-code
+//! candidates ride the cached code-space proof instead. Verdicts are
+//! demultiplexed to their requesters and are identical to the
+//! per-request path at definitive outcomes (pinned by differential
+//! test). Each job keeps its own deadline token and its own reply.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use odcfp_analysis::CancelToken;
+use odcfp_core::campaign::{self, CampaignOptions, ManifestCircuit};
+use odcfp_core::{CodeSpace, Fingerprinter, VerifyPolicy, VerifySession};
+use odcfp_logic::rng::Xoshiro256;
+use odcfp_netlist::{Digest, Netlist};
+use odcfp_verilog::write_verilog;
+
+use crate::cache::{CircuitState, Disposition, WarmCache};
+use crate::proto::{DesignRef, ErrorCode, Op, Reply, Request, PROTO_VERSION};
+use crate::reactor::Mailbox;
+use crate::server::Shared;
+use crate::stream::StreamSender;
+
+/// Reply fields large enough to stream as chunked frames.
+const STREAMED_FIELDS: [&str; 2] = ["netlist", "summary"];
+
+/// One admitted request plus where to send its reply.
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) reply_to: ReplyTo,
+    pub(crate) enqueued: Instant,
+    /// Digest of (golden design, policy) for verify requests; jobs with
+    /// equal keys are candidates for batched execution.
+    pub(crate) batch_key: Option<u64>,
+}
+
+/// Where a finished response goes.
+pub(crate) enum ReplyTo {
+    /// Legacy threaded mode: write on the connection's stream now,
+    /// serialized by the per-connection lock. Blocks the worker on a
+    /// slow client — the documented weakness of this mode.
+    Direct(Arc<Mutex<TcpStream>>),
+    /// Event-driven mode: hand off to the reactor's mailbox; the
+    /// reactor owns all socket writes.
+    Reactor {
+        conn: u64,
+        mailbox: Arc<Mailbox>,
+    },
+}
+
+/// A finished request: either one reply line or a reply whose large
+/// payload field streams as chunk frames.
+pub(crate) enum Response {
+    Line(Reply),
+    Stream {
+        reply: Reply,
+        field: &'static str,
+        payload: String,
+    },
+}
+
+impl Response {
+    /// Collapses a stream into its single-line equivalent (legacy mode
+    /// and v1 clients).
+    pub(crate) fn into_line(self) -> Reply {
+        match self {
+            Response::Line(reply) => reply,
+            Response::Stream { reply, field, payload } => reply.field(field, payload),
+        }
+    }
+
+    /// Converts into the reactor's outbound representation.
+    pub(crate) fn into_sender(self, chunk: usize) -> Result<Vec<u8>, Box<StreamSender>> {
+        match self {
+            Response::Line(reply) => {
+                let mut line = reply.to_line();
+                line.push('\n');
+                Ok(line.into_bytes())
+            }
+            Response::Stream { reply, field, payload } => {
+                Err(Box::new(StreamSender::new(reply, field, payload, chunk)))
+            }
+        }
+    }
+}
+
+/// Outcome of offering a request to admission control.
+pub(crate) enum Admit {
+    /// Answer now (control op, or shed/draining rejection).
+    Immediate(Reply),
+    /// Admitted; a worker delivers the reply later.
+    Queued,
+}
+
+/// Control-op handling plus queue admission, shared by both connection
+/// layers. On `Queued` the server's in-flight counter has been bumped;
+/// it drops when the response is routed back to the connection layer.
+pub(crate) fn admit(shared: &Shared, request: Request, reply_to: ReplyTo) -> Admit {
+    let version = request.version;
+    match request.op {
+        // Control ops answer inline; they must work even when the queue
+        // is full or draining.
+        Op::Ping => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            Admit::Immediate(
+                Reply::ok(&request.id, "ping")
+                    .field("draining", shared.draining())
+                    .versioned(version),
+            )
+        }
+        Op::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            Admit::Immediate(Reply::ok(&request.id, "shutdown").versioned(version))
+        }
+        _ => {
+            let batch_key = batch_key(&request.op);
+            let job = Job {
+                reply_to,
+                enqueued: Instant::now(),
+                batch_key,
+                request,
+            };
+            let tenant = job.request.tenant.clone();
+            let id = job.request.id.clone();
+            let op = job.request.op.name();
+            match shared.queue.push(&tenant, job) {
+                Ok(()) => {
+                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    Admit::Queued
+                }
+                Err(e) => {
+                    shared.rejected.fetch_add(1, Ordering::SeqCst);
+                    let (code, message) = match e {
+                        crate::queue::PushError::Full => (
+                            ErrorCode::Overloaded,
+                            format!(
+                                "admission queue full (depth {}); retry with backoff",
+                                shared.config.queue_depth
+                            ),
+                        ),
+                        crate::queue::PushError::Closed => {
+                            (ErrorCode::Draining, "server is draining".to_owned())
+                        }
+                    };
+                    odcfp_obs::point("serve.reject")
+                        .field("tenant", tenant.as_str())
+                        .field("op", op)
+                        .field("code", code.as_str())
+                        .nondet()
+                        .emit();
+                    Admit::Immediate(Reply::err(&id, code, message).versioned(version))
+                }
+            }
+        }
+    }
+}
+
+/// Batch grouping key for verify requests: FNV-1a over the golden
+/// design reference and the policy string. Equal keys *suggest* a
+/// shared golden; the executor re-checks structural equality before
+/// coalescing, so a hash collision costs batching, never correctness.
+fn batch_key(op: &Op) -> Option<u64> {
+    let Op::Verify { golden, policy, .. } = op else {
+        return None;
+    };
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    match golden {
+        DesignRef::Text { text, format } => {
+            eat(b"text:");
+            eat(format.as_bytes());
+            eat(b":");
+            eat(text.as_bytes());
+        }
+        DesignRef::Path(path) => {
+            eat(b"path:");
+            eat(path.as_bytes());
+        }
+    }
+    eat(b"|policy:");
+    eat(policy.as_deref().unwrap_or("").as_bytes());
+    Some(hash)
+}
+
+/// `true` when two verify ops may share one batch: same golden design
+/// and same policy, compared structurally.
+fn same_batch(a: &Op, b: &Op) -> bool {
+    match (a, b) {
+        (
+            Op::Verify { golden: ga, policy: pa, .. },
+            Op::Verify { golden: gb, policy: pb, .. },
+        ) => ga == gb && pa == pb,
+        _ => false,
+    }
+}
+
+/// Worker thread: pop round-robin, gather batches, execute under
+/// isolation, reply.
+pub(crate) fn worker_loop(shared: &Arc<Shared>) {
+    while let Some((tenant, job)) = shared.queue.pop() {
+        odcfp_obs::point("serve.queue_wait")
+            .field("tenant", tenant.as_str())
+            .field("us", job.enqueued.elapsed().as_micros() as u64)
+            .nondet()
+            .emit();
+        let key = job.batch_key;
+        if key.is_none() || shared.config.batch_max <= 1 {
+            run_one(shared, job);
+            continue;
+        }
+        let mut batch = vec![job];
+        let gather = |batch: &mut Vec<Job>| {
+            let room = shared.config.batch_max.saturating_sub(batch.len());
+            let anchor_op = batch[0].request.op.clone();
+            for (_, j) in shared
+                .queue
+                .drain_matching(room, |j| j.batch_key == key && same_batch(&j.request.op, &anchor_op))
+            {
+                batch.push(j);
+            }
+        };
+        gather(&mut batch);
+        if batch.len() < shared.config.batch_max && !shared.config.batch_window.is_zero() {
+            // The gather window: a short, bounded wait for concurrent
+            // requests against the same golden to coalesce. Zero
+            // disables it for latency-critical deployments.
+            std::thread::sleep(shared.config.batch_window);
+            gather(&mut batch);
+        }
+        if batch.len() == 1 {
+            run_one(shared, batch.pop().expect("len checked"));
+        } else {
+            run_verify_batch(shared, batch);
+        }
+    }
+}
+
+/// Executes one job under the standard isolation boundary.
+fn run_one(shared: &Arc<Shared>, job: Job) {
+    let mut span = odcfp_obs::span("serve.request");
+    span.field("op", job.request.op.name());
+    span.field("tenant", job.request.tenant.as_str());
+
+    let token = shared.drain_token.bounded_by(
+        job.request
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms)),
+    );
+    // The circuit the request touched, for poisoning on panic.
+    let mut touched: Option<Digest> = None;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute(shared, &job.request, &token, &mut touched)
+    }));
+    let reply = match outcome {
+        Ok(reply) => reply,
+        Err(payload) => panic_reply(shared, &job.request.id, payload, touched),
+    };
+    span.field(
+        "outcome",
+        reply.error.clone().unwrap_or_else(|| "ok".to_owned()),
+    );
+    finish(shared, job, reply);
+}
+
+/// Executes a coalesced verify batch: one circuit lock, one warm
+/// SharedMiter probe pass, per-job deadlines and replies.
+fn run_verify_batch(shared: &Arc<Shared>, jobs: Vec<Job>) {
+    let mut span = odcfp_obs::span("serve.batch.execute");
+    span.field("size", jobs.len());
+    let tokens: Vec<CancelToken> = jobs
+        .iter()
+        .map(|job| {
+            shared.drain_token.bounded_by(
+                job.request
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            )
+        })
+        .collect();
+    odcfp_obs::point("serve.batch.gather")
+        .field("size", jobs.len())
+        .nondet()
+        .emit();
+    let mut touched: Option<Digest> = None;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute_verify_batch(shared, &jobs, &tokens, &mut touched)
+    }));
+    match outcome {
+        Ok(replies) => {
+            debug_assert_eq!(replies.len(), jobs.len());
+            span.field("outcome", "ok");
+            for (job, reply) in jobs.into_iter().zip(replies) {
+                finish(shared, job, reply);
+            }
+        }
+        Err(payload) => {
+            // One isolation boundary per batch: a panic answers every
+            // coalesced request and poisons the shared circuit once.
+            span.field("outcome", "panic");
+            let text = panic_text(payload);
+            let mut message = format!("request panicked: {text}");
+            if let Some(digest) = touched {
+                let strikes = shared.cache.poison(digest);
+                message.push_str(&format!(
+                    " (circuit warm state dropped; strike {strikes}/{})",
+                    crate::cache::QUARANTINE_THRESHOLD
+                ));
+            }
+            for job in jobs {
+                shared.panics.fetch_add(1, Ordering::SeqCst);
+                let reply = Reply::err(&job.request.id, ErrorCode::Panic, message.clone());
+                finish(shared, job, reply);
+            }
+        }
+    }
+}
+
+/// Version-stamps, counts, maybe streams, and delivers one reply.
+fn finish(shared: &Arc<Shared>, job: Job, reply: Reply) {
+    let reply = reply.versioned(job.request.version);
+    if reply.ok {
+        shared.served.fetch_add(1, Ordering::SeqCst);
+    } else {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+    }
+    let response = maybe_stream(shared, &job, reply);
+    match job.reply_to {
+        ReplyTo::Direct(writer) => {
+            // Legacy mode: single-line replies, written by the worker.
+            let mut line = response.into_line().to_line();
+            line.push('\n');
+            if let Ok(mut stream) = writer.lock() {
+                // A vanished client is its own problem; the server
+                // presses on.
+                let _ = stream.write_all(line.as_bytes());
+                let _ = stream.flush();
+            }
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        ReplyTo::Reactor { conn, mailbox } => {
+            // The reactor decrements in-flight once it routes the
+            // response to (or discards it for) the connection.
+            mailbox.deliver(conn, response);
+        }
+    }
+}
+
+/// Splits a large payload field out of `reply` for chunked emission.
+/// Only v2 requests on reactor connections stream; everyone else gets
+/// the payload inline.
+fn maybe_stream(shared: &Arc<Shared>, job: &Job, mut reply: Reply) -> Response {
+    let streamable = job.request.version >= 2
+        && matches!(job.reply_to, ReplyTo::Reactor { .. })
+        && shared.config.stream_threshold != usize::MAX;
+    if streamable {
+        for field in STREAMED_FIELDS {
+            let big = reply.fields.iter().position(|(k, v)| {
+                k == field
+                    && matches!(v, crate::proto::FieldValue::Str(s)
+                        if s.len() >= shared.config.stream_threshold)
+            });
+            if let Some(idx) = big {
+                let (_, value) = reply.fields.remove(idx);
+                let crate::proto::FieldValue::Str(payload) = value else {
+                    unreachable!("position matched a Str");
+                };
+                return Response::Stream { reply, field, payload };
+            }
+        }
+    }
+    Response::Line(reply)
+}
+
+fn panic_reply(
+    shared: &Arc<Shared>,
+    id: &str,
+    payload: Box<dyn std::any::Any + Send>,
+    touched: Option<Digest>,
+) -> Reply {
+    shared.panics.fetch_add(1, Ordering::SeqCst);
+    let text = panic_text(payload);
+    let mut message = format!("request panicked: {text}");
+    if let Some(digest) = touched {
+        let strikes = shared.cache.poison(digest);
+        message.push_str(&format!(
+            " (circuit warm state dropped; strike {strikes}/{})",
+            crate::cache::QUARANTINE_THRESHOLD
+        ));
+    }
+    Reply::err(id, ErrorCode::Panic, message)
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// An in-protocol failure: code + message, turned into an error reply.
+type OpError = (ErrorCode, String);
+
+fn bad(message: impl Into<String>) -> OpError {
+    (ErrorCode::BadRequest, message.into())
+}
+
+/// Resolves a request-supplied relative path under the serve root.
+/// Absolute paths and `..` traversal are refused: tenants address only
+/// the tree the operator exported.
+pub(crate) fn resolve_root(root: &Path, path: &str) -> Result<PathBuf, OpError> {
+    let rel = Path::new(path);
+    if rel.is_absolute()
+        || rel
+            .components()
+            .any(|c| matches!(c, std::path::Component::ParentDir))
+    {
+        return Err(bad(format!(
+            "path {path:?} must be relative to the serve root, without `..`"
+        )));
+    }
+    Ok(root.join(rel))
+}
+
+pub(crate) fn parse_policy(
+    spec: Option<&str>,
+    default: VerifyPolicy,
+) -> Result<VerifyPolicy, OpError> {
+    match spec {
+        None => Ok(default),
+        Some("quick") => Ok(VerifyPolicy::quick()),
+        Some("strict") => Ok(VerifyPolicy::strict()),
+        Some(s) => match s.strip_prefix("budgeted:").and_then(|n| n.parse().ok()) {
+            Some(budget) => Ok(VerifyPolicy::budgeted(budget)),
+            None => Err(bad(format!(
+                "policy must be quick, strict, or budgeted:<conflicts>; got {s:?}"
+            ))),
+        },
+    }
+}
+
+/// Loads netlist source text for a design reference. Returns the text
+/// and its format tag.
+fn design_source(shared: &Shared, design: &DesignRef) -> Result<(String, String), OpError> {
+    match design {
+        DesignRef::Text { text, format } => Ok((text.clone(), format.clone())),
+        DesignRef::Path(path) => {
+            let resolved = resolve_root(&shared.config.root, path)?;
+            let format = if path.ends_with(".blif") { "blif" } else { "v" };
+            let text = std::fs::read_to_string(&resolved)
+                .map_err(|e| bad(format!("reading {path:?}: {e}")))?;
+            Ok((text, format.to_owned()))
+        }
+    }
+}
+
+fn parse_netlist(shared: &Shared, text: &str, format: &str) -> Result<Netlist, OpError> {
+    match format {
+        "blif" => {
+            let network =
+                odcfp_blif::parse_blif(text).map_err(|e| bad(format!("parsing BLIF: {e}")))?;
+            odcfp_synth::map_network(&network, Arc::clone(&shared.library))
+                .map_err(|e| bad(format!("mapping BLIF: {e}")))
+        }
+        _ => odcfp_verilog::parse_verilog(text, Arc::clone(&shared.library))
+            .map_err(|e| bad(format!("parsing Verilog: {e}"))),
+    }
+}
+
+/// Warm-path entry: resolve, digest, quarantine-check, and either
+/// serve the cached state or build and admit it.
+fn circuit_state(
+    shared: &Shared,
+    design: &DesignRef,
+    touched: &mut Option<Digest>,
+) -> Result<(Arc<Mutex<CircuitState>>, Disposition), OpError> {
+    let (text, format) = design_source(shared, design)?;
+    let digest = Digest::of(text.as_bytes());
+    if shared.cache.is_quarantined(digest) {
+        return Err((
+            ErrorCode::Quarantined,
+            format!("circuit {digest} is quarantined after repeated panics"),
+        ));
+    }
+    // From here on a panic is attributed to this circuit.
+    *touched = Some(digest);
+    if let Some(state) = shared.cache.lookup(digest) {
+        return Ok((state, Disposition::Hit));
+    }
+    let netlist = parse_netlist(shared, &text, &format)?;
+    let cost = WarmCache::estimate_cost(text.len(), netlist.num_gates());
+    let fingerprinter = Arc::new(
+        Fingerprinter::new(netlist).map_err(|e| bad(format!("analysing circuit: {e}")))?,
+    );
+    let session = VerifySession::new(fingerprinter.base())
+        .map_err(|e| bad(format!("building verify session: {e}")))?;
+    Ok(shared.cache.admit(
+        digest,
+        CircuitState {
+            fingerprinter,
+            session,
+            codespace: None,
+        },
+        cost,
+    ))
+}
+
+/// `deadline` when the request's own deadline fired, `draining` when
+/// the drain watchdog cancelled us.
+fn cancel_code(shared: &Shared) -> (ErrorCode, &'static str) {
+    if shared.drain_token.is_cancelled() {
+        (ErrorCode::Draining, "cancelled by server drain")
+    } else {
+        (ErrorCode::Deadline, "request deadline exceeded")
+    }
+}
+
+/// Executes one queued operation. Runs inside the worker's
+/// `catch_unwind`; may panic freely.
+fn execute(
+    shared: &Shared,
+    request: &Request,
+    token: &CancelToken,
+    touched: &mut Option<Digest>,
+) -> Reply {
+    let id = &request.id;
+    let result: Result<Reply, OpError> = match &request.op {
+        Op::Ping => Ok(Reply::ok(id, "ping")),
+        Op::Shutdown => Ok(Reply::ok(id, "shutdown")),
+        Op::Locations { design } => circuit_state(shared, design, touched).map(|(state, disp)| {
+            let state = state.lock().unwrap_or_else(PoisonError::into_inner);
+            let capacity = state.fingerprinter.capacity();
+            Reply::ok(id, "locations")
+                .field("locations", capacity.num_locations)
+                .field("candidates", capacity.num_candidates)
+                .field("log2_combinations", format!("{:.2}", capacity.log2_combinations))
+                .field("cache", disp.as_str())
+        }),
+        Op::Embed {
+            design,
+            seed,
+            bits,
+            policy,
+        } => embed_op(shared, id, design, *seed, bits.as_deref(), policy.as_deref(), token, touched),
+        Op::Verify {
+            golden,
+            candidate,
+            candidate_bits,
+            policy,
+        } => match (candidate, candidate_bits) {
+            (Some(candidate), None) => {
+                verify_op(shared, id, golden, candidate, policy.as_deref(), token, touched)
+            }
+            (None, Some(bits)) => {
+                verify_code_op(shared, id, golden, bits, policy.as_deref(), token, touched)
+            }
+            // The parser enforces exclusivity.
+            _ => Err(bad("verify needs exactly one of candidate or candidate_bits")),
+        },
+        Op::Campaign {
+            manifest,
+            out_dir,
+            resume,
+        } => campaign_op(shared, id, manifest, out_dir, *resume, token),
+        Op::Report { trace_path } => report_op(shared, id, trace_path),
+        Op::Probe { mode, design } => {
+            probe_op(shared, id, mode, design.as_ref(), token, touched)
+        }
+    };
+    match result {
+        Ok(reply) => reply,
+        Err((code, message)) => Reply::err(id, code, message),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn embed_op(
+    shared: &Shared,
+    id: &str,
+    design: &DesignRef,
+    seed: Option<u64>,
+    bits: Option<&str>,
+    policy: Option<&str>,
+    token: &CancelToken,
+    touched: &mut Option<Digest>,
+) -> Result<Reply, OpError> {
+    let policy = parse_policy(policy, VerifyPolicy::quick())?;
+    let (state, disp) = circuit_state(shared, design, touched)?;
+    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+    let n = state.fingerprinter.locations().len();
+    let bits: Vec<bool> = match (bits, seed) {
+        (Some(s), _) => {
+            let parsed: Result<Vec<bool>, OpError> = s
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(bad(format!("bad bit {other:?}"))),
+                })
+                .collect();
+            let parsed = parsed?;
+            if parsed.len() != n {
+                return Err(bad(format!(
+                    "bit string has {} bits; design has {n} locations",
+                    parsed.len()
+                )));
+            }
+            parsed
+        }
+        // Same derivation as `odcfp embed --seed` and the campaign
+        // runner, so served copies are bit-identical to batch ones.
+        (None, Some(seed)) => {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            (0..n).map(|_| rng.next_bool()).collect()
+        }
+        (None, None) => return Err(bad("embed needs seed or bits")),
+    };
+    let CircuitState {
+        fingerprinter,
+        session,
+        ..
+    } = &mut *state;
+    let (copy, verdict) = fingerprinter
+        .embed_with_session_cancellable(session, &bits, &policy, token)
+        .map_err(|e| {
+            if token.is_cancelled() {
+                let (code, why) = cancel_code(shared);
+                (code, format!("{why} during embed"))
+            } else {
+                (ErrorCode::Internal, format!("embedding: {e}"))
+            }
+        })?;
+    if token.is_cancelled() {
+        let (code, why) = cancel_code(shared);
+        return Err((code, format!("{why} during embed verification")));
+    }
+    Ok(Reply::ok(id, "embed")
+        .field("bits", copy.bit_string())
+        .field("verdict", verdict.name())
+        .field("netlist", write_verilog(copy.netlist()))
+        .field("cache", disp.as_str()))
+}
+
+fn verify_op(
+    shared: &Shared,
+    id: &str,
+    golden: &DesignRef,
+    candidate: &DesignRef,
+    policy: Option<&str>,
+    token: &CancelToken,
+    touched: &mut Option<Digest>,
+) -> Result<Reply, OpError> {
+    let policy = parse_policy(policy, VerifyPolicy::strict())?;
+    let (cand_text, cand_format) = design_source(shared, candidate)?;
+    let (state, disp) = circuit_state(shared, golden, touched)?;
+    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+    let candidate = parse_netlist(shared, &cand_text, &cand_format)?;
+    let report = state
+        .session
+        .verify_cancellable(&candidate, &policy, token)
+        .map_err(|e| bad(format!("verify: {e}")))?;
+    if token.is_cancelled() {
+        // The ladder degraded to Undecided because we cancelled it —
+        // answer with the cause, not a verdict that hides it.
+        let (code, why) = cancel_code(shared);
+        return Err((code, format!("{why}; verification undecided")));
+    }
+    Ok(Reply::ok(id, "verify")
+        .field("verdict", report.verdict.name())
+        .field("sat_conflicts", report.stats.sat_conflicts)
+        .field("fast_path", report.stats.used_fast_path)
+        .field("cache", disp.as_str()))
+}
+
+/// Decides a fingerprint *code* against the golden circuit's cached
+/// code-space proof — no candidate netlist is ever materialized. The
+/// proof (one free-selector solve) is built on first use and amortizes
+/// across every later code check on the warm entry.
+fn verify_code_op(
+    shared: &Shared,
+    id: &str,
+    golden: &DesignRef,
+    bits: &str,
+    policy: Option<&str>,
+    token: &CancelToken,
+    touched: &mut Option<Digest>,
+) -> Result<Reply, OpError> {
+    let policy = parse_policy(policy, VerifyPolicy::strict())?;
+    let (state, disp) = circuit_state(shared, golden, touched)?;
+    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+    let reply = check_one_code(shared, id, &mut state, bits, &policy, token)?;
+    Ok(reply.field("cache", disp.as_str()))
+}
+
+/// Shared by the single path and the batch path: ensures the code-space
+/// proof exists, then decides `bits` by assumption.
+fn check_one_code(
+    shared: &Shared,
+    id: &str,
+    state: &mut CircuitState,
+    bits: &str,
+    policy: &VerifyPolicy,
+    token: &CancelToken,
+) -> Result<Reply, OpError> {
+    let code: Vec<bool> = bits
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(bad(format!("bad bit {other:?}"))),
+        })
+        .collect::<Result<_, _>>()?;
+    let CircuitState {
+        fingerprinter,
+        session,
+        codespace,
+    } = state;
+    if codespace.is_none() {
+        let space = CodeSpace::build(fingerprinter)
+            .map_err(|e| bad(format!("code-space verification unavailable: {e}")))?;
+        let proof = space
+            .prove(session, policy.sat_conflict_cap, token)
+            .map_err(|e| bad(format!("proving code space: {e}")))?;
+        odcfp_obs::point("serve.codespace")
+            .field("outcome", proof.outcome.name())
+            .field("groups", proof.num_groups())
+            .nondet()
+            .emit();
+        *codespace = Some(proof);
+    }
+    let proof = codespace.as_ref().expect("just ensured");
+    if code.len() != proof.num_groups() {
+        return Err(bad(format!(
+            "candidate_bits has {} bits; design has {} locations",
+            code.len(),
+            proof.num_groups()
+        )));
+    }
+    let verdict = session.check_code(proof, &code, policy.sat_conflict_cap, token);
+    if token.is_cancelled() {
+        let (code, why) = cancel_code(shared);
+        return Err((code, format!("{why}; code verification undecided")));
+    }
+    Ok(Reply::ok(id, "verify")
+        .field("verdict", verdict.name())
+        .field("mode", "code")
+        .field("code_space", proof.outcome.name()))
+}
+
+/// The batch body: one policy parse, one circuit lock, candidates
+/// partitioned into netlists (one `verify_many_cancellable` pass) and
+/// codes (assumption probes on the cached proof). Runs inside the
+/// batch's `catch_unwind`.
+fn execute_verify_batch(
+    shared: &Shared,
+    jobs: &[Job],
+    tokens: &[CancelToken],
+    touched: &mut Option<Digest>,
+) -> Vec<Reply> {
+    let all_err = |code: ErrorCode, message: &str| -> Vec<Reply> {
+        jobs.iter()
+            .map(|job| Reply::err(&job.request.id, code, message.to_owned()))
+            .collect()
+    };
+    let Op::Verify { golden, policy, .. } = &jobs[0].request.op else {
+        unreachable!("batch keys only stamp verify ops");
+    };
+    let policy = match parse_policy(policy.as_deref(), VerifyPolicy::strict()) {
+        Ok(policy) => policy,
+        Err((code, message)) => return all_err(code, &message),
+    };
+    let (state, disp) = match circuit_state(shared, golden, touched) {
+        Ok(x) => x,
+        Err((code, message)) => return all_err(code, &message),
+    };
+    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+    let n = jobs.len();
+
+    // Per-job candidate parsing, each in its own unwind boundary so one
+    // hostile candidate answers `panic` without sinking its batchmates.
+    enum Cand {
+        Netlist(Box<Netlist>),
+        Code(String),
+        Failed(ErrorCode, String),
+    }
+    let cands: Vec<Cand> = jobs
+        .iter()
+        .map(|job| {
+            let Op::Verify { candidate, candidate_bits, .. } = &job.request.op else {
+                unreachable!("batch keys only stamp verify ops");
+            };
+            match (candidate, candidate_bits) {
+                (Some(design), None) => {
+                    let parsed = catch_unwind(AssertUnwindSafe(|| {
+                        let (text, format) = design_source(shared, design)?;
+                        parse_netlist(shared, &text, &format)
+                    }));
+                    match parsed {
+                        Ok(Ok(netlist)) => Cand::Netlist(Box::new(netlist)),
+                        Ok(Err((code, message))) => Cand::Failed(code, message),
+                        Err(payload) => Cand::Failed(
+                            ErrorCode::Panic,
+                            format!("candidate parse panicked: {}", panic_text(payload)),
+                        ),
+                    }
+                }
+                (None, Some(bits)) => Cand::Code(bits.clone()),
+                _ => Cand::Failed(
+                    ErrorCode::BadRequest,
+                    "verify needs exactly one of candidate or candidate_bits".into(),
+                ),
+            }
+        })
+        .collect();
+
+    let mut replies: Vec<Option<Reply>> = (0..n).map(|_| None).collect();
+
+    // Netlist candidates: one warm SharedMiter probe pass.
+    let netlist_idx: Vec<usize> = cands
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| matches!(c, Cand::Netlist(_)).then_some(i))
+        .collect();
+    if !netlist_idx.is_empty() {
+        let pairs: Vec<(&Netlist, &CancelToken)> = netlist_idx
+            .iter()
+            .map(|&i| {
+                let Cand::Netlist(netlist) = &cands[i] else {
+                    unreachable!("index filtered on Netlist");
+                };
+                (netlist.as_ref(), &tokens[i])
+            })
+            .collect();
+        let reports = state.session.verify_many_cancellable(&pairs, &policy);
+        for (&i, report) in netlist_idx.iter().zip(reports) {
+            let id = &jobs[i].request.id;
+            replies[i] = Some(match report {
+                Ok(report) => {
+                    if tokens[i].is_cancelled() {
+                        let (code, why) = cancel_code(shared);
+                        Reply::err(id, code, format!("{why}; verification undecided"))
+                    } else {
+                        Reply::ok(id, "verify")
+                            .field("verdict", report.verdict.name())
+                            .field("sat_conflicts", report.stats.sat_conflicts)
+                            .field("fast_path", report.stats.used_fast_path)
+                            .field("cache", disp.as_str())
+                            .field("batched", true)
+                            .field("batch", n)
+                    }
+                }
+                Err(e) => Reply::err(id, ErrorCode::BadRequest, format!("verify: {e}")),
+            });
+        }
+    }
+
+    // Code candidates: assumption probes against the cached proof.
+    for (i, cand) in cands.iter().enumerate() {
+        match cand {
+            Cand::Code(bits) => {
+                let id = &jobs[i].request.id;
+                replies[i] = Some(
+                    match check_one_code(shared, id, &mut state, bits, &policy, &tokens[i]) {
+                        Ok(reply) => reply
+                            .field("cache", disp.as_str())
+                            .field("batched", true)
+                            .field("batch", n),
+                        Err((code, message)) => Reply::err(id, code, message),
+                    },
+                );
+            }
+            Cand::Failed(code, message) => {
+                replies[i] = Some(Reply::err(&jobs[i].request.id, *code, message.clone()));
+            }
+            Cand::Netlist(_) => {}
+        }
+    }
+
+    replies
+        .into_iter()
+        .map(|r| r.expect("every batch slot answered"))
+        .collect()
+}
+
+fn campaign_op(
+    shared: &Shared,
+    id: &str,
+    manifest_text: &str,
+    out_dir: &str,
+    resume: bool,
+    token: &CancelToken,
+) -> Result<Reply, OpError> {
+    let manifest = campaign::Manifest::parse(manifest_text)
+        .map_err(|e| bad(format!("manifest: {e}")))?;
+    let dir = resolve_root(&shared.config.root, out_dir)?;
+    let load = |circuit: &ManifestCircuit| -> Result<Netlist, String> {
+        let campaign::CircuitSource::Path(path) = &circuit.source else {
+            unreachable!("probe sources never reach the loader");
+        };
+        let (text, format) = design_source(shared, &DesignRef::Path(path.clone()))
+            .map_err(|(_, m)| m)?;
+        parse_netlist(shared, &text, &format).map_err(|(_, m)| m)
+    };
+    let emit = |n: &Netlist| write_verilog(n);
+    let env = campaign::CampaignEnv {
+        load: &load,
+        emit: &emit,
+    };
+    // Chunked execution: one job (or one delta window) per leg, journal
+    // replayed in between. Progress is durable at every step, and the
+    // drain token gets a look-in between legs, so a long campaign
+    // cannot hold drain hostage — the journal resumes it, served or
+    // batch, later. The cache carries fingerprinters, verify sessions,
+    // and delta-mode code-space proofs across legs, so chunking costs
+    // journal replays, not re-analysis or re-proving.
+    let mut cache = campaign::CampaignCache::default();
+    let mut resume_leg = resume;
+    let mut executed = 0usize;
+    loop {
+        let options = CampaignOptions {
+            resume: resume_leg,
+            stop_after: Some(1),
+        };
+        let summary =
+            campaign::run_cached(&manifest, &dir, &env, &options, &mut cache, &mut |_| {})
+                .map_err(|e| match e {
+                    campaign::CampaignError::Io { .. } => (ErrorCode::Internal, e.to_string()),
+                    _ => bad(e.to_string()),
+                })?;
+        executed += summary.executed;
+        if summary.remaining == 0 {
+            let mut reply = Reply::ok(id, "campaign")
+                .field("total", summary.total)
+                .field("completed", summary.completed)
+                .field("executed", executed)
+                .field("poisoned", summary.poisoned.len())
+                .field("clean", summary.is_clean());
+            // Delta campaigns stream artifacts as codebooks: tell the
+            // client where each circuit's codebook landed so it can
+            // fetch deltas instead of full netlists.
+            if manifest.artifact_mode == campaign::ArtifactMode::Delta {
+                let codebooks: Vec<String> = manifest
+                    .circuits
+                    .iter()
+                    .filter(|c| matches!(c.source, campaign::CircuitSource::Path(_)))
+                    .map(|c| odcfp_core::codebook::codebook_file(&c.name))
+                    .collect();
+                reply = reply
+                    .field("artifacts", "delta")
+                    .field("codebooks", codebooks.join(","));
+            }
+            return Ok(reply);
+        }
+        resume_leg = true;
+        if token.is_cancelled() {
+            let (code, why) = cancel_code(shared);
+            return Err((
+                code,
+                format!(
+                    "{why} after {executed} job(s); journal at {out_dir:?} resumes the rest"
+                ),
+            ));
+        }
+    }
+}
+
+fn report_op(shared: &Shared, id: &str, trace_path: &str) -> Result<Reply, OpError> {
+    let path = resolve_root(&shared.config.root, trace_path)?;
+    let trace = odcfp_obs::report::read_trace(&path)
+        .map_err(|e| bad(format!("reading {trace_path:?}: {e}")))?;
+    Ok(Reply::ok(id, "report")
+        .field("events", trace.events.len())
+        .field("skipped_lines", trace.skipped_lines)
+        .field("summary", odcfp_obs::report::summarize(&trace)))
+}
+
+fn probe_op(
+    shared: &Shared,
+    id: &str,
+    mode: &str,
+    design: Option<&DesignRef>,
+    token: &CancelToken,
+    touched: &mut Option<Digest>,
+) -> Result<Reply, OpError> {
+    // Attributing the fault to a circuit makes a `panic` probe poison
+    // that circuit's warm state, so the quarantine ladder is drillable
+    // end to end without a genuinely panicking netlist.
+    if let Some(design) = design {
+        let _ = circuit_state(shared, design, touched)?;
+    }
+    match mode {
+        "panic" => panic!("fault probe: deliberate panic in request {id}"),
+        _ => {
+            // Spin until cancelled; hard cap mirrors the campaign probe.
+            let cap = Duration::from_secs(30);
+            let started = Instant::now();
+            while !token.is_cancelled() && started.elapsed() < cap {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err((
+                ErrorCode::Deadline,
+                format!("spin probe cancelled after {:?}", started.elapsed()),
+            ))
+        }
+    }
+}
+
+// Unused import guard: PROTO_VERSION is referenced by rustdoc links.
+const _: u64 = PROTO_VERSION;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_root_confines_paths() {
+        let root = Path::new("/srv/odcfp");
+        assert_eq!(
+            resolve_root(root, "designs/c17.v").unwrap(),
+            PathBuf::from("/srv/odcfp/designs/c17.v")
+        );
+        assert!(resolve_root(root, "/etc/passwd").is_err());
+        assert!(resolve_root(root, "../secrets").is_err());
+        assert!(resolve_root(root, "a/../../b").is_err());
+    }
+
+    #[test]
+    fn parse_policy_grammar() {
+        assert!(parse_policy(Some("quick"), VerifyPolicy::strict()).is_ok());
+        assert!(parse_policy(Some("strict"), VerifyPolicy::quick()).is_ok());
+        assert!(parse_policy(Some("budgeted:5000"), VerifyPolicy::quick()).is_ok());
+        assert!(parse_policy(Some("budgeted:x"), VerifyPolicy::quick()).is_err());
+        assert!(parse_policy(Some("frob"), VerifyPolicy::quick()).is_err());
+    }
+
+    #[test]
+    fn batch_keys_group_same_golden_and_policy() {
+        let op = |text: &str, policy: Option<&str>| Op::Verify {
+            golden: DesignRef::Text { text: text.into(), format: "v".into() },
+            candidate: None,
+            candidate_bits: Some("01".into()),
+            policy: policy.map(str::to_owned),
+        };
+        let a = batch_key(&op("module m; endmodule", Some("strict")));
+        let b = batch_key(&op("module m; endmodule", Some("strict")));
+        let c = batch_key(&op("module m; endmodule", Some("quick")));
+        let d = batch_key(&op("module x; endmodule", Some("strict")));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert!(batch_key(&Op::Ping).is_none());
+        assert!(same_batch(
+            &op("module m; endmodule", Some("strict")),
+            &op("module m; endmodule", Some("strict"))
+        ));
+        assert!(!same_batch(
+            &op("module m; endmodule", Some("strict")),
+            &op("module m; endmodule", None)
+        ));
+    }
+}

@@ -3,43 +3,67 @@
 //! The batch CLI rebuilds every per-circuit artifact — the location
 //! analysis, the strash store, the `SharedMiter` base encoding — on
 //! each invocation. This crate keeps them resident: a long-running
-//! daemon speaks a newline-delimited JSON protocol ([`proto`]) and
-//! serves `locations` / `embed` / `verify` / `campaign` / `report`
-//! requests out of a digest-keyed warm cache ([`cache`]).
+//! daemon speaks a newline-delimited JSON protocol ([`proto`],
+//! normatively specified in docs/PROTOCOL.md) and serves `locations` /
+//! `embed` / `verify` / `campaign` / `report` requests out of a
+//! digest-keyed warm cache ([`cache`]).
+//!
+//! Connections are multiplexed by an event-driven reactor (`reactor`):
+//! one thread owns every socket through nonblocking I/O and `poll(2)`
+//! readiness, so idle connections cost a few hundred bytes instead of
+//! an OS thread. Requests flow through framing ([`frame`]) and
+//! admission into the tenant-fair queue ([`queue`]); a fixed worker
+//! pool (`executor`) runs them under deadlines, coalescing verify
+//! requests that share a golden circuit into single warm-miter batch
+//! probes. Large replies stream back as `chunk`/`done` frames
+//! ([`stream`]) paced by each connection's own socket. The pre-v2
+//! thread-per-connection layer survives as
+//! [`server::ConnMode::Threaded`] for comparison benchmarks.
 //!
 //! The design center is *robustness under production conditions*, per
-//! docs/SERVING.md and DESIGN.md §13:
+//! docs/SERVING.md and DESIGN.md §13/§17:
 //!
 //! * **Backpressure, not buffering** — admission control through a
 //!   bounded tenant-fair queue ([`queue`]); excess load is shed with
-//!   structured `overloaded` replies.
+//!   structured `overloaded` replies. Slow readers stall only their own
+//!   connection's outbound queue, never a worker.
 //! * **Bounded memory** — the warm cache carries a byte budget with LRU
 //!   eviction; under pressure the server degrades to cold rebuilds,
 //!   never to OOM.
 //! * **Bounded time** — per-request deadlines ride the analysis layer's
 //!   `CancelToken` into the SAT core, so one slow obligation cannot
 //!   wedge a worker.
-//! * **Fault isolation** — every request runs inside `catch_unwind`; a
-//!   panicking netlist answers an error, poisons only its own cache
-//!   entry, and after repeated strikes is quarantined — the process
-//!   survives.
+//! * **Fault isolation** — every request (and every verify batch) runs
+//!   inside `catch_unwind`; a panicking netlist answers an error,
+//!   poisons only its own cache entry, and after repeated strikes is
+//!   quarantined — the process survives.
 //! * **Graceful drain** — SIGTERM ([`signal`]) stops admission,
-//!   finishes or cancels in-flight work within a drain deadline, and
-//!   leaves campaign journals fsync'd for resume.
+//!   finishes or cancels in-flight work within a drain deadline,
+//!   flushes outbound streams, and leaves campaign journals fsync'd for
+//!   resume.
 //!
-//! Verdicts served warm are bit-identical to the batch CLI's: caching
-//! changes how fast an answer arrives, never what it is.
+//! Verdicts served warm — or batched — are identical to the batch
+//! CLI's: caching and coalescing change how fast an answer arrives,
+//! never what it is.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub(crate) mod executor;
+pub mod frame;
 pub mod proto;
 pub mod queue;
+pub(crate) mod reactor;
 pub mod server;
 pub mod signal;
+pub mod stream;
 
 pub use cache::{CacheStats, WarmCache};
-pub use proto::{ErrorCode, Op, Reply, Request, PROTO_VERSION};
+pub use frame::{FrameDecoder, FrameEvent};
+pub use proto::{
+    payload_digest, ErrorCode, Frame, Op, Reply, Request, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 pub use queue::FairQueue;
-pub use server::{ServeSummary, Server, ServerConfig};
+pub use server::{ConnMode, ServeSummary, Server, ServerConfig};
+pub use stream::{DEFAULT_STREAM_CHUNK, DEFAULT_STREAM_THRESHOLD};

@@ -1,17 +1,25 @@
 //! The `odcfp serve` wire protocol: newline-delimited JSON, one request
-//! per line, one reply per request, versioned.
+//! per line, one *terminal* reply per request, versioned. The normative
+//! specification lives in docs/PROTOCOL.md; this module is its
+//! implementation.
 //!
-//! The contract (docs/SERVING.md) is robustness-first:
+//! The contract is robustness-first:
 //!
-//! * every line — well-formed or not — gets exactly one reply; the
-//!   server never answers bad input with a disconnect;
-//! * replies are structured: `{"v":1,"id":…,"ok":true,…}` on success,
-//!   `{"v":1,"id":…,"ok":false,"error":"<code>","message":…}` on any
+//! * every line — well-formed or not — gets exactly one terminal reply;
+//!   the server never answers bad input with a disconnect;
+//! * replies are structured: `{"v":2,"id":…,"ok":true,…}` on success,
+//!   `{"v":2,"id":…,"ok":false,"error":"<code>","message":…}` on any
 //!   failure, with a closed vocabulary of [`ErrorCode`]s clients can
 //!   switch on (`overloaded` and `draining` are backpressure, not bugs);
-//! * the schema is versioned: requests carry `"v":1` and anything else
-//!   is rejected with [`ErrorCode::UnsupportedVersion`], so a future
-//!   schema can coexist behind the same port.
+//! * large payloads may stream: a v2 reply can arrive as a sequence of
+//!   `chunk` frames followed by a `done` frame carrying the digest of
+//!   the whole payload (see [`Frame`]); v1 requests always get a
+//!   single-line reply;
+//! * the schema is versioned: requests carry `"v"` between
+//!   [`MIN_PROTO_VERSION`] and [`PROTO_VERSION`]; anything else is
+//!   rejected with [`ErrorCode::UnsupportedVersion`]. Replies mirror the
+//!   request's version, so v1 clients keep receiving exactly the v1
+//!   shapes they were written against.
 //!
 //! Parsing reuses the tolerant zero-dependency JSON parser from
 //! `odcfp-obs` ([`odcfp_obs::json`]); serialization lives here.
@@ -20,8 +28,13 @@ use std::fmt::Write as _;
 
 use odcfp_obs::json::{self, Json};
 
-/// The protocol schema version this build speaks.
-pub const PROTO_VERSION: u64 = 1;
+/// The newest protocol schema version this build speaks.
+pub const PROTO_VERSION: u64 = 2;
+
+/// The oldest protocol schema version this build still accepts. v1
+/// requests are served with v1-shaped single-line replies (no `chunk` /
+/// `done` frames, no `"v":2` fields).
+pub const MIN_PROTO_VERSION: u64 = 1;
 
 /// Closed vocabulary of structured failure codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +42,8 @@ pub enum ErrorCode {
     /// The request line was not valid JSON, or a required field was
     /// missing or ill-typed.
     BadRequest,
-    /// The request's `v` field is not [`PROTO_VERSION`].
+    /// The request's `v` field is outside
+    /// [`MIN_PROTO_VERSION`]..=[`PROTO_VERSION`].
     UnsupportedVersion,
     /// Admission control rejected the request: the bounded queue is
     /// full. Back off and retry — this is load shedding, not failure.
@@ -106,11 +120,19 @@ pub enum Op {
         policy: Option<String>,
     },
     /// Equivalence-check a candidate against a golden design.
+    ///
+    /// The candidate is either a full netlist ([`DesignRef`]) or — the
+    /// fleet-scale cheap path — a fingerprint *code* (`candidate_bits`),
+    /// decided by assumption against the golden circuit's cached
+    /// code-space proof without ever materializing a netlist.
     Verify {
         /// The golden design (warm-cached by digest).
         golden: DesignRef,
-        /// The candidate to check.
-        candidate: DesignRef,
+        /// The candidate netlist (exclusive with `candidate_bits`).
+        candidate: Option<DesignRef>,
+        /// A fingerprint code as a `0`/`1` string, one bit per location
+        /// (exclusive with `candidate`).
+        candidate_bits: Option<String>,
         /// Verification policy; default `strict`.
         policy: Option<String>,
     },
@@ -134,6 +156,12 @@ pub enum Op {
     Probe {
         /// `"panic"` or `"spin"`.
         mode: String,
+        /// When present, the fault is attributed to this circuit: its
+        /// warm state is touched first, so a `panic` probe poisons it
+        /// and drives the quarantine ladder — letting operators (and
+        /// the conformance tests) drill the `quarantined` error path
+        /// without a genuinely hostile netlist.
+        design: Option<DesignRef>,
     },
 }
 
@@ -156,6 +184,9 @@ impl Op {
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
+    /// The protocol version the client spoke. Replies (including
+    /// errors) mirror it, and streaming engages only at `version >= 2`.
+    pub version: u64,
     /// Client-chosen correlation id, echoed verbatim in the reply.
     pub id: String,
     /// Fairness key: requests are round-robin scheduled across tenants.
@@ -173,6 +204,10 @@ pub struct Request {
 pub struct RequestError {
     /// Correlation id, when recoverable.
     pub id: String,
+    /// The version the error reply should be stamped with: the
+    /// request's own version when it was readable and supported,
+    /// otherwise [`MIN_PROTO_VERSION`] (the safe common denominator).
+    pub version: u64,
     /// What class of failure.
     pub code: ErrorCode,
     /// Human-readable detail.
@@ -234,26 +269,37 @@ impl Request {
     /// Returns a [`RequestError`] carrying the structured failure code
     /// and whatever correlation id could be recovered.
     pub fn parse_line(line: &str) -> Result<Request, RequestError> {
-        let bad = |id: &str, message: String| RequestError {
+        let bad = |id: &str, version: u64, message: String| RequestError {
             id: id.to_owned(),
+            version,
             code: ErrorCode::BadRequest,
             message,
         };
         let Some(Json::Obj(pairs)) = json::parse(line) else {
-            return Err(bad("", "request line is not a JSON object".into()));
+            return Err(bad("", MIN_PROTO_VERSION, "request line is not a JSON object".into()));
         };
         let id = get_str(&pairs, "id").unwrap_or_default();
-        match get_u64(&pairs, "v") {
-            Some(PROTO_VERSION) => {}
+        let version = match get_u64(&pairs, "v") {
+            Some(v) if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&v) => v,
             Some(v) => {
                 return Err(RequestError {
                     id,
+                    version: MIN_PROTO_VERSION,
                     code: ErrorCode::UnsupportedVersion,
-                    message: format!("protocol version {v} not supported (this server speaks {PROTO_VERSION})"),
+                    message: format!(
+                        "protocol version {v} not supported (this server speaks {MIN_PROTO_VERSION}..={PROTO_VERSION})"
+                    ),
                 })
             }
-            None => return Err(bad(&id, "missing protocol version field \"v\"".into())),
-        }
+            None => {
+                return Err(bad(
+                    &id,
+                    MIN_PROTO_VERSION,
+                    "missing protocol version field \"v\"".into(),
+                ))
+            }
+        };
+        let bad = |id: &str, message: String| bad(id, version, message);
         let tenant = get_str(&pairs, "tenant").unwrap_or_else(|| "anon".into());
         let deadline_ms = get_u64(&pairs, "deadline_ms");
         let op_name = match get_str(&pairs, "op") {
@@ -278,11 +324,36 @@ impl Request {
                     policy: get_str(&pairs, "policy"),
                 }
             }
-            "verify" => Op::Verify {
-                golden: design("golden")?,
-                candidate: design("candidate")?,
-                policy: get_str(&pairs, "policy"),
-            },
+            "verify" => {
+                let candidate_bits = get_str(&pairs, "candidate_bits");
+                let candidate = match &candidate_bits {
+                    Some(bits) => {
+                        if obj_get(&pairs, "candidate_text").is_some()
+                            || obj_get(&pairs, "candidate_path").is_some()
+                        {
+                            return Err(bad(
+                                &id,
+                                "candidate_bits and candidate_text/candidate_path are exclusive"
+                                    .into(),
+                            ));
+                        }
+                        if bits.is_empty() || bits.chars().any(|c| c != '0' && c != '1') {
+                            return Err(bad(
+                                &id,
+                                "candidate_bits must be a non-empty string of 0s and 1s".into(),
+                            ));
+                        }
+                        None
+                    }
+                    None => Some(design("candidate")?),
+                };
+                Op::Verify {
+                    golden: design("golden")?,
+                    candidate,
+                    candidate_bits,
+                    policy: get_str(&pairs, "policy"),
+                }
+            }
             "campaign" => Op::Campaign {
                 manifest: get_str(&pairs, "manifest")
                     .ok_or_else(|| bad(&id, "campaign needs \"manifest\" text".into()))?,
@@ -300,11 +371,19 @@ impl Request {
                 if mode != "panic" && mode != "spin" {
                     return Err(bad(&id, format!("unknown probe mode {mode:?}")));
                 }
-                Op::Probe { mode }
+                let design = if obj_get(&pairs, "design_text").is_some()
+                    || obj_get(&pairs, "design_path").is_some()
+                {
+                    Some(design("design")?)
+                } else {
+                    None
+                };
+                Op::Probe { mode, design }
             }
             other => return Err(bad(&id, format!("unknown op {other:?}"))),
         };
         Ok(Request {
+            version,
             id,
             tenant,
             deadline_ms,
@@ -353,6 +432,10 @@ impl From<bool> for FieldValue {
 /// One reply line, under construction or parsed back.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reply {
+    /// The protocol version the line is stamped with. Builders default
+    /// to [`PROTO_VERSION`]; the server overrides it to mirror the
+    /// request's version (see [`Reply::versioned`]).
+    pub v: u64,
     /// Echoed correlation id.
     pub id: String,
     /// `true` for success replies.
@@ -371,6 +454,7 @@ impl Reply {
     /// A success reply for `op`.
     pub fn ok(id: &str, op: &str) -> Reply {
         Reply {
+            v: PROTO_VERSION,
             id: id.to_owned(),
             ok: true,
             op: Some(op.to_owned()),
@@ -383,6 +467,7 @@ impl Reply {
     /// A structured error reply.
     pub fn err(id: &str, code: ErrorCode, message: impl Into<String>) -> Reply {
         Reply {
+            v: PROTO_VERSION,
             id: id.to_owned(),
             ok: false,
             op: None,
@@ -390,6 +475,14 @@ impl Reply {
             message: Some(message.into()),
             fields: Vec::new(),
         }
+    }
+
+    /// Stamps the reply with the version of the request it answers
+    /// (builder style). v1 clients must see `"v":1` lines — their
+    /// parsers reject anything newer.
+    pub fn versioned(mut self, v: u64) -> Reply {
+        self.v = v.clamp(MIN_PROTO_VERSION, PROTO_VERSION);
+        self
     }
 
     /// Attach a payload field (builder style).
@@ -427,7 +520,8 @@ impl Reply {
         let mut out = String::with_capacity(64);
         let _ = write!(
             out,
-            "{{\"v\":{PROTO_VERSION},\"id\":\"{}\",\"ok\":{}",
+            "{{\"v\":{},\"id\":\"{}\",\"ok\":{}",
+            self.v,
             escape_json(&self.id),
             self.ok
         );
@@ -464,10 +558,12 @@ impl Reply {
         let Json::Obj(pairs) = json::parse(line)? else {
             return None;
         };
-        if get_u64(&pairs, "v") != Some(PROTO_VERSION) {
+        let v = get_u64(&pairs, "v")?;
+        if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&v) {
             return None;
         }
         let mut reply = Reply {
+            v,
             id: get_str(&pairs, "id")?,
             ok: get_bool(&pairs, "ok")?,
             op: get_str(&pairs, "op"),
@@ -489,6 +585,115 @@ impl Reply {
         }
         Some(reply)
     }
+}
+
+/// One v2 wire frame, as a client sees it: a plain single-line reply, a
+/// streamed payload `chunk`, or the `done` trailer that terminates a
+/// chunked reply.
+///
+/// A chunked reply for request `id` is the sequence
+/// `chunk(seq=0) … chunk(seq=n-1) done`, where `done` carries the name
+/// of the streamed field (`stream`), the chunk count, the total payload
+/// byte length, and the FNV-1a digest of the whole payload
+/// ([`payload_digest`]). Concatenating the chunks' `data` in `seq`
+/// order reconstructs the payload; the digest detects truncation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A complete single-line reply (the only shape v1 ever sees).
+    Reply(Reply),
+    /// One slice of a streamed payload.
+    Chunk {
+        /// Echoed correlation id.
+        id: String,
+        /// 0-based chunk sequence number.
+        seq: u64,
+        /// This slice of the payload.
+        data: String,
+    },
+    /// The terminal frame of a chunked reply: a normal success reply
+    /// (scalar fields included) minus the streamed payload itself.
+    Done {
+        /// The reply, with `frame`/`stream`/`chunks`/`bytes`/`digest`
+        /// bookkeeping stripped from `fields`.
+        reply: Reply,
+        /// Name of the field the chunks carried (e.g. `netlist`).
+        stream: String,
+        /// Number of chunk frames emitted.
+        chunks: u64,
+        /// Total payload length in bytes.
+        bytes: u64,
+        /// [`payload_digest`] of the whole payload.
+        digest: String,
+    },
+}
+
+impl Frame {
+    /// Parses one reply-direction wire line into a frame. `None` for
+    /// malformed input.
+    pub fn parse_line(line: &str) -> Option<Frame> {
+        let reply = Reply::parse_line(line)?;
+        match reply.field_str("frame") {
+            None => Some(Frame::Reply(reply)),
+            Some("chunk") => Some(Frame::Chunk {
+                id: reply.id.clone(),
+                seq: reply.field_u64("seq")?,
+                data: reply.field_str("data")?.to_owned(),
+            }),
+            Some("done") => {
+                let stream = reply.field_str("stream")?.to_owned();
+                let chunks = reply.field_u64("chunks")?;
+                let bytes = reply.field_u64("bytes")?;
+                let digest = reply.field_str("digest")?.to_owned();
+                let mut reply = reply;
+                reply.fields.retain(|(k, _)| {
+                    !matches!(k.as_str(), "frame" | "stream" | "chunks" | "bytes" | "digest")
+                });
+                Some(Frame::Done {
+                    reply,
+                    stream,
+                    chunks,
+                    bytes,
+                    digest,
+                })
+            }
+            Some(_) => None,
+        }
+    }
+}
+
+/// Serializes one payload `chunk` frame (no trailing newline).
+pub fn chunk_line(v: u64, id: &str, seq: u64, data: &str) -> String {
+    format!(
+        "{{\"v\":{v},\"id\":\"{}\",\"ok\":true,\"frame\":\"chunk\",\"seq\":{seq},\"data\":\"{}\"}}",
+        escape_json(id),
+        escape_json(data)
+    )
+}
+
+/// Serializes the `done` trailer for a chunked reply: `reply`'s scalar
+/// fields plus the stream bookkeeping (no trailing newline).
+pub fn done_line(reply: &Reply, stream: &str, chunks: u64, bytes: u64, digest: &str) -> String {
+    reply
+        .clone()
+        .field("frame", "done")
+        .field("stream", stream)
+        .field("chunks", chunks)
+        .field("bytes", bytes)
+        .field("digest", digest)
+        .to_line()
+}
+
+/// Content digest carried by `done` frames: 64-bit FNV-1a over the
+/// payload bytes, rendered as 16 lowercase hex digits. Self-contained
+/// so independent client implementations can check stream integrity
+/// from the spec alone (docs/PROTOCOL.md §5).
+pub fn payload_digest(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -575,14 +780,15 @@ mod tests {
             ],
         );
         let req = Request::parse_line(&line).expect("parses");
-        let Op::Verify { golden, candidate, policy } = req.op else {
+        let Op::Verify { golden, candidate, policy, candidate_bits } = req.op else {
             panic!("wrong op");
         };
         assert_eq!(
             golden,
             DesignRef::Text { text: "module m; endmodule".into(), format: "v".into() }
         );
-        assert_eq!(candidate, DesignRef::Path("cand.v".into()));
+        assert_eq!(candidate, Some(DesignRef::Path("cand.v".into())));
+        assert_eq!(candidate_bits, None);
         assert_eq!(policy.as_deref(), Some("budgeted:5000"));
     }
 
@@ -592,7 +798,8 @@ mod tests {
             ("not json at all", ErrorCode::BadRequest, ""),
             ("{\"v\":1}", ErrorCode::BadRequest, ""),
             ("{\"v\":1,\"id\":\"x\",\"op\":\"frob\"}", ErrorCode::BadRequest, "x"),
-            ("{\"v\":2,\"id\":\"y\",\"op\":\"ping\"}", ErrorCode::UnsupportedVersion, "y"),
+            ("{\"v\":3,\"id\":\"y\",\"op\":\"ping\"}", ErrorCode::UnsupportedVersion, "y"),
+            ("{\"v\":0,\"id\":\"y2\",\"op\":\"ping\"}", ErrorCode::UnsupportedVersion, "y2"),
             ("{\"id\":\"z\",\"op\":\"ping\"}", ErrorCode::BadRequest, "z"),
             ("{\"v\":1,\"op\":\"embed\",\"design_text\":\"m\"}", ErrorCode::BadRequest, ""),
             (
@@ -630,6 +837,70 @@ mod tests {
         assert!(!back.ok);
         assert_eq!(back.error.as_deref(), Some("overloaded"));
         assert!(back.message.as_deref().unwrap().contains("queue full"));
+    }
+
+    #[test]
+    fn v1_requests_parse_and_replies_mirror_version() {
+        let req = Request::parse_line("{\"v\":1,\"id\":\"old\",\"op\":\"ping\"}").expect("v1 parses");
+        assert_eq!(req.version, 1);
+        let line = Reply::ok(&req.id, "ping").versioned(req.version).to_line();
+        assert!(line.starts_with("{\"v\":1,"), "{line}");
+        // A v1 client's parser must accept the mirrored line.
+        assert_eq!(Reply::parse_line(&line).expect("parses").v, 1);
+    }
+
+    #[test]
+    fn verify_accepts_code_bits_exclusively() {
+        let line = "{\"v\":2,\"id\":\"c\",\"op\":\"verify\",\"golden_path\":\"g.v\",\"candidate_bits\":\"0110\"}";
+        let req = Request::parse_line(line).expect("parses");
+        let Op::Verify { candidate, candidate_bits, .. } = req.op else {
+            panic!("wrong op");
+        };
+        assert_eq!(candidate, None);
+        assert_eq!(candidate_bits.as_deref(), Some("0110"));
+        for bad in [
+            "{\"v\":2,\"op\":\"verify\",\"golden_path\":\"g\",\"candidate_bits\":\"01\",\"candidate_path\":\"c\"}",
+            "{\"v\":2,\"op\":\"verify\",\"golden_path\":\"g\",\"candidate_bits\":\"01x\"}",
+            "{\"v\":2,\"op\":\"verify\",\"golden_path\":\"g\",\"candidate_bits\":\"\"}",
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn chunked_reply_frames_roundtrip() {
+        let chunk = chunk_line(2, "s1", 3, "abc\ndef");
+        match Frame::parse_line(&chunk).expect("chunk parses") {
+            Frame::Chunk { id, seq, data } => {
+                assert_eq!((id.as_str(), seq, data.as_str()), ("s1", 3, "abc\ndef"));
+            }
+            other => panic!("not a chunk: {other:?}"),
+        }
+        let trailer = Reply::ok("s1", "embed").field("verdict", "proven").field("cache", "hit");
+        let done = done_line(&trailer, "netlist", 4, 123, &payload_digest(b"payload"));
+        match Frame::parse_line(&done).expect("done parses") {
+            Frame::Done { reply, stream, chunks, bytes, digest } => {
+                assert_eq!(stream, "netlist");
+                assert_eq!((chunks, bytes), (4, 123));
+                assert_eq!(digest, payload_digest(b"payload"));
+                // Bookkeeping is stripped; scalar fields survive.
+                assert_eq!(reply.field_str("verdict"), Some("proven"));
+                assert!(reply.field_str("frame").is_none());
+            }
+            other => panic!("not done: {other:?}"),
+        }
+        // A plain reply parses as Frame::Reply.
+        let plain = Reply::ok("p", "ping").to_line();
+        assert!(matches!(Frame::parse_line(&plain), Some(Frame::Reply(_))));
+    }
+
+    #[test]
+    fn payload_digest_is_stable() {
+        // Pinned values: independent implementations written from
+        // docs/PROTOCOL.md must reproduce these exactly.
+        assert_eq!(payload_digest(b""), "cbf29ce484222325");
+        assert_eq!(payload_digest(b"a"), "af63dc4c8601ec8c");
+        assert_ne!(payload_digest(b"ab"), payload_digest(b"ba"));
     }
 
     #[test]

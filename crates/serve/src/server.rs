@@ -1,23 +1,31 @@
-//! The resident engine: socket accept loop, tenant-fair worker pool,
-//! per-request isolation, and graceful drain.
+//! Server lifecycle: configuration, shared state, the two connection
+//! modes, and graceful drain.
 //!
 //! # Life of a request
 //!
-//! 1. A reader thread (one per connection) assembles newline-delimited
-//!    request lines. Malformed lines get a structured error reply —
-//!    never a disconnect. `ping` and `shutdown` are answered inline.
-//! 2. Admission: the request enters the bounded [`FairQueue`] under its
-//!    tenant key, or is shed with an `overloaded` reply (and a
-//!    `serve.reject` trace point). During drain the answer is
-//!    `draining`.
-//! 3. A worker pops the next request round-robin across tenants, arms a
+//! 1. The connection layer assembles newline-delimited request lines
+//!    through the [`crate::frame::FrameDecoder`] — see the
+//!    framing grammar in docs/PROTOCOL.md §2. In the
+//!    default [`ConnMode::Reactor`] a single event-loop thread owns
+//!    every socket (see the `reactor` module); in the legacy
+//!    [`ConnMode::Threaded`] each connection gets a reader thread.
+//!    Malformed lines get a structured error reply — never a
+//!    disconnect. `ping` and `shutdown` are answered inline.
+//! 2. Admission (the `executor` module's `admit`): the request enters the
+//!    bounded [`FairQueue`] under its tenant key, or is shed with an
+//!    `overloaded` reply (and a `serve.reject` trace point). During
+//!    drain the answer is `draining`.
+//! 3. A worker pops round-robin across tenants, arms a
 //!    [`CancelToken`] composing the server's drain token with the
-//!    request's own deadline, and runs the operation inside
-//!    `catch_unwind`. A panic answers `panic`, poisons the circuit's
-//!    warm-cache entry, and leaves the process (and every other
-//!    request) untouched.
-//! 4. The reply is written back over the connection, serialized by a
-//!    per-connection writer lock.
+//!    request's deadline, and runs the operation inside `catch_unwind`.
+//!    Verify requests sharing a golden circuit may coalesce into one
+//!    batch (see the `executor` module). A panic answers `panic`, poisons
+//!    the circuit's warm-cache entry, and leaves the process (and every
+//!    other request) untouched.
+//! 4. The reply is routed back to the connection layer: written
+//!    directly in threaded mode, mailed to the reactor otherwise.
+//!    Replies whose payload crosses the stream threshold leave as
+//!    `chunk`/`done` frame sequences under per-connection backpressure.
 //!
 //! # Drain
 //!
@@ -29,49 +37,75 @@
 //! observe the same token between jobs and stop with their journal
 //! fsync'd, so a drained campaign resumes exactly like a SIGKILLed one.
 
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use odcfp_analysis::CancelToken;
-use odcfp_core::campaign::{self, CampaignOptions, ManifestCircuit};
-use odcfp_core::{Fingerprinter, VerifyPolicy, VerifySession};
-use odcfp_logic::rng::Xoshiro256;
-use odcfp_netlist::{CellLibrary, Digest, Netlist};
-use odcfp_verilog::write_verilog;
+use odcfp_netlist::CellLibrary;
 
-use crate::cache::{CircuitState, Disposition, WarmCache};
-use crate::proto::{DesignRef, ErrorCode, Op, Reply, Request};
-use crate::queue::{FairQueue, PushError};
+use crate::cache::WarmCache;
+use crate::executor::{admit, worker_loop, Admit, Job, ReplyTo};
+use crate::frame::{FrameDecoder, FrameEvent};
+use crate::proto::{ErrorCode, Reply, Request};
+use crate::queue::FairQueue;
 use crate::signal;
-
-/// Hard cap on one request line; longer lines are answered
-/// `bad_request` instead of buffering without bound.
-const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+use crate::stream::{DEFAULT_STREAM_CHUNK, DEFAULT_STREAM_THRESHOLD};
 
 /// How often blocking loops poll their stop conditions.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnMode {
+    /// One event-loop thread owns all sockets (`poll(2)` readiness).
+    /// Scales to thousands of idle connections; replies may stream.
+    Reactor,
+    /// One OS thread per connection (the pre-v2 architecture). Kept for
+    /// comparison benchmarks and as a fallback; replies are always
+    /// single lines and a slow reader blocks its worker mid-write.
+    Threaded,
+}
+
 /// Server construction knobs. [`ServerConfig::default`] is sized for
-/// tests and local use; production deployments tune every field.
+/// tests and local use; production deployments tune every field (see
+/// docs/SERVING.md §2 for capacity planning).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; use port 0 to let the OS pick (tests).
     pub listen: String,
+    /// Connection multiplexing mode.
+    pub mode: ConnMode,
     /// Worker threads executing requests.
     pub workers: usize,
     /// Bounded admission queue depth across all tenants.
     pub queue_depth: usize,
+    /// Maximum simultaneous connections (reactor mode). Beyond it, new
+    /// connections get one `overloaded` line and are closed.
+    pub max_conns: usize,
     /// Warm-cache byte budget (estimated bytes, see
     /// [`WarmCache::estimate_cost`]).
     pub cache_budget: u64,
     /// How long a drain may take before in-flight work is cancelled.
     pub drain_deadline: Duration,
+    /// Hard cap on one request line; longer lines are answered
+    /// `bad_request` instead of buffering without bound.
+    pub max_line: usize,
+    /// How long a worker waits for same-golden verify requests to
+    /// coalesce into one batch. Zero disables batching.
+    pub batch_window: Duration,
+    /// Maximum verify requests coalesced into one batch.
+    pub batch_max: usize,
+    /// Reply payload size (bytes) at which v2 replies switch to
+    /// `chunk`/`done` streaming (reactor mode only). `usize::MAX`
+    /// disables streaming.
+    pub stream_threshold: usize,
+    /// Payload bytes per `chunk` frame.
+    pub stream_chunk: usize,
     /// Root directory `*_path`, `out_dir`, and `trace_path` fields
     /// resolve against. Requests cannot escape it.
     pub root: PathBuf,
@@ -81,10 +115,17 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             listen: "127.0.0.1:0".to_owned(),
+            mode: ConnMode::Reactor,
             workers: 2,
             queue_depth: 64,
+            max_conns: 1024,
             cache_budget: 64 * 1024 * 1024,
             drain_deadline: Duration::from_secs(5),
+            max_line: 8 * 1024 * 1024,
+            batch_window: Duration::from_millis(2),
+            batch_max: 16,
+            stream_threshold: DEFAULT_STREAM_THRESHOLD,
+            stream_chunk: DEFAULT_STREAM_CHUNK,
             root: PathBuf::from("."),
         }
     }
@@ -101,33 +142,31 @@ pub struct ServeSummary {
     pub panics: u64,
 }
 
-struct Shared {
-    config: ServerConfig,
-    queue: FairQueue<Job>,
-    cache: WarmCache,
+/// State shared by the connection layer and the worker pool.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: FairQueue<Job>,
+    pub(crate) cache: WarmCache,
     /// This server's drain flag (the global [`signal`] flag ORs in).
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Cancels in-flight work when the drain deadline fires.
-    drain_token: CancelToken,
-    /// Readers exit once set (after workers finish).
-    stop: AtomicBool,
-    served: AtomicU64,
-    rejected: AtomicU64,
-    panics: AtomicU64,
-    library: Arc<CellLibrary>,
+    pub(crate) drain_token: CancelToken,
+    /// Threaded-mode readers exit once set (after workers finish).
+    pub(crate) stop: AtomicBool,
+    pub(crate) served: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    /// Requests admitted to the queue whose responses have not yet been
+    /// handed back to the connection layer. Drives drain completion in
+    /// reactor mode.
+    pub(crate) in_flight: AtomicU64,
+    pub(crate) library: Arc<CellLibrary>,
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst) || signal::drain_requested()
     }
-}
-
-/// One admitted request plus where to send its reply.
-struct Job {
-    request: Request,
-    writer: Arc<Mutex<TcpStream>>,
-    enqueued: Instant,
 }
 
 /// A bound, not-yet-running server. Splitting bind from run lets
@@ -157,8 +196,8 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop until drain (SIGTERM or a `shutdown`
-    /// request), then drains and returns the summary.
+    /// Runs the server until drain (SIGTERM or a `shutdown` request),
+    /// then drains and returns the summary.
     ///
     /// # Errors
     ///
@@ -166,6 +205,7 @@ impl Server {
     /// failures are answered in-protocol.
     pub fn run(self) -> std::io::Result<ServeSummary> {
         let Server { listener, config } = self;
+        let mode = config.mode;
         let shared = Arc::new(Shared {
             queue: FairQueue::new(config.queue_depth),
             cache: WarmCache::new(config.cache_budget),
@@ -175,6 +215,7 @@ impl Server {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
             library: CellLibrary::standard(),
             config,
         });
@@ -185,55 +226,19 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        let mut readers: Vec<JoinHandle<()>> = Vec::new();
 
-        listener.set_nonblocking(true)?;
-        while !shared.draining() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let shared = Arc::clone(&shared);
-                    readers.push(std::thread::spawn(move || reader_loop(&shared, stream)));
+        match mode {
+            ConnMode::Reactor => {
+                // The reactor owns accept, framing, drain sequencing,
+                // and outbound flush; it returns once drained.
+                crate::reactor::run_reactor(listener, &shared)?;
+                for w in workers {
+                    let _ = w.join();
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
-                }
-                // Transient per-connection accept failures must not
-                // take the daemon down.
-                Err(_) => std::thread::sleep(POLL_INTERVAL),
             }
-        }
-
-        // Drain: no new admissions; queued work still runs. The
-        // watchdog cancels the shared token at the deadline so wedged
-        // work unwinds as cancelled.
-        odcfp_obs::point("serve.drain")
-            .field("queued", shared.queue.len())
-            .nondet()
-            .emit();
-        shared.queue.close();
-        let workers_done = Arc::new(AtomicBool::new(false));
-        let watchdog = {
-            let shared = Arc::clone(&shared);
-            let workers_done = Arc::clone(&workers_done);
-            std::thread::spawn(move || {
-                let armed = Instant::now();
-                while !workers_done.load(Ordering::SeqCst) {
-                    if armed.elapsed() >= shared.config.drain_deadline {
-                        shared.drain_token.cancel();
-                        return;
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-            })
-        };
-        for w in workers {
-            let _ = w.join();
-        }
-        workers_done.store(true, Ordering::SeqCst);
-        let _ = watchdog.join();
-        shared.stop.store(true, Ordering::SeqCst);
-        for r in readers {
-            let _ = r.join();
+            ConnMode::Threaded => {
+                run_threaded(listener, &shared, workers)?;
+            }
         }
 
         let summary = ServeSummary {
@@ -255,74 +260,66 @@ impl Server {
     }
 }
 
-/// Incremental line assembly over a socket with a read timeout, safe
-/// against torn reads (a timeout mid-line never loses buffered bytes,
-/// unlike `BufRead::read_line`).
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-enum LineEvent {
-    Line(String),
-    /// Peer closed or the server is stopping.
-    Eof,
-    /// A single line exceeded [`MAX_LINE_BYTES`].
-    Oversized,
-}
-
-impl LineReader {
-    fn next(&mut self, stop: impl Fn() -> bool) -> LineEvent {
-        loop {
-            if let Some(idx) = self.buf.iter().position(|&b| b == b'\n') {
-                let rest = self.buf.split_off(idx + 1);
-                let mut line = std::mem::replace(&mut self.buf, rest);
-                line.pop();
-                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+/// The legacy thread-per-connection accept loop and drain sequence.
+fn run_threaded(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+) -> std::io::Result<()> {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    listener.set_nonblocking(true)?;
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                readers.push(std::thread::spawn(move || reader_loop(&shared, stream)));
             }
-            if self.buf.len() > MAX_LINE_BYTES {
-                self.buf.clear();
-                return LineEvent::Oversized;
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
             }
-            if stop() {
-                return LineEvent::Eof;
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => {
-                    // EOF: a final unterminated line still counts.
-                    if self.buf.is_empty() {
-                        return LineEvent::Eof;
-                    }
-                    let line = std::mem::take(&mut self.buf);
-                    return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
-                }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock
-                            | std::io::ErrorKind::TimedOut
-                            | std::io::ErrorKind::Interrupted
-                    ) => {}
-                Err(_) => return LineEvent::Eof,
-            }
+            // Transient per-connection accept failures must not take
+            // the daemon down.
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
-}
 
-fn write_reply(writer: &Arc<Mutex<TcpStream>>, reply: &Reply) {
-    let mut line = reply.to_line();
-    line.push('\n');
-    if let Ok(mut stream) = writer.lock() {
-        // A vanished client is its own problem; the server presses on.
-        let _ = stream.write_all(line.as_bytes());
-        let _ = stream.flush();
+    // Drain: no new admissions; queued work still runs. The watchdog
+    // cancels the shared token at the deadline so wedged work unwinds
+    // as cancelled.
+    odcfp_obs::point("serve.drain")
+        .field("queued", shared.queue.len())
+        .nondet()
+        .emit();
+    shared.queue.close();
+    let workers_done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let shared = Arc::clone(shared);
+        let workers_done = Arc::clone(&workers_done);
+        std::thread::spawn(move || {
+            let armed = Instant::now();
+            while !workers_done.load(Ordering::SeqCst) {
+                if armed.elapsed() >= shared.config.drain_deadline {
+                    shared.drain_token.cancel();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+    for w in workers {
+        let _ = w.join();
     }
+    workers_done.store(true, Ordering::SeqCst);
+    let _ = watchdog.join();
+    shared.stop.store(true, Ordering::SeqCst);
+    for r in readers {
+        let _ = r.join();
+    }
+    Ok(())
 }
 
-/// Per-connection thread: assemble lines, answer control ops inline,
-/// admit the rest.
+/// Threaded-mode per-connection thread: assemble frames, answer control
+/// ops inline, admit the rest.
 fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
@@ -330,542 +327,83 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
-    let mut reader = LineReader {
-        stream,
-        buf: Vec::new(),
-    };
+    let mut stream = stream;
+    let mut decoder = FrameDecoder::new(shared.config.max_line);
+    let mut events = Vec::new();
+    let mut chunk = [0u8; 4096];
     loop {
-        let line = match reader.next(|| shared.stop.load(Ordering::SeqCst)) {
-            LineEvent::Line(line) => line,
-            LineEvent::Eof => return,
-            LineEvent::Oversized => {
-                shared.rejected.fetch_add(1, Ordering::SeqCst);
-                write_reply(
-                    &writer,
-                    &Reply::err(
-                        "",
-                        ErrorCode::BadRequest,
-                        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                    ),
-                );
-                continue;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
         }
-        let request = match Request::parse_line(&line) {
-            Ok(request) => request,
-            Err(e) => {
-                shared.rejected.fetch_add(1, Ordering::SeqCst);
-                write_reply(&writer, &Reply::err(&e.id, e.code, e.message));
-                continue;
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a final unterminated line still counts.
+                if let Some(tail) = decoder.finish() {
+                    handle_threaded_line(shared, &writer, &tail);
+                }
+                return;
             }
-        };
-        match request.op {
-            // Control ops answer inline; they must work even when the
-            // queue is full or draining.
-            Op::Ping => {
-                shared.served.fetch_add(1, Ordering::SeqCst);
-                write_reply(
-                    &writer,
-                    &Reply::ok(&request.id, "ping").field("draining", shared.draining()),
-                );
-            }
-            Op::Shutdown => {
-                shared.draining.store(true, Ordering::SeqCst);
-                shared.served.fetch_add(1, Ordering::SeqCst);
-                write_reply(&writer, &Reply::ok(&request.id, "shutdown"));
-            }
-            _ => {
-                let job = Job {
-                    writer: Arc::clone(&writer),
-                    enqueued: Instant::now(),
-                    request,
-                };
-                let tenant = job.request.tenant.clone();
-                let id = job.request.id.clone();
-                let op = job.request.op.name();
-                if let Err(e) = shared.queue.push(&tenant, job) {
-                    shared.rejected.fetch_add(1, Ordering::SeqCst);
-                    let (code, message) = match e {
-                        PushError::Full => (
-                            ErrorCode::Overloaded,
-                            format!(
-                                "admission queue full (depth {}); retry with backoff",
-                                shared.config.queue_depth
-                            ),
-                        ),
-                        PushError::Closed => {
-                            (ErrorCode::Draining, "server is draining".to_owned())
+            Ok(n) => {
+                decoder.push(&chunk[..n], &mut events);
+                for event in events.drain(..) {
+                    match event {
+                        FrameEvent::Frame(line) => {
+                            handle_threaded_line(shared, &writer, &line);
                         }
-                    };
-                    odcfp_obs::point("serve.reject")
-                        .field("tenant", tenant.as_str())
-                        .field("op", op)
-                        .field("code", code.as_str())
-                        .nondet()
-                        .emit();
-                    write_reply(&writer, &Reply::err(&id, code, message));
+                        FrameEvent::Oversized => {
+                            shared.rejected.fetch_add(1, Ordering::SeqCst);
+                            write_line(
+                                &writer,
+                                &Reply::err(
+                                    "",
+                                    ErrorCode::BadRequest,
+                                    format!(
+                                        "request line exceeds {} bytes",
+                                        shared.config.max_line
+                                    ),
+                                ),
+                            );
+                        }
+                    }
                 }
             }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
         }
     }
 }
 
-/// Worker thread: pop round-robin, execute under isolation, reply.
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some((tenant, job)) = shared.queue.pop() {
-        odcfp_obs::point("serve.queue_wait")
-            .field("tenant", tenant.as_str())
-            .field("us", job.enqueued.elapsed().as_micros() as u64)
-            .nondet()
-            .emit();
-        let mut span = odcfp_obs::span("serve.request");
-        span.field("op", job.request.op.name());
-        span.field("tenant", tenant.as_str());
-
-        let token = shared.drain_token.bounded_by(
-            job.request
-                .deadline_ms
-                .map(|ms| Instant::now() + Duration::from_millis(ms)),
-        );
-        // The circuit the request touched, for poisoning on panic.
-        let mut touched: Option<Digest> = None;
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute(shared, &job.request, &token, &mut touched)
-        }));
-        let reply = match outcome {
-            Ok(reply) => reply,
-            Err(payload) => {
-                shared.panics.fetch_add(1, Ordering::SeqCst);
-                let text = panic_text(payload);
-                let mut message = format!("request panicked: {text}");
-                if let Some(digest) = touched {
-                    let strikes = shared.cache.poison(digest);
-                    message.push_str(&format!(
-                        " (circuit warm state dropped; strike {strikes}/{})",
-                        crate::cache::QUARANTINE_THRESHOLD
-                    ));
-                }
-                Reply::err(&job.request.id, ErrorCode::Panic, message)
-            }
-        };
-        span.field(
-            "outcome",
-            reply
-                .error
-                .clone()
-                .unwrap_or_else(|| "ok".to_owned()),
-        );
-        if reply.ok {
-            shared.served.fetch_add(1, Ordering::SeqCst);
-        } else {
+fn handle_threaded_line(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, line: &str) {
+    if line.trim().is_empty() {
+        return;
+    }
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(e) => {
             shared.rejected.fetch_add(1, Ordering::SeqCst);
+            write_line(writer, &Reply::err(&e.id, e.code, e.message).versioned(e.version));
+            return;
         }
-        write_reply(&job.writer, &reply);
-    }
-}
-
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
-}
-
-/// An in-protocol failure: code + message, turned into an error reply.
-type OpError = (ErrorCode, String);
-
-fn bad(message: impl Into<String>) -> OpError {
-    (ErrorCode::BadRequest, message.into())
-}
-
-/// Resolves a request-supplied relative path under the serve root.
-/// Absolute paths and `..` traversal are refused: tenants address only
-/// the tree the operator exported.
-fn resolve_root(root: &Path, path: &str) -> Result<PathBuf, OpError> {
-    let rel = Path::new(path);
-    if rel.is_absolute()
-        || rel
-            .components()
-            .any(|c| matches!(c, std::path::Component::ParentDir))
-    {
-        return Err(bad(format!(
-            "path {path:?} must be relative to the serve root, without `..`"
-        )));
-    }
-    Ok(root.join(rel))
-}
-
-fn parse_policy(spec: Option<&str>, default: VerifyPolicy) -> Result<VerifyPolicy, OpError> {
-    match spec {
-        None => Ok(default),
-        Some("quick") => Ok(VerifyPolicy::quick()),
-        Some("strict") => Ok(VerifyPolicy::strict()),
-        Some(s) => match s.strip_prefix("budgeted:").and_then(|n| n.parse().ok()) {
-            Some(budget) => Ok(VerifyPolicy::budgeted(budget)),
-            None => Err(bad(format!(
-                "policy must be quick, strict, or budgeted:<conflicts>; got {s:?}"
-            ))),
-        },
-    }
-}
-
-/// Loads netlist source text for a design reference. Returns the text
-/// and its format tag.
-fn design_source(shared: &Shared, design: &DesignRef) -> Result<(String, String), OpError> {
-    match design {
-        DesignRef::Text { text, format } => Ok((text.clone(), format.clone())),
-        DesignRef::Path(path) => {
-            let resolved = resolve_root(&shared.config.root, path)?;
-            let format = if path.ends_with(".blif") { "blif" } else { "v" };
-            let text = std::fs::read_to_string(&resolved)
-                .map_err(|e| bad(format!("reading {path:?}: {e}")))?;
-            Ok((text, format.to_owned()))
-        }
-    }
-}
-
-fn parse_netlist(shared: &Shared, text: &str, format: &str) -> Result<Netlist, OpError> {
-    match format {
-        "blif" => {
-            let network =
-                odcfp_blif::parse_blif(text).map_err(|e| bad(format!("parsing BLIF: {e}")))?;
-            odcfp_synth::map_network(&network, Arc::clone(&shared.library))
-                .map_err(|e| bad(format!("mapping BLIF: {e}")))
-        }
-        _ => odcfp_verilog::parse_verilog(text, Arc::clone(&shared.library))
-            .map_err(|e| bad(format!("parsing Verilog: {e}"))),
-    }
-}
-
-/// Warm-path entry: resolve, digest, quarantine-check, and either
-/// serve the cached state or build and admit it.
-fn circuit_state(
-    shared: &Shared,
-    design: &DesignRef,
-    touched: &mut Option<Digest>,
-) -> Result<(Arc<Mutex<CircuitState>>, Disposition), OpError> {
-    let (text, format) = design_source(shared, design)?;
-    let digest = Digest::of(text.as_bytes());
-    if shared.cache.is_quarantined(digest) {
-        return Err((
-            ErrorCode::Quarantined,
-            format!("circuit {digest} is quarantined after repeated panics"),
-        ));
-    }
-    // From here on a panic is attributed to this circuit.
-    *touched = Some(digest);
-    if let Some(state) = shared.cache.lookup(digest) {
-        return Ok((state, Disposition::Hit));
-    }
-    let netlist = parse_netlist(shared, &text, &format)?;
-    let cost = WarmCache::estimate_cost(text.len(), netlist.num_gates());
-    let fingerprinter = Arc::new(
-        Fingerprinter::new(netlist).map_err(|e| bad(format!("analysing circuit: {e}")))?,
-    );
-    let session = VerifySession::new(fingerprinter.base())
-        .map_err(|e| bad(format!("building verify session: {e}")))?;
-    Ok(shared.cache.admit(
-        digest,
-        CircuitState {
-            fingerprinter,
-            session,
-        },
-        cost,
-    ))
-}
-
-/// `deadline` when the request's own deadline fired, `draining` when
-/// the drain watchdog cancelled us.
-fn cancel_code(shared: &Shared) -> (ErrorCode, &'static str) {
-    if shared.drain_token.is_cancelled() {
-        (ErrorCode::Draining, "cancelled by server drain")
-    } else {
-        (ErrorCode::Deadline, "request deadline exceeded")
-    }
-}
-
-/// Executes one queued operation. Runs inside the worker's
-/// `catch_unwind`; may panic freely.
-fn execute(
-    shared: &Shared,
-    request: &Request,
-    token: &CancelToken,
-    touched: &mut Option<Digest>,
-) -> Reply {
-    let id = &request.id;
-    let result: Result<Reply, OpError> = match &request.op {
-        Op::Ping => Ok(Reply::ok(id, "ping")),
-        Op::Shutdown => Ok(Reply::ok(id, "shutdown")),
-        Op::Locations { design } => circuit_state(shared, design, touched).map(|(state, disp)| {
-            let state = state.lock().unwrap_or_else(PoisonError::into_inner);
-            let capacity = state.fingerprinter.capacity();
-            Reply::ok(id, "locations")
-                .field("locations", capacity.num_locations)
-                .field("candidates", capacity.num_candidates)
-                .field("log2_combinations", format!("{:.2}", capacity.log2_combinations))
-                .field("cache", disp.as_str())
-        }),
-        Op::Embed {
-            design,
-            seed,
-            bits,
-            policy,
-        } => embed_op(shared, id, design, *seed, bits.as_deref(), policy.as_deref(), token, touched),
-        Op::Verify {
-            golden,
-            candidate,
-            policy,
-        } => verify_op(shared, id, golden, candidate, policy.as_deref(), token, touched),
-        Op::Campaign {
-            manifest,
-            out_dir,
-            resume,
-        } => campaign_op(shared, id, manifest, out_dir, *resume, token),
-        Op::Report { trace_path } => report_op(shared, id, trace_path),
-        Op::Probe { mode } => probe_op(id, mode, token),
     };
-    match result {
-        Ok(reply) => reply,
-        Err((code, message)) => Reply::err(id, code, message),
+    match admit(shared, request, ReplyTo::Direct(Arc::clone(writer))) {
+        Admit::Immediate(reply) => write_line(writer, &reply),
+        Admit::Queued => {}
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn embed_op(
-    shared: &Shared,
-    id: &str,
-    design: &DesignRef,
-    seed: Option<u64>,
-    bits: Option<&str>,
-    policy: Option<&str>,
-    token: &CancelToken,
-    touched: &mut Option<Digest>,
-) -> Result<Reply, OpError> {
-    let policy = parse_policy(policy, VerifyPolicy::quick())?;
-    let (state, disp) = circuit_state(shared, design, touched)?;
-    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
-    let n = state.fingerprinter.locations().len();
-    let bits: Vec<bool> = match (bits, seed) {
-        (Some(s), _) => {
-            let parsed: Result<Vec<bool>, OpError> = s
-                .chars()
-                .map(|c| match c {
-                    '0' => Ok(false),
-                    '1' => Ok(true),
-                    other => Err(bad(format!("bad bit {other:?}"))),
-                })
-                .collect();
-            let parsed = parsed?;
-            if parsed.len() != n {
-                return Err(bad(format!(
-                    "bit string has {} bits; design has {n} locations",
-                    parsed.len()
-                )));
-            }
-            parsed
-        }
-        // Same derivation as `odcfp embed --seed` and the campaign
-        // runner, so served copies are bit-identical to batch ones.
-        (None, Some(seed)) => {
-            let mut rng = Xoshiro256::seed_from_u64(seed);
-            (0..n).map(|_| rng.next_bool()).collect()
-        }
-        (None, None) => return Err(bad("embed needs seed or bits")),
-    };
-    let CircuitState {
-        fingerprinter,
-        session,
-    } = &mut *state;
-    let (copy, verdict) = fingerprinter
-        .embed_with_session_cancellable(session, &bits, &policy, token)
-        .map_err(|e| {
-            if token.is_cancelled() {
-                let (code, why) = cancel_code(shared);
-                (code, format!("{why} during embed"))
-            } else {
-                (ErrorCode::Internal, format!("embedding: {e}"))
-            }
-        })?;
-    if token.is_cancelled() {
-        let (code, why) = cancel_code(shared);
-        return Err((code, format!("{why} during embed verification")));
-    }
-    Ok(Reply::ok(id, "embed")
-        .field("bits", copy.bit_string())
-        .field("verdict", verdict.name())
-        .field("netlist", write_verilog(copy.netlist()))
-        .field("cache", disp.as_str()))
-}
-
-fn verify_op(
-    shared: &Shared,
-    id: &str,
-    golden: &DesignRef,
-    candidate: &DesignRef,
-    policy: Option<&str>,
-    token: &CancelToken,
-    touched: &mut Option<Digest>,
-) -> Result<Reply, OpError> {
-    let policy = parse_policy(policy, VerifyPolicy::strict())?;
-    let (cand_text, cand_format) = design_source(shared, candidate)?;
-    let (state, disp) = circuit_state(shared, golden, touched)?;
-    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
-    let candidate = parse_netlist(shared, &cand_text, &cand_format)?;
-    let report = state
-        .session
-        .verify_cancellable(&candidate, &policy, token)
-        .map_err(|e| bad(format!("verify: {e}")))?;
-    if token.is_cancelled() {
-        // The ladder degraded to Undecided because we cancelled it —
-        // answer with the cause, not a verdict that hides it.
-        let (code, why) = cancel_code(shared);
-        return Err((code, format!("{why}; verification undecided")));
-    }
-    Ok(Reply::ok(id, "verify")
-        .field("verdict", report.verdict.name())
-        .field("sat_conflicts", report.stats.sat_conflicts)
-        .field("fast_path", report.stats.used_fast_path)
-        .field("cache", disp.as_str()))
-}
-
-fn campaign_op(
-    shared: &Shared,
-    id: &str,
-    manifest_text: &str,
-    out_dir: &str,
-    resume: bool,
-    token: &CancelToken,
-) -> Result<Reply, OpError> {
-    let manifest = campaign::Manifest::parse(manifest_text)
-        .map_err(|e| bad(format!("manifest: {e}")))?;
-    let dir = resolve_root(&shared.config.root, out_dir)?;
-    let load = |circuit: &ManifestCircuit| -> Result<Netlist, String> {
-        let campaign::CircuitSource::Path(path) = &circuit.source else {
-            unreachable!("probe sources never reach the loader");
-        };
-        let (text, format) = design_source(shared, &DesignRef::Path(path.clone()))
-            .map_err(|(_, m)| m)?;
-        parse_netlist(shared, &text, &format).map_err(|(_, m)| m)
-    };
-    let emit = |n: &Netlist| write_verilog(n);
-    let env = campaign::CampaignEnv {
-        load: &load,
-        emit: &emit,
-    };
-    // Chunked execution: one job (or one delta window) per leg, journal
-    // replayed in between. Progress is durable at every step, and the
-    // drain token gets a look-in between legs, so a long campaign
-    // cannot hold drain hostage — the journal resumes it, served or
-    // batch, later. The cache carries fingerprinters, verify sessions,
-    // and delta-mode code-space proofs across legs, so chunking costs
-    // journal replays, not re-analysis or re-proving.
-    let mut cache = campaign::CampaignCache::default();
-    let mut resume_leg = resume;
-    let mut executed = 0usize;
-    loop {
-        let options = CampaignOptions {
-            resume: resume_leg,
-            stop_after: Some(1),
-        };
-        let summary =
-            campaign::run_cached(&manifest, &dir, &env, &options, &mut cache, &mut |_| {})
-                .map_err(|e| match e {
-                    campaign::CampaignError::Io { .. } => (ErrorCode::Internal, e.to_string()),
-                    _ => bad(e.to_string()),
-                })?;
-        executed += summary.executed;
-        if summary.remaining == 0 {
-            let mut reply = Reply::ok(id, "campaign")
-                .field("total", summary.total)
-                .field("completed", summary.completed)
-                .field("executed", executed)
-                .field("poisoned", summary.poisoned.len())
-                .field("clean", summary.is_clean());
-            // Delta campaigns stream artifacts as codebooks: tell the
-            // client where each circuit's codebook landed so it can
-            // fetch deltas instead of full netlists.
-            if manifest.artifact_mode == campaign::ArtifactMode::Delta {
-                let codebooks: Vec<String> = manifest
-                    .circuits
-                    .iter()
-                    .filter(|c| matches!(c.source, campaign::CircuitSource::Path(_)))
-                    .map(|c| odcfp_core::codebook::codebook_file(&c.name))
-                    .collect();
-                reply = reply
-                    .field("artifacts", "delta")
-                    .field("codebooks", codebooks.join(","));
-            }
-            return Ok(reply);
-        }
-        resume_leg = true;
-        if token.is_cancelled() {
-            let (code, why) = cancel_code(shared);
-            return Err((
-                code,
-                format!(
-                    "{why} after {executed} job(s); journal at {out_dir:?} resumes the rest"
-                ),
-            ));
-        }
-    }
-}
-
-fn report_op(shared: &Shared, id: &str, trace_path: &str) -> Result<Reply, OpError> {
-    let path = resolve_root(&shared.config.root, trace_path)?;
-    let trace = odcfp_obs::report::read_trace(&path)
-        .map_err(|e| bad(format!("reading {trace_path:?}: {e}")))?;
-    Ok(Reply::ok(id, "report")
-        .field("events", trace.events.len())
-        .field("skipped_lines", trace.skipped_lines)
-        .field("summary", odcfp_obs::report::summarize(&trace)))
-}
-
-fn probe_op(id: &str, mode: &str, token: &CancelToken) -> Result<Reply, OpError> {
-    match mode {
-        "panic" => panic!("fault probe: deliberate panic in request {id}"),
-        _ => {
-            // Spin until cancelled; hard cap mirrors the campaign probe.
-            let cap = Duration::from_secs(30);
-            let started = Instant::now();
-            while !token.is_cancelled() && started.elapsed() < cap {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err((
-                ErrorCode::Deadline,
-                format!("spin probe cancelled after {:?}", started.elapsed()),
-            ))
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn resolve_root_confines_paths() {
-        let root = Path::new("/srv/odcfp");
-        assert_eq!(
-            resolve_root(root, "designs/c17.v").unwrap(),
-            PathBuf::from("/srv/odcfp/designs/c17.v")
-        );
-        assert!(resolve_root(root, "/etc/passwd").is_err());
-        assert!(resolve_root(root, "../secrets").is_err());
-        assert!(resolve_root(root, "a/../../b").is_err());
-    }
-
-    #[test]
-    fn parse_policy_grammar() {
-        assert!(parse_policy(Some("quick"), VerifyPolicy::strict()).is_ok());
-        assert!(parse_policy(Some("strict"), VerifyPolicy::quick()).is_ok());
-        assert!(parse_policy(Some("budgeted:5000"), VerifyPolicy::quick()).is_ok());
-        assert!(parse_policy(Some("budgeted:x"), VerifyPolicy::quick()).is_err());
-        assert!(parse_policy(Some("frob"), VerifyPolicy::quick()).is_err());
+fn write_line(writer: &Arc<Mutex<TcpStream>>, reply: &Reply) {
+    use std::io::Write as _;
+    let mut line = reply.to_line();
+    line.push('\n');
+    if let Ok(mut stream) = writer.lock() {
+        // A vanished client is its own problem; the server presses on.
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.flush();
     }
 }

@@ -11,8 +11,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use odcfp_netlist::CellLibrary;
-use odcfp_serve::proto::{request_line, FieldValue};
-use odcfp_serve::{Reply, ServeSummary, Server, ServerConfig};
+use odcfp_serve::proto::{payload_digest, request_line, FieldValue, Frame};
+use odcfp_serve::{ConnMode, Reply, ServeSummary, Server, ServerConfig};
 use odcfp_synth::benchmarks::random::{random_dag, DagParams};
 use odcfp_verilog::write_verilog;
 
@@ -71,6 +71,46 @@ impl Client {
     fn roundtrip(&mut self, line: &str) -> Reply {
         self.send_raw(line);
         self.read_reply()
+    }
+
+    fn read_frame(&mut self) -> Frame {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read frame");
+        Frame::parse_line(line.trim_end())
+            .unwrap_or_else(|| panic!("parseable frame: {line:?}"))
+    }
+
+    /// Reads one complete reply that may arrive chunked: collects
+    /// `chunk` frames in sequence, checks the `done` trailer's digest,
+    /// and returns the reply with the streamed payload merged back in.
+    fn read_assembled_reply(&mut self) -> Reply {
+        let mut assembled = String::new();
+        let mut next_seq = 0u64;
+        loop {
+            match self.read_frame() {
+                Frame::Reply(reply) => {
+                    assert_eq!(next_seq, 0, "plain reply after chunks");
+                    return reply;
+                }
+                Frame::Chunk { seq, data, .. } => {
+                    assert_eq!(seq, next_seq, "chunks arrive in order");
+                    next_seq += 1;
+                    assembled.push_str(&data);
+                }
+                Frame::Done {
+                    reply,
+                    stream,
+                    chunks,
+                    bytes,
+                    digest,
+                } => {
+                    assert_eq!(chunks, next_seq, "done counts the chunks");
+                    assert_eq!(bytes as usize, assembled.len());
+                    assert_eq!(digest, payload_digest(assembled.as_bytes()));
+                    return reply.field(&stream, assembled);
+                }
+            }
+        }
     }
 }
 
@@ -369,4 +409,384 @@ fn shutdown_drains_queued_work_before_exiting() {
 
     // Post-drain, the port is gone.
     assert!(TcpStream::connect(&addr).is_err());
+}
+
+/// A tiny golden circuit in BLIF, plus a mutant whose `g` output gains
+/// a cover row — functionally different, so verify must refute it.
+const BLIF_GOLDEN: &str = "\
+.model e2e
+.inputs a b c d
+.outputs f g
+.names a b x
+11 1
+.names c d y
+1- 1
+-1 1
+.names x y f
+11 1
+.names x c g
+10 1
+.end
+";
+
+fn blif_mutant() -> String {
+    BLIF_GOLDEN.replace(".names x c g\n10 1\n", ".names x c g\n10 1\n01 1\n")
+}
+
+fn verify_blif_args(golden: &str, candidate: &str) -> Vec<(&'static str, FieldValue)> {
+    vec![
+        ("golden_text", golden.into()),
+        ("golden_format", "blif".into()),
+        ("candidate_text", candidate.into()),
+        ("candidate_format", "blif".into()),
+    ]
+}
+
+#[test]
+fn partial_frames_split_across_writes_decode_once_complete() {
+    let srv = start(ServerConfig::default());
+    let mut c = srv.connect();
+    // One request delivered in three torn writes: nothing answers until
+    // the newline lands, then exactly one reply arrives.
+    let line = request_line("torn", "t", None, "ping", &[]);
+    let bytes = format!("{line}\n");
+    let (a, rest) = bytes.split_at(7);
+    let (b, tail) = rest.split_at(rest.len() / 2);
+    for piece in [a, b, tail] {
+        c.stream.write_all(piece.as_bytes()).expect("torn write");
+        c.stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    let reply = c.read_reply();
+    assert!(reply.ok, "{reply:?}");
+    assert_eq!(reply.id, "torn");
+    srv.shutdown();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_answer_in_order() {
+    // One worker, one tenant lane: FIFO end to end, so replies come
+    // back in submission order even when all requests land in a single
+    // socket write.
+    let srv = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = srv.connect();
+    let golden = circuit_text(61);
+    let mut burst = String::new();
+    for i in 0..3 {
+        burst.push_str(&request_line(
+            &format!("pl{i}"),
+            "t",
+            None,
+            "verify",
+            &verify_args(&golden, &golden),
+        ));
+        burst.push('\n');
+    }
+    c.stream.write_all(burst.as_bytes()).expect("burst write");
+    c.stream.flush().expect("flush");
+    for i in 0..3 {
+        let reply = c.read_assembled_reply();
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.id, format!("pl{i}"), "replies keep request order");
+        assert_eq!(reply.field_str("verdict"), Some("proven"));
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn oversized_frame_rejected_and_connection_survives() {
+    for mode in [ConnMode::Reactor, ConnMode::Threaded] {
+        let srv = start(ServerConfig {
+            mode,
+            max_line: 1024,
+            ..ServerConfig::default()
+        });
+        let mut c = srv.connect();
+        let huge = "x".repeat(4 * 1024);
+        let e = c.roundtrip(&huge);
+        assert!(!e.ok);
+        assert_eq!(e.error.as_deref(), Some("bad_request"), "{mode:?}");
+        assert!(
+            e.message.as_deref().unwrap().contains("exceeds 1024 bytes"),
+            "{mode:?}: {e:?}"
+        );
+        // Framing resynchronized at the newline: the connection lives.
+        let pong = c.roundtrip(&request_line("p", "t", None, "ping", &[]));
+        assert!(pong.ok, "{mode:?}: {pong:?}");
+        srv.shutdown();
+    }
+}
+
+#[test]
+fn streamed_reply_reassembles_and_matches_inline_payload() {
+    // Force streaming on a small payload: threshold 1, 64-byte chunks.
+    let streaming = start(ServerConfig {
+        stream_threshold: 1,
+        stream_chunk: 64,
+        ..ServerConfig::default()
+    });
+    let base = circuit_text(12);
+    let args: Vec<(&str, FieldValue)> = vec![
+        ("design_text", base.as_str().into()),
+        ("design_format", "v".into()),
+        ("seed", 7u64.into()),
+    ];
+    let mut c = streaming.connect();
+    c.send_raw(&request_line("s1", "t", None, "embed", &args));
+    // The wire shape is chunk…chunk done, never a plain reply.
+    let first = c.read_frame();
+    assert!(matches!(first, Frame::Chunk { seq: 0, .. }), "{first:?}");
+    let mut assembled = match first {
+        Frame::Chunk { data, .. } => data,
+        _ => unreachable!(),
+    };
+    let mut next_seq = 1u64;
+    let streamed = loop {
+        match c.read_frame() {
+            Frame::Chunk { seq, data, .. } => {
+                assert_eq!(seq, next_seq);
+                next_seq += 1;
+                assembled.push_str(&data);
+            }
+            Frame::Done {
+                reply,
+                stream,
+                chunks,
+                bytes,
+                digest,
+            } => {
+                assert_eq!(stream, "netlist");
+                assert_eq!(chunks, next_seq);
+                assert!(chunks >= 2, "64-byte chunks split a netlist");
+                assert_eq!(bytes as usize, assembled.len());
+                assert_eq!(digest, payload_digest(assembled.as_bytes()));
+                break reply;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    assert!(streamed.ok);
+    assert!(streamed.field_str("bits").is_some(), "scalars ride the done frame");
+    streaming.shutdown();
+
+    // The reassembled payload is byte-identical to what a non-streaming
+    // server answers inline.
+    let inline = start(ServerConfig::default());
+    let mut c = inline.connect();
+    let reply = c.roundtrip(&request_line("s2", "t", None, "embed", &args));
+    assert_eq!(reply.field_str("netlist"), Some(assembled.as_str()));
+    inline.shutdown();
+}
+
+#[test]
+fn v1_requests_always_get_single_line_replies() {
+    // Streaming is v2-only: a v1 client on a streaming-eager server
+    // still receives its payload inline, version mirrored.
+    let srv = start(ServerConfig {
+        stream_threshold: 1,
+        stream_chunk: 64,
+        ..ServerConfig::default()
+    });
+    let mut c = srv.connect();
+    let base = circuit_text(12);
+    let line = format!(
+        "{{\"v\":1,\"id\":\"old\",\"op\":\"embed\",\"seed\":7,\"design_format\":\"v\",\"design_text\":\"{}\"}}",
+        odcfp_serve::proto::escape_json(&base)
+    );
+    let reply = c.roundtrip(&line);
+    assert!(reply.ok, "{reply:?}");
+    assert_eq!(reply.v, 1, "reply mirrors the request's version");
+    assert!(
+        reply.field_str("netlist").is_some(),
+        "payload inline, not chunked: {reply:?}"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn slow_reader_backpressure_never_blocks_the_worker_pool() {
+    // One worker. Connection A pipelines several embeds whose chunked
+    // replies it refuses to read; its outbound bytes pile up in the
+    // reactor's per-connection queue. Connection B's request must still
+    // be served promptly — a slow reader stalls only itself.
+    let srv = start(ServerConfig {
+        workers: 1,
+        stream_threshold: 1,
+        stream_chunk: 2048,
+        ..ServerConfig::default()
+    });
+    let base = circuit_text(13);
+    let args: Vec<(&str, FieldValue)> = vec![
+        ("design_text", base.as_str().into()),
+        ("design_format", "v".into()),
+        ("seed", 9u64.into()),
+    ];
+    let mut slow = srv.connect();
+    let mut burst = String::new();
+    for i in 0..5 {
+        burst.push_str(&request_line(&format!("slow{i}"), "a", None, "embed", &args));
+        burst.push('\n');
+    }
+    slow.stream.write_all(burst.as_bytes()).expect("burst");
+    slow.stream.flush().expect("flush");
+
+    // While A ignores its replies, B roundtrips through the same single
+    // worker. If workers blocked on A's socket this would time out.
+    let mut fast = srv.connect();
+    let golden = circuit_text(14);
+    let started = Instant::now();
+    let reply = fast.roundtrip(&request_line(
+        "fast",
+        "b",
+        None,
+        "verify",
+        &verify_args(&golden, &golden),
+    ));
+    assert!(reply.ok, "{reply:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(25),
+        "B served while A's replies sit queued: {:?}",
+        started.elapsed()
+    );
+
+    // A's replies were queued, not dropped: all five drain with intact
+    // digests once it finally reads.
+    for i in 0..5 {
+        let reply = slow.read_assembled_reply();
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.id, format!("slow{i}"));
+        assert!(reply.field_str("netlist").is_some());
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn batched_verification_is_verdict_identical_to_per_request() {
+    // Candidate mix: netlist copies (proven), a functional mutant
+    // (refuted), and a fingerprint code checked against the golden's
+    // code space. The batched server coalesces them into one warm
+    // probe; verdicts must match a server running strictly one-by-one.
+    let golden = BLIF_GOLDEN.to_owned();
+    let mutant = blif_mutant();
+
+    // A valid code for the golden comes from embedding with a seed.
+    let bits = {
+        let srv = start(ServerConfig::default());
+        let mut c = srv.connect();
+        let reply = c.roundtrip(&request_line(
+            "mint",
+            "t",
+            None,
+            "embed",
+            &[
+                ("design_text", golden.as_str().into()),
+                ("design_format", "blif".into()),
+                ("seed", 3u64.into()),
+            ],
+        ));
+        assert!(reply.ok, "{reply:?}");
+        let bits = reply.field_str("bits").expect("bits minted").to_owned();
+        srv.shutdown();
+        bits
+    };
+    let requests: Vec<String> = vec![
+        request_line("q0", "t0", None, "verify", &verify_blif_args(&golden, &golden)),
+        request_line("q1", "t1", None, "verify", &verify_blif_args(&golden, &mutant)),
+        request_line("q2", "t2", None, "verify", &verify_blif_args(&golden, &golden)),
+        request_line(
+            "q3",
+            "t3",
+            None,
+            "verify",
+            &[
+                ("golden_text", golden.as_str().into()),
+                ("golden_format", "blif".into()),
+                ("candidate_bits", bits.as_str().into()),
+            ],
+        ),
+        request_line("q4", "t4", None, "verify", &verify_blif_args(&golden, &mutant)),
+    ];
+
+    // Batched: a spin probe pins the single worker while the verifies
+    // queue, so the gather window sees them all at once.
+    let batched = start(ServerConfig {
+        workers: 1,
+        batch_window: Duration::from_millis(200),
+        batch_max: 16,
+        ..ServerConfig::default()
+    });
+    let mut pin = batched.connect();
+    pin.send_raw(&request_line(
+        "pin",
+        "pinner",
+        Some(500),
+        "probe",
+        &[("mode", "spin".into())],
+    ));
+    std::thread::sleep(Duration::from_millis(150));
+    let mut conns: Vec<Client> = requests
+        .iter()
+        .map(|r| {
+            let mut c = batched.connect();
+            c.send_raw(r);
+            c
+        })
+        .collect();
+    assert_eq!(pin.read_reply().error.as_deref(), Some("deadline"));
+    let batched_replies: Vec<Reply> =
+        conns.iter_mut().map(Client::read_assembled_reply).collect();
+    batched.shutdown();
+
+    // Per-request: batch_max 1 makes every pop a singleton.
+    let solo = start(ServerConfig {
+        workers: 1,
+        batch_max: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = solo.connect();
+    let solo_replies: Vec<Reply> = requests
+        .iter()
+        .map(|r| {
+            c.send_raw(r);
+            c.read_assembled_reply()
+        })
+        .collect();
+    solo.shutdown();
+
+    let verdicts = |replies: &[Reply]| -> Vec<(String, Option<String>)> {
+        replies
+            .iter()
+            .map(|r| (r.id.clone(), r.field_str("verdict").map(str::to_owned)))
+            .collect()
+    };
+    assert_eq!(
+        verdicts(&batched_replies),
+        verdicts(&solo_replies),
+        "coalescing changes latency, never verdicts"
+    );
+    assert_eq!(
+        verdicts(&solo_replies)
+            .iter()
+            .map(|(_, v)| v.as_deref().unwrap_or("?").to_owned())
+            .collect::<Vec<_>>(),
+        vec!["proven", "refuted", "proven", "proven", "refuted"],
+    );
+    assert!(
+        batched_replies
+            .iter()
+            .any(|r| r.field_bool("batched") == Some(true)
+                && r.field_u64("batch").is_some_and(|n| n >= 2)),
+        "the gather window coalesced concurrent requests: {:?}",
+        batched_replies
+            .iter()
+            .map(|r| (r.id.clone(), r.field_bool("batched")))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        solo_replies.iter().all(|r| r.field_bool("batched").is_none()),
+        "singleton execution carries no batch fields"
+    );
 }
